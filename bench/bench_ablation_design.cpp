@@ -1,0 +1,108 @@
+// Ablations for SMT design choices (DESIGN.md "ablation benches"):
+//
+//   1. TLS record size — the paper aligns <=16 KB records to TSO segments
+//      (§4.3). Smaller records mean more per-record work (framing, tags,
+//      offload metadata) per message; this sweep quantifies that choice.
+//   2. Length-concealment padding (§6.1) — padding every RPC to a bucket
+//      hides sizes from traffic analysis; this measures the RTT cost.
+//   3. Composite-seqno index width (§4.4.1) — 16 bits of record index is
+//      free at runtime; narrower splits only cap message size. Verified
+//      here by running traffic under a narrow layout.
+#include "bench_common.hpp"
+#include "crypto/drbg.hpp"
+#include "netsim/link.hpp"
+#include "smt/endpoint.hpp"
+
+using namespace smt;
+using namespace smt::bench;
+
+namespace {
+
+/// Direct two-host SMT testbed (bypasses RpcFabric to vary SmtConfig).
+double smt_echo_rtt_us(proto::SmtConfig config, std::size_t size,
+                       std::size_t pad_to = 0) {
+  sim::EventLoop loop;
+  stack::HostConfig hc;
+  hc.ip = 1;
+  stack::Host client_host(loop, hc);
+  hc.ip = 2;
+  stack::Host server_host(loop, hc);
+  sim::Link link(loop, sim::LinkConfig{});
+  stack::connect_hosts(client_host, server_host, link);
+
+  proto::SmtEndpoint client(client_host, 1000, config);
+  proto::SmtEndpoint server(server_host, 80, config);
+  tls::TrafficKeys tx{Bytes(16, 0x11), Bytes(12, 0x12)};
+  tls::TrafficKeys rx{Bytes(16, 0x13), Bytes(12, 0x14)};
+  (void)client.register_session({2, 80}, tls::CipherSuite::aes_128_gcm_sha256,
+                                tx, rx);
+  (void)server.register_session({1, 1000},
+                                tls::CipherSuite::aes_128_gcm_sha256, rx, tx);
+
+  server.set_on_message([&](proto::SmtEndpoint::MessageMeta meta, Bytes data) {
+    (void)server.send_message({meta.peer.ip, 1000}, std::move(data), nullptr,
+                              pad_to);
+  });
+
+  double total = 0;
+  int measured = 0;
+  int remaining = 25;
+  SimTime sent_at = 0;
+  std::function<void()> issue = [&] {
+    if (remaining-- == 0) return;
+    sent_at = loop.now();
+    (void)client.send_message({2, 80}, Bytes(size, 0x42),
+                              &client_host.app_core(0), pad_to);
+  };
+  client.set_on_message([&](proto::SmtEndpoint::MessageMeta, Bytes) {
+    if (remaining < 20) {  // skip warmup
+      total += to_usec(loop.now() - sent_at);
+      ++measured;
+    }
+    issue();
+  });
+  issue();
+  loop.run();
+  return total / measured;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation 1: TLS record payload size (64 KB messages) ==\n");
+  std::printf("%-14s %10s %12s\n", "record bytes", "RTT [us]", "records/msg");
+  for (const std::size_t record : {1400u, 4000u, 8000u, 16000u}) {
+    proto::SmtConfig config;
+    config.max_record_payload = record;
+    const double rtt = smt_echo_rtt_us(config, 65536);
+    std::printf("%-14zu %10.1f %12zu\n", record, rtt,
+                (65536 + record - 1) / record);
+  }
+  std::printf("(larger records amortise per-record framing/tag/metadata "
+              "costs — the §4.3 alignment choice)\n");
+
+  std::printf("\n== Ablation 2: length-concealment padding (§6.1) ==\n");
+  std::printf("%-18s %10s\n", "true size -> pad", "RTT [us]");
+  for (const std::size_t size : {100u, 700u, 1300u}) {
+    proto::SmtConfig config;
+    const double bare = smt_echo_rtt_us(config, size, 0);
+    const double padded = smt_echo_rtt_us(config, size, 1500);
+    std::printf("%6zu -> none     %10.2f\n", size, bare);
+    std::printf("%6zu -> 1500 B   %10.2f  (+%.1f%%)\n", size, padded,
+                100.0 * (padded - bare) / bare);
+  }
+
+  std::printf("\n== Ablation 3: narrow message-ID split still functions ==\n");
+  for (const unsigned id_bits : {56u, 48u, 40u}) {
+    proto::SmtConfig config;
+    config.layout = proto::SeqnoLayout(id_bits);
+    const double rtt = smt_echo_rtt_us(config, 30000);
+    std::printf("  %u-bit IDs / %u-bit index: 30 KB RTT %.1f us "
+                "(max msg %.1f MB @16K records)\n",
+                id_bits, 64 - id_bits, rtt,
+                double(config.layout.max_message_bytes(16384)) / 1e6);
+  }
+  std::printf("(the split changes capacity limits, not datapath cost — the "
+              "low-bits index keeps the HW counter usable at any width)\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Shared measurement harness for the paper-reproduction benches.
+//
+// Each bench binary prints the rows/series of one paper table or figure.
+// All latency/throughput numbers are VIRTUAL-time measurements from the
+// deterministic simulator (DESIGN.md "Virtual time"); handshake benches
+// additionally use real wall-clock for crypto operations.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "apps/rpc.hpp"
+
+namespace smt::bench {
+
+using apps::RpcChannel;
+using apps::RpcFabric;
+using apps::RpcFabricConfig;
+using apps::TransportKind;
+using apps::transport_name;
+
+/// Unloaded RTT (Figure 6 / 10 / 11 methodology, §5.1): a single
+/// request/response at a time, no concurrency, averaged over `iters`.
+inline double measure_unloaded_rtt_us(RpcFabricConfig config,
+                                      std::size_t rpc_bytes, int warmup = 5,
+                                      int iters = 40) {
+  RpcFabric fabric(config);
+  auto channel = fabric.make_channel(0);
+  double total_us = 0;
+  int measured = 0;
+  int remaining = warmup + iters;
+
+  std::function<void()> issue = [&] {
+    if (remaining == 0) return;
+    --remaining;
+    channel->call(Bytes(rpc_bytes, 0x5a), std::uint32_t(rpc_bytes),
+                  [&](SimDuration rtt, Bytes) {
+                    if (remaining < iters) {  // past warmup
+                      total_us += to_usec(rtt);
+                      ++measured;
+                    }
+                    issue();
+                  });
+  };
+  issue();
+  fabric.loop().run();
+  return total_us / double(measured);
+}
+
+/// Concurrent closed-loop throughput (Figure 7 methodology, §5.2):
+/// `concurrency` outstanding RPCs across 12 client app threads; reports
+/// completed RPCs per second of virtual time over the measured phase.
+inline double measure_throughput_rps(RpcFabricConfig config,
+                                     std::size_t rpc_bytes,
+                                     std::size_t concurrency,
+                                     std::size_t total_ops) {
+  RpcFabric fabric(config);
+  std::vector<std::unique_ptr<RpcChannel>> channels;
+  for (std::size_t i = 0; i < concurrency; ++i) {
+    channels.push_back(fabric.make_channel(i));  // app core = i % 12
+  }
+
+  const std::size_t warmup_ops = total_ops / 10;
+  std::size_t issued = 0, completed = 0;
+  SimTime measure_start = 0;
+  SimTime measure_end = 0;
+
+  std::function<void(std::size_t)> issue = [&](std::size_t slot) {
+    if (issued >= total_ops) return;
+    ++issued;
+    channels[slot]->call(Bytes(rpc_bytes, 0x5a), std::uint32_t(rpc_bytes),
+                         [&, slot](SimDuration, Bytes) {
+                           ++completed;
+                           if (completed == warmup_ops) {
+                             measure_start = fabric.loop().now();
+                           }
+                           if (completed == total_ops) {
+                             // Stop the clock at the LAST completion: the
+                             // loop afterwards only drains protocol timers
+                             // (RTO backstops, state GC), which must not
+                             // dilute the measured window.
+                             measure_end = fabric.loop().now();
+                           }
+                           issue(slot);
+                         });
+  };
+  for (std::size_t i = 0; i < concurrency; ++i) issue(i);
+  fabric.loop().run();
+
+  const double seconds = to_sec(measure_end - measure_start);
+  return double(completed - warmup_ops) / seconds;
+}
+
+/// Pretty-prints a series table: rows = x values, columns = systems.
+inline void print_table(const char* title, const char* x_label,
+                        const std::vector<std::size_t>& xs,
+                        const std::vector<const char*>& systems,
+                        const std::vector<std::vector<double>>& values,
+                        const char* value_format = "%10.1f") {
+  std::printf("\n== %s ==\n%-12s", title, x_label);
+  for (const char* system : systems) std::printf("%10s", system);
+  std::printf("\n");
+  for (std::size_t row = 0; row < xs.size(); ++row) {
+    std::printf("%-12zu", xs[row]);
+    for (std::size_t col = 0; col < systems.size(); ++col) {
+      std::printf(value_format, values[row][col]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace smt::bench

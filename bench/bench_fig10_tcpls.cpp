@@ -1,0 +1,39 @@
+// Figure 10: TCPLS comparison — unloaded RTT (§5.5).
+//
+// Paper: TCPLS outperforms every QUIC implementation by >= 2.4x, so it
+// stands in for the QUIC family. Expected shape: SMT-sw 5-18 % lower
+// latency than TCPLS; SMT-hw 12-18 % lower (TCPLS cannot use TLS offload,
+// §2.1).
+#include "bench_common.hpp"
+
+using namespace smt;
+using namespace smt::bench;
+
+int main() {
+  const std::vector<std::size_t> sizes = {64, 256, 1024, 4096, 16384};
+  const std::vector<TransportKind> kinds = {
+      TransportKind::tcpls, TransportKind::smt_sw, TransportKind::smt_hw};
+  std::vector<const char*> names;
+  for (const auto kind : kinds) names.push_back(transport_name(kind));
+
+  std::vector<std::vector<double>> rtt;
+  for (const std::size_t size : sizes) {
+    std::vector<double> row;
+    for (const auto kind : kinds) {
+      RpcFabricConfig config;
+      config.kind = kind;
+      row.push_back(measure_unloaded_rtt_us(config, size));
+    }
+    rtt.push_back(std::move(row));
+  }
+  print_table("Figure 10: TCPLS vs SMT unloaded RTT [us]", "RPC size", sizes,
+              names, rtt, "%10.2f");
+
+  std::printf("\nshape checks (SMT lower is better):\n");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("  %6zu B: SMT-sw vs TCPLS %+5.1f%%   SMT-hw vs TCPLS %+5.1f%%\n",
+                sizes[i], 100.0 * (rtt[i][1] - rtt[i][0]) / rtt[i][0],
+                100.0 * (rtt[i][2] - rtt[i][0]) / rtt[i][0]);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 5: bit-allocation trade-off in the composite 64-bit record
+// sequence number (§4.4.1): more bits for the intra-message record index
+// mean larger messages but fewer unique message IDs per session.
+#include <cstdio>
+
+#include "smt/seqno.hpp"
+
+using namespace smt::proto;
+
+namespace {
+
+const char* human(double value, char* buffer, std::size_t n) {
+  const char* suffix[] = {"", " K", " M", " G", " T", " P", " E"};
+  int index = 0;
+  while (value >= 1000.0 && index < 6) {
+    value /= 1000.0;
+    ++index;
+  }
+  std::snprintf(buffer, n, "%.1f%s", value, suffix[index]);
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 5: composite seqno bit-allocation trade-off ==\n");
+  std::printf("%-12s %-12s %-16s %-18s %-18s\n", "index bits", "ID bits",
+              "max messages", "max msg @1.5KB rec", "max msg @16KB rec");
+  char b1[32], b2[32], b3[32];
+  for (unsigned record_bits = 8; record_bits <= 17; ++record_bits) {
+    const SeqnoLayout layout(64 - record_bits);
+    std::printf("%-12u %-12u %-16s %-16sB %-16sB\n", record_bits,
+                64 - record_bits,
+                human(double(layout.max_messages()), b1, sizeof(b1)),
+                human(double(layout.max_message_bytes(1500)), b2, sizeof(b2)),
+                human(double(layout.max_message_bytes(16384)), b3, sizeof(b3)));
+  }
+
+  const SeqnoLayout paper;  // 48/16
+  char b4[32], b5[32];
+  std::printf("\npaper's choice (48-bit IDs, 16-bit index): %s messages, "
+              "%sB max @1.5K records, %sB max @16K records\n",
+              human(double(paper.max_messages()), b1, sizeof(b1)),
+              human(double(paper.max_message_bytes(1500)), b4, sizeof(b4)),
+              human(double(paper.max_message_bytes(16384)), b5, sizeof(b5)));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 7: concurrent RPC throughput (§5.2).
+//
+// Paper methodology: 12 application threads + 4 softirq threads per host,
+// 50-200 concurrent RPCs, sizes 64 B / 1 KB / 8 KB (90 % of production
+// RPCs are < 10 KB). Expected shape: SMT beats kTLS by 16-41 % for 64 B
+// and 1 KB; SMT LOSES to kTLS by 3-15 % at 8 KB (Homa's large-message
+// immaturity); the HW-offload advantage is larger than in the unloaded
+// RTT test because CPU cycles are the bottleneck.
+#include "bench_common.hpp"
+
+using namespace smt;
+using namespace smt::bench;
+
+int main() {
+  const std::vector<std::size_t> sizes = {64, 1024, 8192};
+  const std::vector<std::size_t> concurrencies = {50, 100, 150, 200};
+  const std::vector<TransportKind> kinds = {
+      TransportKind::tcp,    TransportKind::ktls_sw, TransportKind::ktls_hw,
+      TransportKind::homa,   TransportKind::smt_sw,  TransportKind::smt_hw};
+  std::vector<const char*> names;
+  for (const auto kind : kinds) names.push_back(transport_name(kind));
+
+  for (const std::size_t size : sizes) {
+    std::vector<std::vector<double>> rows;
+    for (const std::size_t concurrency : concurrencies) {
+      std::vector<double> row;
+      for (const auto kind : kinds) {
+        RpcFabricConfig config;
+        config.kind = kind;
+        const std::size_t ops = size >= 8192 ? 6000 : 12000;
+        row.push_back(
+            measure_throughput_rps(config, size, concurrency, ops) / 1e6);
+      }
+      rows.push_back(std::move(row));
+    }
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Figure 7: throughput [M RPC/s], %zu B RPCs", size);
+    print_table(title, "concurrency", concurrencies, names, rows, "%10.3f");
+
+    std::printf("shape: SMT-sw vs kTLS-sw / SMT-hw vs kTLS-hw:");
+    for (std::size_t i = 0; i < concurrencies.size(); ++i) {
+      std::printf("  %+.0f%%/%+.0f%%",
+                  100.0 * (rows[i][4] - rows[i][1]) / rows[i][1],
+                  100.0 * (rows[i][5] - rows[i][2]) / rows[i][2]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// 0-RTT key exchange demo (paper §4.5.2-4.5.3).
+//
+// Walks through the SMT-ticket flow:
+//   1. the internal CA issues an SMT-ticket for the server's long-term
+//      ECDH share and publishes it in the directory ("internal DNS");
+//   2. a client looks the ticket up, verifies it against the pre-installed
+//      CA key, and derives an SMT-key BEFORE any packet is sent;
+//   3. the first flight already carries encrypted application data;
+//   4. optionally the server upgrades the session to forward secrecy;
+//   5. a replayed first flight is refused 0-RTT admission.
+//
+//   $ ./zero_rtt_demo
+#include <cstdio>
+
+#include "crypto/drbg.hpp"
+#include "tls/engine.hpp"
+#include "tls/record.hpp"
+
+using namespace smt;
+using namespace smt::tls;
+
+int main() {
+  crypto::HmacDrbg rng(to_bytes(std::string_view("zero-rtt-demo")));
+
+  // --- 1. PKI + ticket issuance ------------------------------------------
+  auto ca = CertificateAuthority::create("dc-root", rng);
+  const auto sig_key = crypto::ecdsa_keypair_from_seed(rng.generate(32));
+  CertChain chain;
+  chain.certs.push_back(ca.issue(
+      "kv.internal", crypto::encode_point(sig_key.public_key), 0, 1u << 30));
+
+  const auto longterm = crypto::ecdh_keypair_from_seed(rng.generate(32));
+  TicketDirectory dns;
+  dns.publish(issue_smt_ticket(ca, "kv.internal",
+                               crypto::encode_point(longterm.public_key),
+                               chain, /*not_before=*/1000,
+                               /*not_after=*/1000 + 3600));  // 1 h lifetime
+  std::puts("1. SMT-ticket published to the internal DNS directory");
+
+  // --- 2. client: lookup + verify ahead of the connection ----------------
+  const auto ticket = dns.lookup("kv.internal");
+  const Status valid = verify_smt_ticket(*ticket, ca.public_key(), 2000);
+  std::printf("2. client verified ticket: %s\n", valid.ok() ? "OK" : "FAILED");
+
+  // --- 3. 0-RTT handshake with early data --------------------------------
+  ZeroRttReplayGuard replay_guard;
+  ClientConfig cc;
+  cc.server_name = "kv.internal";
+  cc.trusted_ca = ca.public_key();
+  cc.now = 2000;
+  cc.smt_ticket = *ticket;
+  cc.early_data = true;
+  cc.request_fs = true;  // Init-FS: upgrade to forward secrecy
+  ServerConfig sc;
+  sc.chain = chain;
+  sc.sig_key = sig_key;
+  sc.trusted_ca = ca.public_key();
+  sc.now = 2000;
+  sc.accept_early_data = true;
+  sc.replay_guard = &replay_guard;
+  sc.smt_key_lookup = [&](ByteView id) -> std::optional<crypto::EcdhKeyPair> {
+    if (to_bytes(id) == ticket->id()) return longterm;
+    return std::nullopt;
+  };
+
+  ClientHandshake client(cc, rng);
+  ServerHandshake server(sc, rng);
+  auto flight1 = client.start();
+
+  // Encrypt 0-RTT data under the SMT-key-derived early keys — this data
+  // rides the FIRST flight, zero round trips before application bytes.
+  RecordProtection early_tx(CipherSuite::aes_128_gcm_sha256,
+                            client.secrets().client_early_keys);
+  const Bytes zero_rtt = early_tx.seal(
+      0, ContentType::application_data,
+      to_bytes(std::string_view("GET /hot-key (sent in the first flight)")));
+  std::printf("3. client flight 1: %zu B handshake + %zu B encrypted 0-RTT data\n",
+              flight1.value().size(), zero_rtt.size());
+
+  auto server_flight = server.on_client_flight(flight1.value());
+  RecordProtection early_rx(CipherSuite::aes_128_gcm_sha256,
+                            server.secrets().client_early_keys);
+  const auto opened = early_rx.open(0, zero_rtt);
+  std::printf("   server decrypted 0-RTT data: \"%.*s\"\n",
+              int(opened.value().payload.size()), opened.value().payload.data());
+
+  auto flight2 = client.on_server_flight(server_flight.value());
+  server.on_client_finished(flight2.value());
+  std::printf("4. session established; forward secret: %s\n",
+              client.secrets().forward_secret ? "yes (fs-key)" : "no (SMT-key)");
+
+  // --- 5. replayed first flight: 0-RTT refused ----------------------------
+  ServerHandshake replay_target(sc, rng);
+  auto replay_result = replay_target.on_client_flight(flight1.value());
+  std::printf("5. replayed flight: handshake %s, 0-RTT data %s\n",
+              replay_result.ok() ? "continues" : "fails",
+              replay_target.secrets().early_data_accepted
+                  ? "ACCEPTED (bug!)"
+                  : "REFUSED (anti-replay, §4.5.3)");
+
+  // Timing comparison: operations removed by the 0-RTT path.
+  double init_us = 0;
+  for (const auto& [op, us] : client.timings().ops) init_us += us;
+  std::printf("\nclient-side crypto work this handshake: %.0f us "
+              "(cert verification was done ahead of time via the ticket)\n",
+              init_us);
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "apps/miniredis.hpp"
+
+namespace smt::apps {
+
+Bytes RedisRequest::encode() const {
+  Bytes out;
+  append_u8(out, static_cast<std::uint8_t>(op));
+  append_u16be(out, static_cast<std::uint16_t>(key.size()));
+  append(out, to_bytes(std::string_view(key)));
+  append_u32be(out, static_cast<std::uint32_t>(value.size()));
+  append(out, value);
+  return out;
+}
+
+std::optional<RedisRequest> RedisRequest::decode(ByteView data) {
+  if (data.size() < 3) return std::nullopt;
+  RedisRequest request;
+  request.op = static_cast<RedisOp>(data[0]);
+  if (request.op != RedisOp::get && request.op != RedisOp::set &&
+      request.op != RedisOp::del) {
+    return std::nullopt;
+  }
+  const std::size_t key_len = load_u16be(data.data() + 1);
+  if (data.size() < 3 + key_len + 4) return std::nullopt;
+  request.key.assign(data.begin() + 3, data.begin() + 3 + std::ptrdiff_t(key_len));
+  const std::size_t val_len = load_u32be(data.data() + 3 + key_len);
+  if (data.size() != 3 + key_len + 4 + val_len) return std::nullopt;
+  request.value.assign(data.begin() + 3 + std::ptrdiff_t(key_len) + 4,
+                       data.end());
+  return request;
+}
+
+Bytes RedisResponse::encode() const {
+  Bytes out;
+  append_u8(out, ok ? 1 : 0);
+  append_u32be(out, static_cast<std::uint32_t>(value.size()));
+  append(out, value);
+  return out;
+}
+
+std::optional<RedisResponse> RedisResponse::decode(ByteView data) {
+  if (data.size() < 5) return std::nullopt;
+  RedisResponse response;
+  response.ok = data[0] != 0;
+  const std::size_t len = load_u32be(data.data() + 1);
+  if (data.size() != 5 + len) return std::nullopt;
+  response.value.assign(data.begin() + 5, data.end());
+  return response;
+}
+
+RedisResponse MiniRedis::apply(const RedisRequest& request) {
+  RedisResponse response;
+  switch (request.op) {
+    case RedisOp::get: {
+      const auto it = table_.find(request.key);
+      if (it != table_.end()) {
+        response.ok = true;
+        response.value = it->second;
+      }
+      break;
+    }
+    case RedisOp::set:
+      table_[request.key] = request.value;
+      response.ok = true;
+      break;
+    case RedisOp::del:
+      response.ok = table_.erase(request.key) > 0;
+      break;
+  }
+  return response;
+}
+
+RpcReply MiniRedis::handle(ByteView request_bytes) {
+  RpcReply reply;
+  const auto request = RedisRequest::decode(request_bytes);
+  if (!request) {
+    reply.payload = RedisResponse{}.encode();
+    reply.cpu_cost = usec(1);
+    return reply;
+  }
+  reply.cpu_cost = cpu_cost(*request);
+  reply.payload = apply(*request).encode();
+  return reply;
+}
+
+}  // namespace smt::apps

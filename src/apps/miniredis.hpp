@@ -1,0 +1,62 @@
+// Mini key-value store modelling the paper's Redis port (§5.3).
+//
+// Single-threaded server with an epoll-style event loop: all request
+// processing — protocol parsing, hash-table manipulation — runs on ONE app
+// core, exactly the structure that makes CPU cycles freed by encryption
+// offload directly visible in throughput (§5.3). The request codec is a
+// compact binary RESP analogue.
+//
+// Commands:  GET key | SET key value | DEL key
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "apps/rpc.hpp"
+
+namespace smt::apps {
+
+enum class RedisOp : std::uint8_t { get = 1, set = 2, del = 3 };
+
+struct RedisRequest {
+  RedisOp op = RedisOp::get;
+  std::string key;
+  Bytes value;  // SET only
+
+  Bytes encode() const;
+  static std::optional<RedisRequest> decode(ByteView data);
+};
+
+struct RedisResponse {
+  bool ok = false;
+  Bytes value;  // GET hit
+
+  Bytes encode() const;
+  static std::optional<RedisResponse> decode(ByteView data);
+};
+
+/// The in-memory store plus the per-op CPU cost model.
+class MiniRedis {
+ public:
+  /// Handles one decoded request against the store.
+  RedisResponse apply(const RedisRequest& request);
+
+  /// Application CPU cost for a request (parse + table op + reply build).
+  /// Redis-like: ~2 us of fixed work plus a per-byte touch cost.
+  static SimDuration cpu_cost(const RedisRequest& request) noexcept {
+    const std::size_t touched = request.key.size() + request.value.size();
+    return usec(2) + SimDuration(double(touched) * 0.15);
+  }
+
+  /// RpcHandler adapter: decode, apply, encode, cost.
+  RpcReply handle(ByteView request);
+
+  std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  std::unordered_map<std::string, Bytes> table_;
+};
+
+}  // namespace smt::apps

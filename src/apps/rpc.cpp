@@ -1,0 +1,458 @@
+#include "apps/rpc.hpp"
+
+#include <cassert>
+
+namespace smt::apps {
+
+namespace {
+
+constexpr std::uint16_t kServerPort = 80;
+constexpr std::uint16_t kClientPort = 1000;
+constexpr std::size_t kRpcHeader = 12;  // corr(8) + resp_len(4)
+
+Bytes frame_message(ByteView message) {
+  Bytes out;
+  out.reserve(4 + message.size());
+  append_u32be(out, std::uint32_t(message.size()));
+  append(out, message);
+  return out;
+}
+
+/// Extracts one complete length-prefixed message, or nullopt.
+std::optional<Bytes> extract_frame(Bytes& buffer) {
+  if (buffer.size() < 4) return std::nullopt;
+  const std::uint32_t len = load_u32be(buffer.data());
+  if (buffer.size() < 4 + std::size_t(len)) return std::nullopt;
+  Bytes message(buffer.begin() + 4, buffer.begin() + 4 + std::ptrdiff_t(len));
+  buffer.erase(buffer.begin(), buffer.begin() + 4 + std::ptrdiff_t(len));
+  return message;
+}
+
+}  // namespace
+
+const char* transport_name(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::tcp: return "TCP";
+    case TransportKind::ktls_sw: return "kTLS-sw";
+    case TransportKind::ktls_hw: return "kTLS-hw";
+    case TransportKind::homa: return "Homa";
+    case TransportKind::smt_sw: return "SMT-sw";
+    case TransportKind::smt_hw: return "SMT-hw";
+    case TransportKind::tcpls: return "TCPLS";
+  }
+  return "?";
+}
+
+bool is_message_based(TransportKind kind) noexcept {
+  return kind == TransportKind::homa || kind == TransportKind::smt_sw ||
+         kind == TransportKind::smt_hw;
+}
+
+bool is_encrypted(TransportKind kind) noexcept {
+  return kind != TransportKind::tcp && kind != TransportKind::homa;
+}
+
+RpcFabric::RpcFabric(RpcFabricConfig config)
+    : config_(config), rng_(to_bytes(std::string_view("rpc-fabric-seed"))) {
+  handler_ = [](ByteView) { return RpcReply{}; };
+  setup_hosts();
+  establish_keys();
+  setup_transports();
+}
+
+RpcFabric::~RpcFabric() = default;
+
+void RpcFabric::setup_hosts() {
+  stack::HostConfig hc;
+  hc.softirq_cores = config_.softirq_cores;
+  hc.nic.mtu_payload = config_.mtu_payload;
+  hc.nic.tso_enabled = config_.tso_enabled;
+  hc.nic.max_tso_bytes = config_.tso_enabled ? 65536 : config_.mtu_payload;
+
+  hc.ip = 1;
+  hc.app_cores = config_.client_app_cores;
+  client_host_ = std::make_unique<stack::Host>(loop_, hc);
+  hc.ip = 2;
+  hc.app_cores = config_.server_app_cores;
+  server_host_ = std::make_unique<stack::Host>(loop_, hc);
+
+  sim::LinkConfig lc;
+  lc.bandwidth_gbps = config_.bandwidth_gbps;
+  lc.propagation = config_.propagation;
+  lc.loss_rate = config_.loss_rate;
+  link_ = std::make_unique<sim::Link>(loop_, lc);
+  stack::connect_hosts(*client_host_, *server_host_, *link_);
+}
+
+void RpcFabric::establish_keys() {
+  if (!is_encrypted(config_.kind)) return;
+  // One real TLS 1.3 handshake provides the session keys; connections in
+  // the fabric reuse them (the handshake is off the measured path — the
+  // paper's benches also run over established sessions, §4.2).
+  auto ca = tls::CertificateAuthority::create("dc-root", rng_);
+  const auto server_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  tls::CertChain chain;
+  chain.certs.push_back(ca.issue(
+      "server", crypto::encode_point(server_key.public_key), 0, 1u << 30));
+
+  tls::ClientConfig cc;
+  cc.server_name = "server";
+  cc.trusted_ca = ca.public_key();
+  cc.now = 100;
+  tls::ServerConfig sc;
+  sc.chain = chain;
+  sc.sig_key = server_key;
+  sc.trusted_ca = ca.public_key();
+  sc.now = 100;
+
+  tls::ClientHandshake client_hs(cc, rng_);
+  tls::ServerHandshake server_hs(sc, rng_);
+  auto f1 = client_hs.start();
+  assert(f1.ok());
+  auto sf = server_hs.on_client_flight(f1.value());
+  assert(sf.ok());
+  auto f2 = client_hs.on_server_flight(sf.value());
+  assert(f2.ok());
+  const Status done = server_hs.on_client_finished(f2.value());
+  assert(done.ok());
+  (void)done;
+
+  suite_ = client_hs.secrets().suite;
+  client_tx_keys_ = client_hs.secrets().client_keys;
+  server_tx_keys_ = client_hs.secrets().server_keys;
+}
+
+void RpcFabric::setup_transports() {
+  // Without TSO the NIC takes only MTU-sized segments (§7 Segmentation).
+  const std::size_t max_tso =
+      config_.tso_enabled ? std::size_t{65536} : config_.mtu_payload;
+  switch (config_.kind) {
+    case TransportKind::tcp: {
+      transport::TcpConfig tc;
+      tc.max_tso_bytes = max_tso;
+      tcp_client_ = std::make_unique<transport::TcpEndpoint>(*client_host_,
+                                                             kClientPort, tc);
+      tcp_server_ = std::make_unique<transport::TcpEndpoint>(*server_host_,
+                                                             kServerPort, tc);
+      tcp_server_->set_on_data([this](std::uint64_t conn, Bytes data) {
+        on_server_stream_data(conn, std::move(data));
+      });
+      break;
+    }
+    case TransportKind::ktls_sw:
+    case TransportKind::ktls_hw:
+    case TransportKind::tcpls: {
+      baselines::KtlsConfig kc;
+      kc.hw_offload = config_.kind == TransportKind::ktls_hw;
+      kc.tcp.max_tso_bytes = max_tso;
+      if (!config_.tso_enabled) {
+        kc.max_record_payload =
+            config_.mtu_payload - tls::record_overhead(suite_);
+      }
+      if (config_.kind == TransportKind::tcpls) {
+        kc.extra_record_cost = nsec(900);
+      }
+      ktls_client_ =
+          std::make_unique<baselines::KtlsEndpoint>(*client_host_, kClientPort, kc);
+      baselines::KtlsConfig server_kc = kc;
+      server_kc.hw_offload = false;  // rx side is software anyway
+      ktls_server_ = std::make_unique<baselines::KtlsEndpoint>(
+          *server_host_, kServerPort, server_kc);
+      ktls_server_->set_on_accept([this](std::uint64_t conn) {
+        const Status st = ktls_server_->register_session(
+            conn, suite_, server_tx_keys_, client_tx_keys_);
+        assert(st.ok());
+        (void)st;
+      });
+      ktls_server_->set_on_data([this](std::uint64_t conn, Bytes data) {
+        on_server_stream_data(conn, std::move(data));
+      });
+      break;
+    }
+    case TransportKind::homa: {
+      transport::HomaConfig hc;
+      hc.max_tso_bytes = max_tso;
+      homa_client_ = std::make_unique<transport::HomaEndpoint>(
+          *client_host_, kClientPort, hc);
+      homa_server_ = std::make_unique<transport::HomaEndpoint>(
+          *server_host_, kServerPort, hc);
+      homa_server_->set_on_message(
+          [this](transport::HomaEndpoint::MessageMeta meta, Bytes data) {
+            on_server_message(meta.peer, meta.peer.port, std::move(data));
+          });
+      break;
+    }
+    case TransportKind::smt_sw:
+    case TransportKind::smt_hw: {
+      proto::SmtConfig pc;
+      pc.hw_offload = config_.kind == TransportKind::smt_hw;
+      pc.homa.max_tso_bytes = max_tso;
+      if (!config_.tso_enabled) {
+        // Records must fit a single MTU packet without TSO (§7): the
+        // receiver reassembles on TLS record headers.
+        pc.max_record_payload =
+            config_.mtu_payload - proto::record_block_overhead();
+      }
+      smt_client_ =
+          std::make_unique<proto::SmtEndpoint>(*client_host_, kClientPort, pc);
+      smt_server_ =
+          std::make_unique<proto::SmtEndpoint>(*server_host_, kServerPort, pc);
+      Status st = smt_client_->register_session(
+          transport::PeerAddr{2, kServerPort}, suite_, client_tx_keys_,
+          server_tx_keys_);
+      assert(st.ok());
+      st = smt_server_->register_session(transport::PeerAddr{1, kClientPort},
+                                         suite_, server_tx_keys_,
+                                         client_tx_keys_);
+      assert(st.ok());
+      (void)st;
+      smt_server_->set_on_message(
+          [this](proto::SmtEndpoint::MessageMeta meta, Bytes data) {
+            on_server_message(meta.peer, meta.peer.port, std::move(data));
+          });
+      break;
+    }
+  }
+
+  // Client-side response delivery.
+  if (config_.kind == TransportKind::tcp) {
+    tcp_client_->set_on_data([this](std::uint64_t conn, Bytes data) {
+      const auto it = stream_channels_.find(conn);
+      if (it != stream_channels_.end()) it->second->on_stream_data(std::move(data));
+    });
+  } else if (config_.kind == TransportKind::ktls_sw ||
+             config_.kind == TransportKind::ktls_hw ||
+             config_.kind == TransportKind::tcpls) {
+    ktls_client_->set_on_data([this](std::uint64_t conn, Bytes data) {
+      const auto it = stream_channels_.find(conn);
+      if (it != stream_channels_.end()) it->second->on_stream_data(std::move(data));
+    });
+  } else if (config_.kind == TransportKind::homa) {
+    homa_client_->set_on_message(
+        [this](transport::HomaEndpoint::MessageMeta, Bytes data) {
+          if (data.size() < 8) return;
+          const std::uint64_t corr = load_u64be(data.data());
+          const auto it = channels_.find(corr >> 32);
+          if (it != channels_.end()) it->second->on_response(std::move(data));
+        });
+  } else if (config_.kind == TransportKind::smt_sw ||
+             config_.kind == TransportKind::smt_hw) {
+    smt_client_->set_on_message(
+        [this](proto::SmtEndpoint::MessageMeta, Bytes data) {
+          if (data.size() < 8) return;
+          const std::uint64_t corr = load_u64be(data.data());
+          const auto it = channels_.find(corr >> 32);
+          if (it != channels_.end()) it->second->on_response(std::move(data));
+        });
+  }
+}
+
+stack::CpuCore& RpcFabric::server_core_for(std::size_t hint) {
+  if (config_.single_threaded_server) return server_host_->app_core(0);
+  return server_host_->app_core(hint % server_host_->app_core_count());
+}
+
+void RpcFabric::server_handle_message(ByteView message,
+                                      std::function<void(Bytes)> reply,
+                                      std::size_t core_hint) {
+  if (message.size() < kRpcHeader) return;
+  const std::uint64_t corr = load_u64be(message.data());
+  const std::uint32_t resp_len = load_u32be(message.data() + 8);
+  const ByteView payload = message.subspan(kRpcHeader);
+
+  // Completes the RPC once the handler produced a result: charges wakeup +
+  // dispatch + handler CPU on a server app thread, then sends the reply
+  // from that context.
+  auto complete = [this, corr, resp_len, core_hint,
+                   reply = std::move(reply)](RpcReply result) mutable {
+    Bytes response;
+    response.reserve(8 + std::max<std::size_t>(result.payload.size(), resp_len));
+    append_u64be(response, corr);
+    if (result.payload.empty()) {
+      response.resize(8 + resp_len, 0x5a);  // echo server: synthesise bytes
+    } else {
+      append(response, result.payload);
+    }
+    stack::CpuCore& core = server_core_for(core_hint);
+    const auto& costs = server_host_->costs();
+    // Stream transports: the application reassembles messages from the
+    // bytestream itself (§5.3 — Redis keeps partial-read state for TCP
+    // clients but not for Homa/SMT ones).
+    const SimDuration framing =
+        is_message_based(config_.kind) ? 0 : costs.stream_app_framing;
+    core.run(costs.wakeup + costs.epoll_dispatch + framing + result.cpu_cost,
+             [reply = std::move(reply),
+              response = std::move(response)]() mutable {
+               reply(std::move(response));
+             });
+  };
+
+  if (async_handler_) {
+    async_handler_(payload, std::move(complete));
+  } else {
+    complete(handler_(payload));
+  }
+}
+
+void RpcFabric::on_server_stream_data(std::uint64_t conn, Bytes data) {
+  auto [it, created] = server_streams_.try_emplace(conn);
+  if (created) it->second.app_core = next_server_core_++;
+  StreamConnState& state = it->second;
+  append(state.rx_buffer, data);
+
+  while (auto message = extract_frame(state.rx_buffer)) {
+    const std::size_t core_hint = state.app_core;
+    server_handle_message(
+        *message,
+        [this, conn, core_hint](Bytes response) {
+          stack::CpuCore& core = server_core_for(core_hint);
+          const Bytes framed = frame_message(response);
+          if (config_.kind == TransportKind::tcp) {
+            tcp_server_->send(conn, framed, &core);
+          } else {
+            const Status st = ktls_server_->send(conn, framed, &core);
+            assert(st.ok());
+            (void)st;
+          }
+        },
+        core_hint);
+  }
+}
+
+void RpcFabric::on_server_message(transport::PeerAddr peer,
+                                  std::uint64_t /*client_port*/,
+                                  Bytes message) {
+  server_handle_message(
+      message,
+      [this, peer](Bytes response) {
+        const std::size_t hint =
+            config_.single_threaded_server
+                ? 0
+                : (next_server_core_ % server_host_->app_core_count());
+        stack::CpuCore& core = server_core_for(hint);
+        if (config_.kind == TransportKind::homa) {
+          const auto st = homa_server_->send_message(peer, std::move(response),
+                                                     &core);
+          assert(st.ok());
+          (void)st;
+        } else {
+          const auto st = smt_server_->send_message(peer, std::move(response),
+                                                    &core);
+          assert(st.ok());
+          (void)st;
+        }
+      },
+      next_server_core_++);
+}
+
+std::unique_ptr<RpcChannel> RpcFabric::make_channel(
+    std::size_t app_core_index) {
+  const std::uint64_t id = next_channel_id_++;
+  auto channel = std::unique_ptr<RpcChannel>(
+      new RpcChannel(*this, id, app_core_index % config_.client_app_cores));
+  channels_[id] = channel.get();
+  return channel;
+}
+
+RpcChannel::RpcChannel(RpcFabric& fabric, std::uint64_t channel_id,
+                       std::size_t app_core_index)
+    : fabric_(fabric), channel_id_(channel_id), app_core_(app_core_index) {
+  switch (fabric_.config_.kind) {
+    case TransportKind::tcp: {
+      stream_conn_ = fabric_.tcp_client_->connect(2, kServerPort);
+      fabric_.stream_channels_[stream_conn_] = this;
+      break;
+    }
+    case TransportKind::ktls_sw:
+    case TransportKind::ktls_hw:
+    case TransportKind::tcpls: {
+      stream_conn_ = fabric_.ktls_client_->connect(2, kServerPort);
+      fabric_.stream_channels_[stream_conn_] = this;
+      const Status st = fabric_.ktls_client_->register_session(
+          stream_conn_, fabric_.suite_, fabric_.client_tx_keys_,
+          fabric_.server_tx_keys_);
+      assert(st.ok());
+      (void)st;
+      break;
+    }
+    default:
+      message_port_ = kClientPort;
+      break;
+  }
+}
+
+RpcChannel::~RpcChannel() {
+  fabric_.channels_.erase(channel_id_);
+  if (stream_conn_ != 0) fabric_.stream_channels_.erase(stream_conn_);
+}
+
+void RpcChannel::call(Bytes request, std::uint32_t resp_len,
+                      DoneCallback done) {
+  const std::uint64_t corr = (channel_id_ << 32) | (next_call_++ & 0xffffffff);
+  Bytes message;
+  message.reserve(kRpcHeader + request.size());
+  append_u64be(message, corr);
+  append_u32be(message, resp_len);
+  append(message, request);
+
+  pending_[corr] = Pending{fabric_.loop_.now(), std::move(done)};
+
+  stack::CpuCore& core = fabric_.client_host_->app_core(app_core_);
+  switch (fabric_.config_.kind) {
+    case TransportKind::tcp:
+      fabric_.tcp_client_->send(stream_conn_, frame_message(message), &core);
+      break;
+    case TransportKind::ktls_sw:
+    case TransportKind::ktls_hw:
+    case TransportKind::tcpls: {
+      const Status st =
+          fabric_.ktls_client_->send(stream_conn_, frame_message(message), &core);
+      assert(st.ok());
+      (void)st;
+      break;
+    }
+    case TransportKind::homa: {
+      const auto st = fabric_.homa_client_->send_message(
+          transport::PeerAddr{2, kServerPort}, std::move(message), &core);
+      assert(st.ok());
+      (void)st;
+      break;
+    }
+    case TransportKind::smt_sw:
+    case TransportKind::smt_hw: {
+      const auto st = fabric_.smt_client_->send_message(
+          transport::PeerAddr{2, kServerPort}, std::move(message), &core);
+      assert(st.ok());
+      (void)st;
+      break;
+    }
+  }
+}
+
+void RpcChannel::on_stream_data(Bytes data) {
+  append(rx_buffer_, data);
+  while (auto message = extract_frame(rx_buffer_)) {
+    on_response(std::move(*message));
+  }
+}
+
+void RpcChannel::on_response(Bytes message) {
+  if (message.size() < 8) return;
+  const std::uint64_t corr = load_u64be(message.data());
+  const auto it = pending_.find(corr);
+  if (it == pending_.end()) return;
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+
+  // Application wakeup on the client thread completes the RPC.
+  stack::CpuCore& core = fabric_.client_host_->app_core(app_core_);
+  const SimTime issued = pending.issued_at;
+  Bytes payload(message.begin() + 8, message.end());
+  core.run(fabric_.client_host_->costs().wakeup,
+           [this, issued, done = std::move(pending.done),
+            payload = std::move(payload)]() mutable {
+             done(fabric_.loop_.now() - issued, std::move(payload));
+           });
+}
+
+}  // namespace smt::apps

@@ -1,0 +1,200 @@
+// Unified RPC fabric over every transport the paper compares (§5):
+//
+//   TCP | kTLS-sw | kTLS-hw | Homa | SMT-sw | SMT-hw | TCPLS-like
+//
+// One abstraction backs all benches and example applications:
+//   * RpcFabric — two hosts back-to-back, a transport pair, sessions keyed
+//     by a real TLS 1.3 handshake, and a server-side request handler;
+//   * RpcChannel — a client-side slot issuing request/response calls and
+//     reporting virtual-time RTTs.
+//
+// Wire protocol (identical across transports):
+//   request  := corr_id(8) | resp_len(4) | payload
+//   response := corr_id(8) | payload(resp_len)
+// Stream transports add a 4-byte length prefix per message (the framing
+// RPC-over-TCP protocols need, §2); message transports map one message to
+// one RPC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "baselines/ktls.hpp"
+#include "crypto/drbg.hpp"
+#include "netsim/link.hpp"
+#include "smt/endpoint.hpp"
+#include "tls/engine.hpp"
+#include "transport/homa/homa.hpp"
+#include "transport/tcp/tcp.hpp"
+
+namespace smt::apps {
+
+enum class TransportKind {
+  tcp,       // plaintext TCP (baseline)
+  ktls_sw,   // TLS over TCP, software crypto
+  ktls_hw,   // TLS over TCP, NIC TX offload
+  homa,      // plaintext Homa (baseline)
+  smt_sw,    // SMT, software crypto
+  smt_hw,    // SMT, NIC TX offload
+  tcpls,     // TCPLS-like (software-only, extra per-record cost)
+};
+
+const char* transport_name(TransportKind kind) noexcept;
+bool is_message_based(TransportKind kind) noexcept;
+bool is_encrypted(TransportKind kind) noexcept;
+
+/// Server request handler: returns the response payload plus the
+/// application-level CPU cost to charge (parsing, db lookup, ...).
+struct RpcReply {
+  Bytes payload;
+  SimDuration cpu_cost = 0;
+};
+using RpcHandler = std::function<RpcReply(ByteView request)>;
+
+/// Asynchronous variant for servers whose completion is event-driven
+/// (e.g. the NVMe-oF target waiting on device reads).
+using AsyncRpcHandler =
+    std::function<void(ByteView request, std::function<void(RpcReply)>)>;
+
+struct RpcFabricConfig {
+  TransportKind kind = TransportKind::smt_sw;
+  std::size_t client_app_cores = 12;  // paper §5.2
+  std::size_t server_app_cores = 12;
+  std::size_t softirq_cores = 4;
+  std::size_t mtu_payload = 1500;
+  bool tso_enabled = true;
+  double bandwidth_gbps = 100.0;
+  SimDuration propagation = usec(1);
+  double loss_rate = 0.0;
+  /// Serialise all server work onto app core 0 (mini-Redis's
+  /// single-threaded model, §5.3).
+  bool single_threaded_server = false;
+};
+
+class RpcChannel;
+
+class RpcFabric {
+ public:
+  explicit RpcFabric(RpcFabricConfig config);
+  ~RpcFabric();
+
+  RpcFabric(const RpcFabric&) = delete;
+  RpcFabric& operator=(const RpcFabric&) = delete;
+
+  /// Installs the server-side request handler (echo by default).
+  void set_handler(RpcHandler handler) { handler_ = std::move(handler); }
+
+  /// Installs an asynchronous handler (takes precedence when set).
+  void set_async_handler(AsyncRpcHandler handler) {
+    async_handler_ = std::move(handler);
+  }
+
+  /// Creates a client slot pinned to a client app core.
+  std::unique_ptr<RpcChannel> make_channel(std::size_t app_core_index);
+
+  sim::EventLoop& loop() noexcept { return loop_; }
+  stack::Host& client_host() noexcept { return *client_host_; }
+  stack::Host& server_host() noexcept { return *server_host_; }
+  const RpcFabricConfig& config() const noexcept { return config_; }
+
+  /// Total wall-clock the server spent on app cores + softirq (for §5.2
+  /// CPU-usage accounting).
+  std::uint64_t server_busy_ns() const {
+    return server_host_->total_app_busy_ns() +
+           server_host_->total_softirq_busy_ns();
+  }
+  std::uint64_t client_busy_ns() const {
+    return client_host_->total_app_busy_ns() +
+           client_host_->total_softirq_busy_ns();
+  }
+
+ private:
+  friend class RpcChannel;
+
+  struct StreamConnState {
+    Bytes rx_buffer;
+    std::size_t app_core = 0;
+  };
+
+  void setup_hosts();
+  void setup_transports();
+  void establish_keys();
+  stack::CpuCore& server_core_for(std::size_t hint);
+  void server_handle_message(ByteView message,
+                             std::function<void(Bytes)> reply,
+                             std::size_t core_hint);
+  void on_server_stream_data(std::uint64_t conn, Bytes data);
+  void on_server_message(transport::PeerAddr peer, std::uint64_t client_port,
+                         Bytes message);
+
+  RpcFabricConfig config_;
+  sim::EventLoop loop_;
+  crypto::HmacDrbg rng_;
+  std::unique_ptr<stack::Host> client_host_;
+  std::unique_ptr<stack::Host> server_host_;
+  std::unique_ptr<sim::Link> link_;
+
+  // Exactly one transport pair is instantiated, per config_.kind.
+  std::unique_ptr<transport::TcpEndpoint> tcp_client_, tcp_server_;
+  std::unique_ptr<baselines::KtlsEndpoint> ktls_client_, ktls_server_;
+  std::unique_ptr<transport::HomaEndpoint> homa_client_, homa_server_;
+  std::unique_ptr<proto::SmtEndpoint> smt_client_, smt_server_;
+
+  tls::TrafficKeys client_tx_keys_;  // from a real handshake
+  tls::TrafficKeys server_tx_keys_;
+  tls::CipherSuite suite_ = tls::CipherSuite::aes_128_gcm_sha256;
+
+  RpcHandler handler_;
+  AsyncRpcHandler async_handler_;
+  std::map<std::uint64_t, StreamConnState> server_streams_;
+  std::map<std::uint64_t, RpcChannel*> channels_;  // by correlation prefix
+  std::map<std::uint64_t, RpcChannel*> stream_channels_;  // by connection
+  std::uint64_t next_channel_id_ = 1;
+  std::size_t next_server_core_ = 0;
+
+};
+
+/// One client slot: issues calls and delivers RTT-stamped completions.
+class RpcChannel {
+ public:
+  using DoneCallback = std::function<void(SimDuration rtt, Bytes response)>;
+
+  ~RpcChannel();
+
+  RpcChannel(const RpcChannel&) = delete;
+  RpcChannel& operator=(const RpcChannel&) = delete;
+
+  /// Issues one RPC: `request` payload, asking for `resp_len` bytes back.
+  void call(Bytes request, std::uint32_t resp_len, DoneCallback done);
+
+  std::size_t inflight() const noexcept { return pending_.size(); }
+
+ private:
+  friend class RpcFabric;
+  RpcChannel(RpcFabric& fabric, std::uint64_t channel_id,
+             std::size_t app_core_index);
+
+  void on_response(Bytes message);
+  void on_stream_data(Bytes data);
+
+  RpcFabric& fabric_;
+  std::uint64_t channel_id_;
+  std::size_t app_core_;
+  std::uint64_t next_call_ = 0;
+
+  // Stream transports: this channel's private connection + rx reassembly.
+  std::uint64_t stream_conn_ = 0;
+  Bytes rx_buffer_;
+  std::uint16_t message_port_ = 0;  // message transports: client port
+
+  struct Pending {
+    SimTime issued_at;
+    DoneCallback done;
+  };
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace smt::apps

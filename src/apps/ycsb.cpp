@@ -1,0 +1,63 @@
+#include "apps/ycsb.hpp"
+
+namespace smt::apps {
+
+YcsbGenerator::YcsbGenerator(YcsbConfig config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.record_count, config.zipf_theta, config.seed ^ 0x9e3779b9) {}
+
+std::string YcsbGenerator::key_for(std::uint64_t index) const {
+  return "user" + std::to_string(index);
+}
+
+std::uint64_t YcsbGenerator::pick_key_index() {
+  if (config_.workload == YcsbWorkload::d) {
+    // Read-latest: skew towards recently inserted records.
+    const std::uint64_t universe = config_.record_count + insert_count_;
+    const std::uint64_t offset = zipf_.next() % universe;
+    return universe - 1 - offset;
+  }
+  return zipf_.next();
+}
+
+RedisRequest YcsbGenerator::load_request(std::uint64_t index) const {
+  RedisRequest request;
+  request.op = RedisOp::set;
+  request.key = key_for(index);
+  request.value = Bytes(config_.value_size, std::uint8_t(index & 0xff));
+  return request;
+}
+
+RedisRequest YcsbGenerator::next() {
+  double read_fraction = 0.5;
+  bool insert_on_write = false;
+  switch (config_.workload) {
+    case YcsbWorkload::a: read_fraction = 0.50; break;
+    case YcsbWorkload::b: read_fraction = 0.95; break;
+    case YcsbWorkload::c: read_fraction = 1.00; break;
+    case YcsbWorkload::d:
+      read_fraction = 0.95;
+      insert_on_write = true;
+      break;
+  }
+
+  RedisRequest request;
+  if (rng_.next_double() < read_fraction) {
+    ++reads_;
+    request.op = RedisOp::get;
+    request.key = key_for(pick_key_index());
+  } else {
+    ++writes_;
+    request.op = RedisOp::set;
+    if (insert_on_write) {
+      request.key = key_for(config_.record_count + insert_count_++);
+    } else {
+      request.key = key_for(pick_key_index());
+    }
+    request.value = Bytes(config_.value_size, 0xab);
+  }
+  return request;
+}
+
+}  // namespace smt::apps

@@ -1,0 +1,56 @@
+// YCSB workload generator (Cooper et al.) for the Figure 8 experiment.
+//
+// Workload mixes per the YCSB core package:
+//   A — update heavy (50 % read / 50 % update), zipfian
+//   B — read mostly  (95 % read /  5 % update), zipfian
+//   C — read only    (100 % read),              zipfian
+//   D — read latest  (95 % read /  5 % insert), latest distribution
+#pragma once
+
+#include <cstdint>
+
+#include "apps/miniredis.hpp"
+#include "common/rng.hpp"
+
+namespace smt::apps {
+
+enum class YcsbWorkload : char { a = 'A', b = 'B', c = 'C', d = 'D' };
+
+struct YcsbConfig {
+  YcsbWorkload workload = YcsbWorkload::a;
+  std::uint64_t record_count = 10000;
+  std::size_t value_size = 1024;  // paper: 64 B / 1 KB / 4 KB
+  double zipf_theta = 0.99;
+  std::uint64_t seed = 42;
+};
+
+class YcsbGenerator {
+ public:
+  explicit YcsbGenerator(YcsbConfig config);
+
+  /// The next operation to issue.
+  RedisRequest next();
+
+  /// Preload requests for the initial table population.
+  RedisRequest load_request(std::uint64_t index) const;
+  std::uint64_t record_count() const noexcept { return config_.record_count; }
+
+  /// Fraction of reads issued so far (sanity checks in tests).
+  double observed_read_fraction() const noexcept {
+    const std::uint64_t total = reads_ + writes_;
+    return total == 0 ? 0.0 : double(reads_) / double(total);
+  }
+
+ private:
+  std::string key_for(std::uint64_t index) const;
+  std::uint64_t pick_key_index();
+
+  YcsbConfig config_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  std::uint64_t insert_count_ = 0;  // for workload D's growing keyspace
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace smt::apps

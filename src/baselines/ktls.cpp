@@ -1,0 +1,142 @@
+#include "baselines/ktls.hpp"
+
+#include <cassert>
+
+namespace smt::baselines {
+
+KtlsEndpoint::KtlsEndpoint(stack::Host& host, std::uint16_t port,
+                           KtlsConfig config)
+    : host_(host), config_(std::move(config)), tcp_(host, port, config_.tcp) {
+  tcp_.set_on_data([this](ConnId conn, Bytes data) {
+    on_stream_data(conn, std::move(data));
+  });
+  tcp_.set_on_accept([this](ConnId conn) {
+    if (on_accept_) on_accept_(conn);
+  });
+}
+
+Status KtlsEndpoint::register_session(ConnId conn, tls::CipherSuite suite,
+                                      const tls::TrafficKeys& tx_keys,
+                                      const tls::TrafficKeys& rx_keys) {
+  SessionState state;
+  state.suite = suite;
+  state.tx.emplace(suite, tx_keys);
+  state.rx.emplace(suite, rx_keys);
+  if (config_.hw_offload) {
+    const Status enabled = tcp_.enable_tls_offload(conn, suite, tx_keys, 0);
+    if (!enabled.ok()) return enabled;
+  }
+  sessions_[conn] = std::move(state);
+  return Status::success();
+}
+
+Status KtlsEndpoint::send(ConnId conn, Bytes plaintext,
+                          stack::CpuCore* app_core) {
+  auto it = sessions_.find(conn);
+  if (it == sessions_.end()) {
+    return make_error(Errc::not_connected, "no kTLS session on connection");
+  }
+  SessionState& state = it->second;
+  const auto& costs = host_.costs();
+
+  Bytes stream;
+  std::vector<transport::TcpEndpoint::RecordMark> marks;
+  std::size_t offset = 0;
+  std::size_t n_records = 0;
+  do {
+    const std::size_t take =
+        std::min(config_.max_record_payload, plaintext.size() - offset);
+    const ByteView chunk(plaintext.data() + offset, take);
+    const std::uint64_t seq = state.tx_seq++;
+    ++n_records;
+    if (config_.hw_offload) {
+      // Plaintext record shell; the NIC encrypts in line.
+      marks.push_back({stream.size(), take + 1, seq});
+      append_u8(stream, 23);
+      append_u16be(stream, 0x0303);
+      append_u16be(stream, std::uint16_t(take + 1 + 16));
+      append(stream, chunk);
+      append_u8(stream, 23);
+      stream.resize(stream.size() + 16, 0);
+    } else {
+      append(stream,
+             state.tx->seal(seq, tls::ContentType::application_data, chunk));
+    }
+    offset += take;
+  } while (offset < plaintext.size());
+  stats_.records_sent += n_records;
+
+  if (app_core != nullptr) {
+    if (config_.hw_offload) {
+      app_core->charge(costs.offload_metadata * SimDuration(n_records));
+    } else {
+      app_core->charge(costs.aead_sw_cost(stream.size()) -
+                       costs.aead_sw_per_record +
+                       costs.aead_sw_per_record * SimDuration(n_records));
+    }
+    if (config_.extra_record_cost > 0) {
+      app_core->charge(config_.extra_record_cost * SimDuration(n_records));
+    }
+  }
+
+  tcp_.send(conn, std::move(stream), app_core, std::move(marks));
+  return Status::success();
+}
+
+void KtlsEndpoint::on_stream_data(ConnId conn, Bytes data) {
+  auto it = sessions_.find(conn);
+  if (it == sessions_.end()) return;  // keys not registered yet
+  SessionState& state = it->second;
+  append(state.rx_stream, data);
+
+  // Locate and decrypt complete records. Receive-side crypto is software
+  // for both kTLS and SMT (§5, §7), charged to the flow's softirq core.
+  Bytes delivered;
+  std::size_t records = 0;
+  std::size_t consumed_bytes = 0;
+  while (state.rx_stream.size() >= tls::kRecordHeaderSize) {
+    const auto body_len = tls::parse_record_length(
+        ByteView(state.rx_stream.data(), tls::kRecordHeaderSize));
+    if (!body_len.ok()) {
+      ++stats_.decrypt_failures;  // stream desync; drop connection state
+      sessions_.erase(it);
+      return;
+    }
+    const std::size_t record_len = tls::kRecordHeaderSize + body_len.value();
+    if (state.rx_stream.size() < record_len) break;
+
+    auto opened = state.rx->open(
+        state.rx_seq, ByteView(state.rx_stream.data(), record_len));
+    if (!opened.ok()) {
+      ++stats_.decrypt_failures;
+      sessions_.erase(it);
+      return;
+    }
+    ++state.rx_seq;
+    ++records;
+    ++stats_.records_received;
+    consumed_bytes += record_len;
+    append(delivered, opened.value().payload);
+    state.rx_stream.erase(state.rx_stream.begin(),
+                          state.rx_stream.begin() + std::ptrdiff_t(record_len));
+  }
+
+  if (records == 0) return;
+
+  const auto flow = tcp_.flow_of(conn);
+  const auto& costs = host_.costs();
+  SimDuration cost = costs.ktls_frame_locate * SimDuration(records) +
+                     costs.aead_sw_cost(consumed_bytes) -
+                     costs.aead_sw_per_record +
+                     costs.aead_sw_per_record * SimDuration(records);
+  if (config_.extra_record_cost > 0) {
+    cost += config_.extra_record_cost * SimDuration(records);
+  }
+  stack::CpuCore& core = flow ? host_.softirq_for_flow(*flow)
+                              : host_.softirq_core(0);
+  core.run(cost, [this, conn, delivered = std::move(delivered)]() mutable {
+    if (on_data_) on_data_(conn, std::move(delivered));
+  });
+}
+
+}  // namespace smt::baselines

@@ -1,0 +1,99 @@
+// Byte-buffer primitives shared by every module.
+//
+// The whole library moves raw octets around — crypto, TLS records, packets —
+// so we standardise on std::vector<uint8_t> for owned buffers and
+// std::span<const uint8_t> for borrowed views (CppCoreGuidelines I.13).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smt {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+using MutByteView = std::span<std::uint8_t>;
+
+/// Builds an owned buffer from a view.
+inline Bytes to_bytes(ByteView v) { return Bytes(v.begin(), v.end()); }
+
+/// Builds an owned buffer from ASCII text (no terminator).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline void append_u8(Bytes& dst, std::uint8_t v) { dst.push_back(v); }
+
+/// Big-endian stores (network byte order) used by TLS and packet headers.
+inline void append_u16be(Bytes& dst, std::uint16_t v) {
+  dst.push_back(static_cast<std::uint8_t>(v >> 8));
+  dst.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void append_u24be(Bytes& dst, std::uint32_t v) {
+  dst.push_back(static_cast<std::uint8_t>(v >> 16));
+  dst.push_back(static_cast<std::uint8_t>(v >> 8));
+  dst.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void append_u32be(Bytes& dst, std::uint32_t v) {
+  dst.push_back(static_cast<std::uint8_t>(v >> 24));
+  dst.push_back(static_cast<std::uint8_t>(v >> 16));
+  dst.push_back(static_cast<std::uint8_t>(v >> 8));
+  dst.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void append_u64be(Bytes& dst, std::uint64_t v) {
+  append_u32be(dst, static_cast<std::uint32_t>(v >> 32));
+  append_u32be(dst, static_cast<std::uint32_t>(v));
+}
+
+inline std::uint16_t load_u16be(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+
+inline std::uint32_t load_u24be(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 16) | (std::uint32_t{p[1]} << 8) | p[2];
+}
+
+inline std::uint32_t load_u32be(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | p[3];
+}
+
+inline std::uint64_t load_u64be(const std::uint8_t* p) {
+  return (std::uint64_t{load_u32be(p)} << 32) | load_u32be(p + 4);
+}
+
+inline void store_u32be(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_u64be(std::uint8_t* p, std::uint64_t v) {
+  store_u32be(p, static_cast<std::uint32_t>(v >> 32));
+  store_u32be(p + 4, static_cast<std::uint32_t>(v));
+}
+
+/// Hex encoding (lowercase), used by tests and debug logs.
+std::string to_hex(ByteView data);
+
+/// Hex decoding; accepts an even-length lowercase/uppercase hex string.
+/// Aborts on malformed input — it is only used for literals in tests.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality for secrets (tags, MACs, finished values).
+bool ct_equal(ByteView a, ByteView b);
+
+}  // namespace smt

@@ -1,0 +1,27 @@
+#include "common/logging.hpp"
+
+namespace smt {
+
+LogLevel& log_level() noexcept {
+  static LogLevel level = LogLevel::off;
+  return level;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::off: return "off";
+    case LogLevel::error: return "error";
+    case LogLevel::warn: return "warn";
+    case LogLevel::info: return "info";
+    case LogLevel::debug: return "debug";
+  }
+  return "?";
+}
+}  // namespace
+
+void log_line(LogLevel level, const char* tag, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag, msg.c_str());
+}
+
+}  // namespace smt

@@ -1,0 +1,26 @@
+// Tiny leveled logger. Off by default so benches stay quiet; tests can
+// raise the level to debug a failure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace smt {
+
+enum class LogLevel { off = 0, error, warn, info, debug };
+
+/// Process-wide log level. Not thread-safe by design: the simulator is
+/// single-threaded and benches set this once at startup.
+LogLevel& log_level() noexcept;
+
+void log_line(LogLevel level, const char* tag, const std::string& msg);
+
+}  // namespace smt
+
+#define SMT_LOG(level, tag, msg)                                   \
+  do {                                                             \
+    if (static_cast<int>(::smt::log_level()) >=                    \
+        static_cast<int>(::smt::LogLevel::level)) {                \
+      ::smt::log_line(::smt::LogLevel::level, (tag), (msg));       \
+    }                                                              \
+  } while (0)

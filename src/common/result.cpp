@@ -1,0 +1,25 @@
+#include "common/result.hpp"
+
+namespace smt {
+
+const char* errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::decrypt_failed: return "decrypt_failed";
+    case Errc::replay_detected: return "replay_detected";
+    case Errc::out_of_order: return "out_of_order";
+    case Errc::handshake_failed: return "handshake_failed";
+    case Errc::cert_invalid: return "cert_invalid";
+    case Errc::ticket_expired: return "ticket_expired";
+    case Errc::protocol_violation: return "protocol_violation";
+    case Errc::would_block: return "would_block";
+    case Errc::resource_exhausted: return "resource_exhausted";
+    case Errc::not_connected: return "not_connected";
+    case Errc::message_too_large: return "message_too_large";
+    case Errc::unsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+}  // namespace smt

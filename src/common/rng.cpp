@@ -1,0 +1,35 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace smt {
+
+namespace {
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfGenerator::next() noexcept {
+  // Gray et al.'s "Quickly generating billion-record synthetic databases"
+  // method, as used by YCSB.
+  const double u = rng_.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto idx = static_cast<std::uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return idx >= n_ ? n_ - 1 : idx;
+}
+
+}  // namespace smt

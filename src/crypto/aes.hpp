@@ -1,0 +1,34 @@
+// AES block cipher (FIPS 197), 128- and 256-bit keys.
+//
+// Table-based implementation: fast enough for a software datapath in the
+// simulator, validated against FIPS test vectors. Only encryption is
+// implemented — every mode used here (CTR inside GCM) needs just the
+// forward transform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace smt::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// key must be 16 or 32 bytes (AES-128 / AES-256).
+  explicit Aes(ByteView key);
+
+  void encrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const noexcept;
+
+  std::size_t key_bits() const noexcept { return key_bits_; }
+
+ private:
+  std::array<std::uint32_t, 60> round_keys_{};
+  int rounds_ = 0;
+  std::size_t key_bits_ = 0;
+};
+
+}  // namespace smt::crypto

@@ -1,0 +1,61 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+
+namespace smt::crypto {
+
+HmacDrbg::HmacDrbg(ByteView seed) {
+  std::memset(k_, 0x00, sizeof(k_));
+  std::memset(v_, 0x01, sizeof(v_));
+  update(seed);
+}
+
+void HmacDrbg::update(ByteView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  {
+    HmacSha256 mac(ByteView(k_, 32));
+    mac.update(ByteView(v_, 32));
+    const std::uint8_t sep = 0x00;
+    mac.update(ByteView(&sep, 1));
+    mac.update(provided);
+    const auto out = mac.finish();
+    std::memcpy(k_, out.data(), 32);
+  }
+  {
+    const auto out = HmacSha256::mac(ByteView(k_, 32), ByteView(v_, 32));
+    std::memcpy(v_, out.data(), 32);
+  }
+  if (provided.empty()) return;
+  // Second round when provided data is present.
+  {
+    HmacSha256 mac(ByteView(k_, 32));
+    mac.update(ByteView(v_, 32));
+    const std::uint8_t sep = 0x01;
+    mac.update(ByteView(&sep, 1));
+    mac.update(provided);
+    const auto out = mac.finish();
+    std::memcpy(k_, out.data(), 32);
+  }
+  {
+    const auto out = HmacSha256::mac(ByteView(k_, 32), ByteView(v_, 32));
+    std::memcpy(v_, out.data(), 32);
+  }
+}
+
+void HmacDrbg::generate(MutByteView out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const auto block = HmacSha256::mac(ByteView(k_, 32), ByteView(v_, 32));
+    std::memcpy(v_, block.data(), 32);
+    const std::size_t take = std::min<std::size_t>(32, out.size() - off);
+    std::memcpy(out.data() + off, v_, take);
+    off += take;
+  }
+  update({});
+}
+
+void HmacDrbg::reseed(ByteView material) { update(material); }
+
+}  // namespace smt::crypto

@@ -1,0 +1,37 @@
+// HMAC-DRBG (NIST SP 800-90A) over SHA-256.
+//
+// All key material in the library flows through this generator so that a
+// fixed seed reproduces every session key, ticket, and ephemeral share —
+// the property the deterministic simulator and the test suite rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace smt::crypto {
+
+class HmacDrbg {
+ public:
+  explicit HmacDrbg(ByteView seed);
+
+  /// Fills `out` with pseudorandom bytes.
+  void generate(MutByteView out);
+
+  Bytes generate(std::size_t n) {
+    Bytes out(n);
+    generate(MutByteView(out.data(), out.size()));
+    return out;
+  }
+
+  /// Mixes additional entropy/material into the state.
+  void reseed(ByteView material);
+
+ private:
+  void update(ByteView provided);
+
+  std::uint8_t k_[32];
+  std::uint8_t v_[32];
+};
+
+}  // namespace smt::crypto

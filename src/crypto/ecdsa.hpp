@@ -1,0 +1,47 @@
+// ECDSA over P-256 with SHA-256 (FIPS 186-4), using RFC 6979 deterministic
+// nonce generation so signatures are reproducible under a fixed key —
+// a property the deterministic simulator relies on.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/bignum.hpp"
+#include "crypto/p256.hpp"
+
+namespace smt::crypto {
+
+struct EcdsaSignature {
+  U256 r;
+  U256 s;
+
+  /// Fixed-width encoding: 32-byte R || 32-byte S.
+  Bytes encode() const;
+  static std::optional<EcdsaSignature> decode(ByteView data);
+};
+
+struct EcdsaKeyPair {
+  U256 private_key;
+  AffinePoint public_key;
+};
+
+/// Derives a signing key pair from seed material (reduced mod n).
+EcdsaKeyPair ecdsa_keypair_from_seed(ByteView seed32);
+
+/// Signs SHA-256(message). Deterministic per RFC 6979.
+EcdsaSignature ecdsa_sign(const U256& private_key, ByteView message);
+
+/// Signs a precomputed 32-byte digest.
+EcdsaSignature ecdsa_sign_digest(const U256& private_key, ByteView digest32);
+
+/// Verifies a signature over SHA-256(message).
+bool ecdsa_verify(const AffinePoint& public_key, ByteView message,
+                  const EcdsaSignature& sig);
+
+bool ecdsa_verify_digest(const AffinePoint& public_key, ByteView digest32,
+                         const EcdsaSignature& sig);
+
+/// RFC 6979 nonce derivation, exposed for vector tests.
+U256 rfc6979_nonce(const U256& private_key, ByteView digest32);
+
+}  // namespace smt::crypto

@@ -1,0 +1,175 @@
+#include "crypto/gcm.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace smt::crypto {
+
+namespace {
+
+struct U128 {
+  std::uint64_t hi = 0, lo = 0;
+};
+
+// Multiply X by H in GF(2^128) with the GCM reduction polynomial,
+// bit-by-bit (used only to build the 4-bit table at key setup).
+U128 gf_mul_slow(U128 x, U128 h) noexcept {
+  U128 z{};
+  for (int i = 0; i < 128; ++i) {
+    const std::uint64_t bit =
+        (i < 64) ? (x.hi >> (63 - i)) & 1 : (x.lo >> (127 - i)) & 1;
+    if (bit) {
+      z.hi ^= h.hi;
+      z.lo ^= h.lo;
+    }
+    // h >>= 1 with conditional reduction by R = 0xe1 << 120.
+    const std::uint64_t carry = h.lo & 1;
+    h.lo = (h.lo >> 1) | (h.hi << 63);
+    h.hi >>= 1;
+    if (carry) h.hi ^= 0xe100000000000000ULL;
+  }
+  return z;
+}
+
+// Reduction constants for the 4-bit table method: R(x) multiples for the
+// 4 bits shifted out of the low end.
+constexpr std::uint64_t kReduce4[16] = {
+    0x0000000000000000ULL, 0x1c20000000000000ULL, 0x3840000000000000ULL,
+    0x2460000000000000ULL, 0x7080000000000000ULL, 0x6ca0000000000000ULL,
+    0x48c0000000000000ULL, 0x54e0000000000000ULL, 0xe100000000000000ULL,
+    0xfd20000000000000ULL, 0xd940000000000000ULL, 0xc560000000000000ULL,
+    0x9180000000000000ULL, 0x8da0000000000000ULL, 0xa9c0000000000000ULL,
+    0xb5e0000000000000ULL};
+
+}  // namespace
+
+AesGcm::AesGcm(ByteView key) : aes_(key) {
+  std::uint8_t zero[16] = {};
+  std::uint8_t h_bytes[16];
+  aes_.encrypt_block(zero, h_bytes);
+  const U128 h{load_u64be(h_bytes), load_u64be(h_bytes + 8)};
+
+  // h_table_[i] = (i as 4-bit poly) * H. Built with the slow multiply.
+  for (int i = 0; i < 16; ++i) {
+    U128 x{};
+    // Place nibble i in the top 4 bits of the 128-bit value.
+    x.hi = std::uint64_t(i) << 60;
+    const U128 prod = gf_mul_slow(x, h);
+    h_table_[i][0] = prod.hi;
+    h_table_[i][1] = prod.lo;
+  }
+}
+
+AesGcm::Block AesGcm::ghash(ByteView aad, ByteView ciphertext) const noexcept {
+  U128 y{};
+
+  const auto mul_h = [this](U128 y_in) noexcept {
+    // Process 32 nibbles from least significant to most significant,
+    // Shoup's 4-bit table method.
+    U128 z{};
+    for (int i = 0; i < 32; ++i) {
+      const int nibble =
+          (i < 16) ? int((y_in.lo >> (4 * i)) & 0xf)
+                   : int((y_in.hi >> (4 * (i - 16))) & 0xf);
+      if (i != 0) {
+        // z >>= 4 with reduction.
+        const int rem = int(z.lo & 0xf);
+        z.lo = (z.lo >> 4) | (z.hi << 60);
+        z.hi = (z.hi >> 4) ^ kReduce4[rem];
+      }
+      z.hi ^= h_table_[nibble][0];
+      z.lo ^= h_table_[nibble][1];
+    }
+    return z;
+  };
+
+  const auto absorb = [&](ByteView data) noexcept {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      std::uint8_t block[16] = {};
+      const std::size_t take = std::min<std::size_t>(16, data.size() - off);
+      std::memcpy(block, data.data() + off, take);
+      y.hi ^= load_u64be(block);
+      y.lo ^= load_u64be(block + 8);
+      y = mul_h(y);
+      off += take;
+    }
+  };
+
+  absorb(aad);
+  absorb(ciphertext);
+
+  // Length block: 64-bit AAD bit length, then 64-bit ciphertext bit length.
+  y.hi ^= std::uint64_t(aad.size()) * 8;
+  y.lo ^= std::uint64_t(ciphertext.size()) * 8;
+  y = mul_h(y);
+
+  Block out;
+  store_u64be(out.data(), y.hi);
+  store_u64be(out.data() + 8, y.lo);
+  return out;
+}
+
+void AesGcm::ctr_xor(const Block& j0, ByteView in,
+                     std::uint8_t* out) const noexcept {
+  Block counter = j0;
+  std::uint32_t ctr = load_u32be(counter.data() + 12);
+  std::size_t off = 0;
+  while (off < in.size()) {
+    ++ctr;
+    store_u32be(counter.data() + 12, ctr);
+    std::uint8_t keystream[16];
+    aes_.encrypt_block(counter.data(), keystream);
+    const std::size_t take = std::min<std::size_t>(16, in.size() - off);
+    for (std::size_t i = 0; i < take; ++i)
+      out[off + i] = in[off + i] ^ keystream[i];
+    off += take;
+  }
+}
+
+AesGcm::Block AesGcm::compute_tag(const Block& j0, ByteView aad,
+                                  ByteView ciphertext) const noexcept {
+  const Block s = ghash(aad, ciphertext);
+  std::uint8_t ek_j0[16];
+  aes_.encrypt_block(j0.data(), ek_j0);
+  Block tag;
+  for (int i = 0; i < 16; ++i) tag[i] = s[i] ^ ek_j0[i];
+  return tag;
+}
+
+Bytes AesGcm::seal(ByteView nonce, ByteView aad, ByteView plaintext) const {
+  assert(nonce.size() == kNonceSize && "only 96-bit nonces are supported");
+  Block j0{};
+  std::memcpy(j0.data(), nonce.data(), kNonceSize);
+  j0[15] = 1;
+
+  Bytes out(plaintext.size() + kTagSize);
+  ctr_xor(j0, plaintext, out.data());
+  const Block tag =
+      compute_tag(j0, aad, ByteView(out.data(), plaintext.size()));
+  std::memcpy(out.data() + plaintext.size(), tag.data(), kTagSize);
+  return out;
+}
+
+std::optional<Bytes> AesGcm::open(ByteView nonce, ByteView aad,
+                                  ByteView ciphertext_and_tag) const {
+  assert(nonce.size() == kNonceSize && "only 96-bit nonces are supported");
+  if (ciphertext_and_tag.size() < kTagSize) return std::nullopt;
+  const std::size_t ct_len = ciphertext_and_tag.size() - kTagSize;
+  const ByteView ciphertext(ciphertext_and_tag.data(), ct_len);
+  const ByteView tag(ciphertext_and_tag.data() + ct_len, kTagSize);
+
+  Block j0{};
+  std::memcpy(j0.data(), nonce.data(), kNonceSize);
+  j0[15] = 1;
+
+  const Block expected = compute_tag(j0, aad, ciphertext);
+  if (!ct_equal(ByteView(expected.data(), expected.size()), tag))
+    return std::nullopt;
+
+  Bytes plaintext(ct_len);
+  ctr_xor(j0, ciphertext, plaintext.data());
+  return plaintext;
+}
+
+}  // namespace smt::crypto

@@ -1,0 +1,44 @@
+// AES-GCM AEAD (NIST SP 800-38D) with 96-bit nonces, as used by
+// TLS_AES_128_GCM_SHA256 / TLS_AES_256_GCM_SHA384 record protection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/aes.hpp"
+
+namespace smt::crypto {
+
+class AesGcm {
+ public:
+  static constexpr std::size_t kTagSize = 16;
+  static constexpr std::size_t kNonceSize = 12;
+
+  /// key: 16 or 32 bytes.
+  explicit AesGcm(ByteView key);
+
+  /// Encrypts `plaintext`; returns ciphertext || 16-byte tag.
+  Bytes seal(ByteView nonce, ByteView aad, ByteView plaintext) const;
+
+  /// Verifies and decrypts `ciphertext_and_tag` (ciphertext || tag).
+  /// Returns nullopt on authentication failure.
+  std::optional<Bytes> open(ByteView nonce, ByteView aad,
+                            ByteView ciphertext_and_tag) const;
+
+ private:
+  using Block = std::array<std::uint8_t, 16>;
+
+  Block ghash(ByteView aad, ByteView ciphertext) const noexcept;
+  void ctr_xor(const Block& j0, ByteView in, std::uint8_t* out) const noexcept;
+  Block compute_tag(const Block& j0, ByteView aad,
+                    ByteView ciphertext) const noexcept;
+
+  Aes aes_;
+  // GHASH key H = E_K(0^128), pre-expanded into a 4-bit multiplication
+  // table (Shoup's method) for speed.
+  std::array<std::array<std::uint64_t, 2>, 16> h_table_{};
+};
+
+}  // namespace smt::crypto

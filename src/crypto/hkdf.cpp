@@ -1,0 +1,58 @@
+#include "crypto/hkdf.hpp"
+
+#include <cassert>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace smt::crypto {
+
+Bytes hkdf_extract(ByteView salt, ByteView ikm) {
+  // Per RFC 5869, an absent salt is a string of HashLen zeros.
+  if (salt.empty()) {
+    const std::uint8_t zeros[Sha256::kDigestSize] = {};
+    return hmac_sha256(ByteView(zeros, sizeof(zeros)), ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  assert(length <= 255 * Sha256::kDigestSize);
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    HmacSha256 h(prk);
+    h.update(t);
+    h.update(info);
+    h.update(ByteView(&counter, 1));
+    const auto block = h.finish();
+    t.assign(block.begin(), block.end());
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf_expand_label(ByteView secret, std::string_view label,
+                        ByteView context, std::size_t length) {
+  // struct HkdfLabel { uint16 length; opaque label<7..255>; opaque context<0..255>; }
+  Bytes info;
+  append_u16be(info, static_cast<std::uint16_t>(length));
+  const std::string full_label = "tls13 " + std::string(label);
+  append_u8(info, static_cast<std::uint8_t>(full_label.size()));
+  append(info, to_bytes(full_label));
+  append_u8(info, static_cast<std::uint8_t>(context.size()));
+  append(info, context);
+  return hkdf_expand(secret, info, length);
+}
+
+Bytes derive_secret(ByteView secret, std::string_view label,
+                    ByteView transcript_hash) {
+  return hkdf_expand_label(secret, label, transcript_hash,
+                           Sha256::kDigestSize);
+}
+
+}  // namespace smt::crypto

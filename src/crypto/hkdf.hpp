@@ -1,0 +1,24 @@
+// HKDF (RFC 5869) and the TLS 1.3 HKDF-Expand-Label / Derive-Secret
+// constructions (RFC 8446 §7.1), all over SHA-256.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace smt::crypto {
+
+/// HKDF-Extract(salt, ikm) -> 32-byte PRK.
+Bytes hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand(prk, info, length).
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// TLS 1.3 HKDF-Expand-Label(secret, label, context, length).
+/// `label` receives the "tls13 " prefix internally.
+Bytes hkdf_expand_label(ByteView secret, std::string_view label,
+                        ByteView context, std::size_t length);
+
+/// TLS 1.3 Derive-Secret(secret, label, transcript-hash).
+Bytes derive_secret(ByteView secret, std::string_view label,
+                    ByteView transcript_hash);
+
+}  // namespace smt::crypto

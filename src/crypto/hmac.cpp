@@ -1,0 +1,37 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace smt::crypto {
+
+HmacSha256::HmacSha256(ByteView key) noexcept {
+  std::uint8_t key_block[Sha256::kBlockSize] = {};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto digest = Sha256::digest(key);
+    std::memcpy(key_block, digest.data(), digest.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[Sha256::kBlockSize];
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad_key_[i] = key_block[i] ^ 0x5c;
+  }
+  inner_.update(ByteView(ipad, sizeof(ipad)));
+}
+
+std::array<std::uint8_t, HmacSha256::kTagSize> HmacSha256::finish() noexcept {
+  const auto inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(ByteView(opad_key_, sizeof(opad_key_)));
+  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Bytes hmac_sha256(ByteView key, ByteView data) {
+  const auto tag = HmacSha256::mac(key, data);
+  return Bytes(tag.begin(), tag.end());
+}
+
+}  // namespace smt::crypto

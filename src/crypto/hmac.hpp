@@ -1,0 +1,35 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include <array>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace smt::crypto {
+
+class HmacSha256 {
+ public:
+  static constexpr std::size_t kTagSize = Sha256::kDigestSize;
+
+  explicit HmacSha256(ByteView key) noexcept;
+
+  void update(ByteView data) noexcept { inner_.update(data); }
+  std::array<std::uint8_t, kTagSize> finish() noexcept;
+
+  static std::array<std::uint8_t, kTagSize> mac(ByteView key,
+                                                ByteView data) noexcept {
+    HmacSha256 h(key);
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  Sha256 inner_;
+  std::uint8_t opad_key_[Sha256::kBlockSize];
+};
+
+/// Owned-buffer convenience used by the TLS key schedule.
+Bytes hmac_sha256(ByteView key, ByteView data);
+
+}  // namespace smt::crypto

@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4). Incremental interface so the TLS transcript hash
+// can fork mid-handshake (RFC 8446 §4.4.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace smt::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteView data) noexcept;
+
+  /// Finalises into `out`. The object must be reset before reuse.
+  std::array<std::uint8_t, kDigestSize> finish() noexcept;
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, kDigestSize> digest(ByteView data) noexcept {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[kBlockSize];
+  std::size_t buffer_len_ = 0;
+};
+
+/// Digest as an owned buffer (handy for Bytes-typed plumbing).
+Bytes sha256(ByteView data);
+
+}  // namespace smt::crypto

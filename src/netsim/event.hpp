@@ -1,0 +1,89 @@
+// Deterministic discrete-event loop with a virtual nanosecond clock.
+//
+// Single-threaded by design: determinism is what lets every bench and test
+// reproduce bit-for-bit (DESIGN.md "Determinism"). Ties are broken by
+// insertion order, so identical schedules replay identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace smt::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` nanoseconds from now (>= 0).
+  void schedule(SimDuration delay, Callback fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute virtual time (clamped to now).
+  void schedule_at(SimTime when, Callback fn) {
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs events until the queue drains or `deadline` passes.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime deadline) {
+    std::size_t executed = 0;
+    while (!queue_.empty() && queue_.top().when <= deadline && !stopped_) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.when;
+      ev.fn();
+      ++executed;
+    }
+    if (now_ < deadline && !stopped_) now_ = deadline;
+    return executed;
+  }
+
+  /// Runs until the queue is empty (or stop() is called).
+  std::size_t run() {
+    std::size_t executed = 0;
+    while (!queue_.empty() && !stopped_) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.when;
+      ev.fn();
+      ++executed;
+    }
+    return executed;
+  }
+
+  /// Stops the loop from inside a callback.
+  void stop() noexcept { stopped_ = true; }
+  bool stopped() const noexcept { return stopped_; }
+  void reset_stop() noexcept { stopped_ = false; }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // FIFO among same-time events
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace smt::sim

@@ -1,0 +1,89 @@
+// Point-to-point simulated link with bandwidth, propagation delay, and
+// fault injection (loss / corruption), modelling the paper's back-to-back
+// 100 Gb/s topology (§5 "HW&OS").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netsim/event.hpp"
+#include "netsim/packet.hpp"
+
+namespace smt::sim {
+
+struct LinkConfig {
+  double bandwidth_gbps = 100.0;
+  SimDuration propagation = usec(1);
+  double loss_rate = 0.0;       // random drop probability
+  std::uint64_t loss_seed = 1;  // deterministic loss pattern
+};
+
+/// One direction of a link. Serialisation delay is modelled with a
+/// next-free-time cursor; propagation is added on top.
+class LinkDirection {
+ public:
+  LinkDirection(EventLoop& loop, const LinkConfig& config)
+      : loop_(loop), config_(config), rng_(config.loss_seed) {}
+
+  void set_receiver(PacketHandler handler) { receiver_ = std::move(handler); }
+
+  /// Optional deterministic drop predicate evaluated before the random
+  /// loss rate (used by tests to kill specific packets).
+  void set_drop_predicate(std::function<bool(const Packet&)> predicate) {
+    drop_predicate_ = std::move(predicate);
+  }
+
+  void send(Packet packet) {
+    const double bits = double(packet.wire_size()) * 8.0;
+    const auto serialization =
+        SimDuration(bits / config_.bandwidth_gbps);  // ns at N Gb/s
+    const SimTime start = std::max(loop_.now(), next_free_);
+    next_free_ = start + serialization;
+    ++packets_sent_;
+
+    if (drop_predicate_ && drop_predicate_(packet)) {
+      ++packets_dropped_;
+      return;
+    }
+    if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) {
+      ++packets_dropped_;
+      return;
+    }
+
+    const SimTime arrival = next_free_ + config_.propagation;
+    loop_.schedule_at(arrival, [this, pkt = std::move(packet)]() mutable {
+      if (receiver_) receiver_(std::move(pkt));
+    });
+  }
+
+  std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+  std::uint64_t packets_dropped() const noexcept { return packets_dropped_; }
+
+ private:
+  EventLoop& loop_;
+  LinkConfig config_;
+  Rng rng_;
+  PacketHandler receiver_;
+  std::function<bool(const Packet&)> drop_predicate_;
+  SimTime next_free_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+/// Full-duplex link: direction a2b and b2a.
+class Link {
+ public:
+  Link(EventLoop& loop, const LinkConfig& config)
+      : a2b_(loop, config), b2a_(loop, config) {}
+
+  LinkDirection& a2b() noexcept { return a2b_; }
+  LinkDirection& b2a() noexcept { return b2a_; }
+
+ private:
+  LinkDirection a2b_;
+  LinkDirection b2a_;
+};
+
+}  // namespace smt::sim

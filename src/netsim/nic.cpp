@@ -1,0 +1,172 @@
+#include "netsim/nic.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/gcm.hpp"
+#include "tls/record.hpp"
+
+namespace smt::sim {
+
+Nic::Nic(EventLoop& loop, NicConfig config)
+    : loop_(loop), config_(config), queues_(config.num_queues) {}
+
+Result<std::uint32_t> Nic::create_flow_context(tls::CipherSuite suite,
+                                               const tls::TrafficKeys& keys,
+                                               std::uint64_t initial_seq) {
+  if (contexts_.size() >= config_.max_flow_contexts) {
+    ++counters_.context_alloc_failures;
+    return make_error(Errc::resource_exhausted, "NIC flow contexts exhausted");
+  }
+  const std::uint32_t id = next_context_id_++;
+  contexts_.emplace(id, FlowContext{suite, keys, initial_seq});
+  ++counters_.context_allocs;
+  return id;
+}
+
+void Nic::release_flow_context(std::uint32_t id) { contexts_.erase(id); }
+
+std::optional<std::uint64_t> Nic::context_seq(std::uint32_t id) const {
+  const auto it = contexts_.find(id);
+  if (it == contexts_.end()) return std::nullopt;
+  return it->second.internal_seq;
+}
+
+void Nic::post_resync(std::size_t queue, std::uint32_t context_id,
+                      std::uint64_t new_seq) {
+  assert(queue < queues_.size());
+  Descriptor d;
+  d.is_resync = true;
+  d.resync_context = context_id;
+  d.resync_seq = new_seq;
+  queues_[queue].push_back(std::move(d));
+  kick();
+}
+
+void Nic::post_segment(std::size_t queue, SegmentDescriptor descriptor) {
+  assert(queue < queues_.size());
+  assert(descriptor.segment.payload.size() <= config_.max_tso_bytes);
+  Descriptor d;
+  d.segment = std::move(descriptor);
+  queues_[queue].push_back(std::move(d));
+  kick();
+}
+
+void Nic::kick() {
+  if (processing_) return;
+  processing_ = true;
+  loop_.schedule(config_.per_descriptor_cost, [this] { process_next(); });
+}
+
+void Nic::process_next() {
+  // Round-robin scan for the next non-empty queue. This is the ordering
+  // model that makes cross-queue resync+segment pairs non-atomic (§3.2).
+  std::size_t scanned = 0;
+  while (scanned < queues_.size() && queues_[rr_cursor_].empty()) {
+    rr_cursor_ = (rr_cursor_ + 1) % queues_.size();
+    ++scanned;
+  }
+  if (scanned == queues_.size()) {
+    processing_ = false;
+    return;
+  }
+
+  Descriptor d = std::move(queues_[rr_cursor_].front());
+  queues_[rr_cursor_].pop_front();
+  rr_cursor_ = (rr_cursor_ + 1) % queues_.size();
+
+  if (d.is_resync) {
+    ++counters_.resyncs;
+    const auto it = contexts_.find(d.resync_context);
+    if (it != contexts_.end()) it->second.internal_seq = d.resync_seq;
+  } else {
+    ++counters_.segments;
+    encrypt_records(d.segment);
+    emit_segment(std::move(d.segment));
+  }
+
+  loop_.schedule(config_.per_descriptor_cost, [this] { process_next(); });
+}
+
+void Nic::encrypt_records(SegmentDescriptor& descriptor) {
+  if (descriptor.records.empty()) return;
+  assert(config_.tls_offload_enabled &&
+         "inline-TLS segment posted with offload disabled");
+
+  for (const TlsRecordDesc& rec : descriptor.records) {
+    const auto it = contexts_.find(rec.context_id);
+    assert(it != contexts_.end() && "segment references released context");
+    FlowContext& ctx = it->second;
+
+    Bytes& payload = descriptor.segment.payload;
+    assert(rec.record_offset + tls::kRecordHeaderSize + rec.plaintext_len +
+               tls::tag_length(ctx.suite) <=
+           payload.size());
+
+    // The hardware uses its INTERNAL counter — not the software's intent.
+    // When they differ the wire carries a record encrypted under the wrong
+    // nonce: Figure 2's "Out-seq." corrupted segment.
+    const std::uint64_t hw_seq = ctx.internal_seq;
+    if (hw_seq != rec.record_seq) ++counters_.out_of_sequence_records;
+
+    // Nonce = IV XOR hw_seq (RFC 8446 §5.3), same as the software path.
+    Bytes nonce = ctx.keys.iv;
+    for (int i = 0; i < 8; ++i) {
+      nonce[nonce.size() - 1 - std::size_t(i)] ^=
+          static_cast<std::uint8_t>(hw_seq >> (8 * i));
+    }
+
+    const std::uint8_t* header = payload.data() + rec.record_offset;
+    const ByteView aad(header, tls::kRecordHeaderSize);
+    std::uint8_t* body =
+        payload.data() + rec.record_offset + tls::kRecordHeaderSize;
+    const ByteView plaintext(body, rec.plaintext_len);
+
+    crypto::AesGcm aead(ctx.keys.key);
+    const Bytes sealed = aead.seal(nonce, aad, plaintext);
+    // ciphertext || tag overwrite the plaintext body + reserved tag space.
+    std::memcpy(body, sealed.data(), sealed.size());
+
+    ctx.internal_seq = hw_seq + 1;  // self-increment
+    ++counters_.records_encrypted;
+  }
+}
+
+void Nic::emit_segment(SegmentDescriptor descriptor) {
+  Packet& segment = descriptor.segment;
+  const std::size_t mss = config_.mtu_payload;
+  const bool is_tcp = segment.hdr.flow.proto == Proto::tcp;
+
+  if (!config_.tso_enabled && segment.payload.size() > mss) {
+    assert(false && "oversized segment posted with TSO disabled");
+  }
+
+  const std::uint16_t base_ip_id = next_ip_id_;
+  std::size_t offset = 0;
+  std::size_t index = 0;
+  do {
+    const std::size_t take = std::min(mss, segment.payload.size() - offset);
+    Packet pkt;
+    pkt.hdr = segment.hdr;  // TSO replicates the full overlay header
+    pkt.hdr.ip_id = static_cast<std::uint16_t>(base_ip_id + index);
+    pkt.hdr.ipid_base = base_ip_id;
+    if (is_tcp) {
+      // TSO writes per-packet sequence numbers and checksums for TCP...
+      pkt.hdr.seq = segment.hdr.seq + static_cast<std::uint32_t>(offset);
+      pkt.hdr.checksum_valid = true;
+    } else {
+      // ...but NOT for undefined transport protocols (§2.2, §7).
+      pkt.hdr.checksum_valid = false;
+    }
+    pkt.payload.assign(segment.payload.begin() + std::ptrdiff_t(offset),
+                       segment.payload.begin() + std::ptrdiff_t(offset + take));
+    offset += take;
+    ++index;
+    ++counters_.packets;
+    if (tx_) tx_->send(std::move(pkt));
+  } while (offset < segment.payload.size());
+
+  next_ip_id_ = static_cast<std::uint16_t>(base_ip_id + index);
+}
+
+}  // namespace smt::sim

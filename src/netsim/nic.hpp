@@ -1,0 +1,154 @@
+// Simulated NIC with TSO and ConnectX-style "autonomous" TLS offload.
+//
+// Models the architecture of Pismenny et al.'s autonomous offloads as the
+// paper describes it (§2.3, §3.2, Figure 2):
+//
+//  * TSO — a large segment (<= 64 KB) is cut into MTU-sized packets; the
+//    TCP-overlay header (incl. the options space carrying message ID,
+//    message length, TSO offset) is replicated verbatim into every packet;
+//    the IPID increments per packet; TCP sequence numbers are written for
+//    the TCP protocol number ONLY (undefined transports get none — the
+//    reason Homa/SMT need offset fields, §2.2); checksums likewise.
+//
+//  * TLS offload — per-flow *contexts* live in (limited) NIC memory and
+//    hold the AEAD key, IV, and a SELF-INCREMENTING record sequence number.
+//    A segment flagged for inline TLS is encrypted with the context's
+//    *internal* counter, regardless of what the software intended: if the
+//    software's record does not match, the wire bytes are "corrupted"
+//    (authenticate under the wrong nonce — Figure 2 "Out-seq."). A resync
+//    descriptor rewrites the internal counter ("Out-resync").
+//
+//  * Queues — descriptors are consumed strictly in order *within* a queue,
+//    but the NIC round-robins *across* queues with no atomicity between a
+//    resync and its segment posted to different queues — exactly the §3.2
+//    hazard that motivates SMT's per-queue flow contexts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "netsim/event.hpp"
+#include "netsim/link.hpp"
+#include "netsim/packet.hpp"
+#include "tls/cipher.hpp"
+#include "tls/keyschedule.hpp"
+
+namespace smt::sim {
+
+struct NicConfig {
+  std::size_t num_queues = 4;
+  std::size_t mtu_payload = 1500;    // MTU-sized packet payload budget
+  std::size_t max_tso_bytes = 65536; // max TSO segment payload
+  bool tso_enabled = true;
+  bool tls_offload_enabled = true;
+  std::size_t max_flow_contexts = 1024;  // in-NIC memory is finite (§4.4.2)
+  SimDuration per_descriptor_cost = nsec(80);  // descriptor fetch/DMA setup
+};
+
+/// A TLS record inside a TSO segment that the NIC must encrypt in line.
+/// The segment payload at [record_offset, record_offset + 5) holds the
+/// plaintext record header (AAD); the plaintext body follows; tag space
+/// (16 bytes) is already reserved at the end of the record.
+struct TlsRecordDesc {
+  std::uint32_t context_id = 0;
+  std::size_t record_offset = 0;   // where the 5-byte record header starts
+  std::size_t plaintext_len = 0;   // body length (excluding header and tag)
+  std::uint64_t record_seq = 0;    // what the *software* intended (the NIC
+                                   // ignores this; kept for diagnostics)
+};
+
+/// One TX descriptor: either a resync, or a (possibly TSO) segment.
+struct SegmentDescriptor {
+  Packet segment;                      // header template + full payload
+  std::vector<TlsRecordDesc> records;  // empty -> no inline crypto
+};
+
+struct NicCounters {
+  std::uint64_t segments = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t records_encrypted = 0;
+  std::uint64_t out_of_sequence_records = 0;  // encrypted with wrong counter
+  std::uint64_t context_allocs = 0;
+  std::uint64_t context_alloc_failures = 0;
+};
+
+class Nic {
+ public:
+  Nic(EventLoop& loop, NicConfig config);
+
+  /// Attaches the TX side to a link direction and the RX side handler.
+  void attach_tx(LinkDirection* tx) { tx_ = tx; }
+  void set_rx_handler(PacketHandler handler) { rx_handler_ = std::move(handler); }
+
+  /// Ingress from the wire (no receive-side crypto offload, §7).
+  void receive(Packet packet) {
+    if (rx_handler_) rx_handler_(std::move(packet));
+  }
+
+  /// --- TLS offload flow contexts -------------------------------------
+
+  /// Allocates a context; fails when NIC memory is exhausted (§4.4.2).
+  Result<std::uint32_t> create_flow_context(tls::CipherSuite suite,
+                                            const tls::TrafficKeys& keys,
+                                            std::uint64_t initial_seq);
+  void release_flow_context(std::uint32_t id);
+  std::size_t active_contexts() const noexcept { return contexts_.size(); }
+
+  /// Reads a context's internal record counter (driver shadow state).
+  std::optional<std::uint64_t> context_seq(std::uint32_t id) const;
+
+  /// --- TX descriptor rings --------------------------------------------
+
+  /// Posts a resync descriptor: sets the context's internal counter when
+  /// the NIC *processes* it (not when posted!).
+  void post_resync(std::size_t queue, std::uint32_t context_id,
+                   std::uint64_t new_seq);
+
+  /// Posts a segment (TSO-split and/or inline-encrypted as flagged).
+  void post_segment(std::size_t queue, SegmentDescriptor descriptor);
+
+  const NicConfig& config() const noexcept { return config_; }
+  const NicCounters& counters() const noexcept { return counters_; }
+
+ private:
+  struct FlowContext {
+    tls::CipherSuite suite;
+    tls::TrafficKeys keys;
+    std::uint64_t internal_seq = 0;  // the self-incrementing counter
+  };
+
+  struct Descriptor {
+    bool is_resync = false;
+    std::uint32_t resync_context = 0;
+    std::uint64_t resync_seq = 0;
+    SegmentDescriptor segment;
+  };
+
+  void kick();
+  void process_next();
+  void emit_segment(SegmentDescriptor descriptor);
+  void encrypt_records(SegmentDescriptor& descriptor);
+
+  EventLoop& loop_;
+  NicConfig config_;
+  LinkDirection* tx_ = nullptr;
+  PacketHandler rx_handler_;
+
+  std::vector<std::deque<Descriptor>> queues_;
+  std::size_t rr_cursor_ = 0;  // round-robin scan position
+  bool processing_ = false;
+
+  std::map<std::uint32_t, FlowContext> contexts_;
+  std::uint32_t next_context_id_ = 1;
+  std::uint16_t next_ip_id_ = 1;
+
+  NicCounters counters_;
+};
+
+}  // namespace smt::sim

@@ -1,0 +1,107 @@
+// Simulated packet and header formats.
+//
+// The header models the paper's generalized message-transport format
+// (Figure 1) and SMT's TSO segment layout (Figure 3): a TCP-overlay header
+// carrying *plaintext* message ID, message length and TSO offset — fields
+// TSO replicates across every packet it cuts from a segment — plus the
+// network-layer IPID used as the intra-segment packet offset.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace smt::sim {
+
+/// IANA-style protocol numbers; Homa and SMT are *native* transports with
+/// their own numbers (the paper's point in §2.3 — no TCP/UDP piggybacking).
+enum class Proto : std::uint8_t {
+  tcp = 6,
+  homa = 0xFD,
+  smt = 0xFE,
+};
+
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Proto proto = Proto::tcp;
+
+  FiveTuple reversed() const noexcept {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  std::size_t hash() const noexcept {
+    // RSS-style hash: this is what pins a TCP flow to one softirq core.
+    // The SplitMix64 finalizer spreads entropy into the low bits so small
+    // modulo reductions (core counts, queue counts) distribute well.
+    std::uint64_t h = src_ip;
+    h = h * 1000003 + dst_ip;
+    h = h * 1000003 + (std::uint64_t(src_port) << 16 | dst_port);
+    h = h * 1000003 + std::uint64_t(proto);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return std::size_t(h ^ (h >> 31));
+  }
+};
+
+/// Packet types shared across the message transports (Homa §2.2 maps to
+/// NDP: RESEND<->NACK, GRANT<->PULL).
+enum class PacketType : std::uint8_t {
+  data = 0,
+  grant = 1,
+  resend = 2,   // receiver asks for retransmission
+  ack = 3,      // TCP cumulative ack / Homa message ack
+  busy = 4,
+  ctrl = 5,     // connection control (TCP SYN/FIN analogue)
+};
+
+/// Fixed per-packet wire overhead: Ethernet(18) + IPv4(20) + TCP-overlay(20)
+/// + options space used by the message transports (12).
+constexpr std::size_t kWireHeaderBytes = 70;
+
+struct PacketHeader {
+  FiveTuple flow;
+  PacketType type = PacketType::data;
+
+  // Network layer.
+  std::uint16_t ip_id = 0;  // incremented per packet by TSO (§4.3)
+
+  // TCP-overlay common header fields.
+  std::uint32_t seq = 0;  // TCP sequence number (TCP only; TSO does not
+                          // write it for other protocols, §2.2)
+  std::uint32_t ack = 0;
+  std::uint16_t window = 0;
+  bool checksum_valid = false;  // TSO checksums TCP only (§7)
+
+  // Options space, replicated by TSO across a segment's packets.
+  std::uint64_t msg_id = 0;
+  std::uint32_t msg_len = 0;
+  std::uint32_t tso_off = 0;     // segment position within the message
+  std::uint16_t ipid_base = 0;   // IPID of the segment's first packet
+  std::uint32_t resend_off = 0;  // explicit offset for retransmissions
+  std::uint32_t grant_off = 0;   // GRANT: receiver-granted byte offset
+  std::uint8_t priority = 0;     // network priority (SRPT)
+  bool trimmed = false;          // NDP-style trimmed stub (payload cut)
+  std::uint32_t trimmed_len = 0; // original payload length of the stub
+};
+
+struct Packet {
+  PacketHeader hdr;
+  Bytes payload;
+
+  std::size_t wire_size() const noexcept {
+    return payload.size() + kWireHeaderBytes;
+  }
+};
+
+/// Handler invoked on packet delivery.
+using PacketHandler = std::function<void(Packet)>;
+
+}  // namespace smt::sim

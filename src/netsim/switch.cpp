@@ -1,0 +1,74 @@
+#include "netsim/switch.hpp"
+
+namespace smt::sim {
+
+void Switch::receive(Packet pkt) {
+  const auto route = routes_.find(pkt.hdr.flow.dst_ip);
+  if (route == routes_.end()) {
+    ++stats_.dropped;
+    return;
+  }
+  const std::size_t port_index = route->second;
+  Port& port = ports_[port_index];
+
+  const bool is_control = pkt.hdr.type != PacketType::data || pkt.hdr.trimmed;
+  if (!is_control && port.queued_bytes + pkt.wire_size() >
+                         config_.queue_capacity_bytes) {
+    if (config_.trimming_enabled && !pkt.payload.empty()) {
+      // NDP trim: drop the payload, keep the headers — the plaintext
+      // message ID / length / offsets still tell the receiver exactly
+      // what was lost (§7). The stub rides the high-priority queue.
+      pkt.hdr.trimmed = true;
+      pkt.hdr.trimmed_len = std::uint32_t(pkt.payload.size());
+      pkt.payload.clear();
+      ++stats_.trimmed;
+      enqueue(port_index, std::move(pkt), /*high_priority=*/true);
+    } else {
+      ++stats_.dropped;
+    }
+    return;
+  }
+  enqueue(port_index, std::move(pkt), is_control);
+}
+
+void Switch::enqueue(std::size_t port_index, Packet pkt, bool high_priority) {
+  Port& port = ports_[port_index];
+  port.queued_bytes += pkt.wire_size();
+  if (high_priority) {
+    port.high_queue.push_back(std::move(pkt));
+  } else {
+    port.data_queue.push_back(std::move(pkt));
+  }
+  ++stats_.forwarded;
+  if (!port.draining) {
+    port.draining = true;
+    loop_.schedule(config_.forwarding_latency,
+                   [this, port_index] { drain(port_index); });
+  }
+}
+
+void Switch::drain(std::size_t port_index) {
+  Port& port = ports_[port_index];
+  if (port.high_queue.empty() && port.data_queue.empty()) {
+    port.draining = false;
+    return;
+  }
+  // Strict priority: control/trimmed stubs first.
+  std::deque<Packet>& queue =
+      port.high_queue.empty() ? port.data_queue : port.high_queue;
+  Packet pkt = std::move(queue.front());
+  queue.pop_front();
+  port.queued_bytes -= pkt.wire_size();
+
+  const double bits = double(pkt.wire_size()) * 8.0;
+  const SimDuration serialization =
+      SimDuration(bits / config_.port_bandwidth_gbps);
+  const SimTime start = std::max(loop_.now(), port.next_free);
+  port.next_free = start + serialization;
+  loop_.schedule_at(port.next_free, [this, port_index, pkt = std::move(pkt)]() mutable {
+    ports_[port_index].deliver(std::move(pkt));
+    drain(port_index);
+  });
+}
+
+}  // namespace smt::sim

@@ -1,0 +1,81 @@
+// Output-queued switch with priorities and NDP-style packet trimming.
+//
+// The paper argues SMT is compatible with the trimming used by NDP and
+// UET (§7): when a queue overflows, the switch TRIMS the packet — payload
+// dropped, headers kept — and forwards the stub at high priority. This
+// only helps if the transport metadata the receiver needs (message ID,
+// length, TSO offset) is PLAINTEXT, which is exactly SMT's wire format
+// choice (§4.3). An encrypted-header design (QUIC-style, §6.3) would make
+// trimmed stubs useless.
+//
+// Homa priorities map to queue priorities; control packets (grants,
+// resends, acks) and trimmed stubs ride the high-priority queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netsim/event.hpp"
+#include "netsim/packet.hpp"
+
+namespace smt::sim {
+
+struct SwitchConfig {
+  double port_bandwidth_gbps = 100.0;
+  SimDuration forwarding_latency = nsec(300);
+  std::size_t queue_capacity_bytes = 64 * 1024;  // shallow DC buffers
+  bool trimming_enabled = true;  // NDP-style trim-on-overflow
+};
+
+class Switch {
+ public:
+  Switch(EventLoop& loop, SwitchConfig config)
+      : loop_(loop), config_(config) {}
+
+  /// Adds an output port; returns its index. `deliver` receives packets
+  /// after queueing + serialisation.
+  std::size_t add_port(PacketHandler deliver) {
+    ports_.push_back(Port{std::move(deliver), {}, {}, 0, 0, false});
+    return ports_.size() - 1;
+  }
+
+  /// Routes an IP to a port (static forwarding table).
+  void set_route(std::uint32_t dst_ip, std::size_t port) {
+    routes_[dst_ip] = port;
+  }
+
+  /// Ingress: forwards to the routed port's queue; trims or drops on
+  /// overflow.
+  void receive(Packet pkt);
+
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t trimmed = 0;
+    std::uint64_t dropped = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Port {
+    PacketHandler deliver;
+    std::deque<Packet> high_queue;  // control + trimmed stubs
+    std::deque<Packet> data_queue;
+    std::size_t queued_bytes = 0;
+    SimTime next_free = 0;
+    bool draining = false;
+  };
+
+  void enqueue(std::size_t port_index, Packet pkt, bool high_priority);
+  void drain(std::size_t port_index);
+
+  EventLoop& loop_;
+  SwitchConfig config_;
+  std::vector<Port> ports_;
+  std::map<std::uint32_t, std::size_t> routes_;
+  Stats stats_;
+};
+
+}  // namespace smt::sim

@@ -1,0 +1,204 @@
+#include "smt/endpoint.hpp"
+
+#include <cassert>
+
+namespace smt::proto {
+
+namespace {
+transport::HomaConfig force_smt_proto(transport::HomaConfig config) {
+  config.proto = sim::Proto::smt;
+  return config;
+}
+}  // namespace
+
+SmtEndpoint::SmtEndpoint(stack::Host& host, std::uint16_t port,
+                         SmtConfig config)
+    : config_(std::move(config)),
+      homa_(host, port, force_smt_proto(config_.homa)) {
+  homa_.set_on_message(
+      [this](transport::HomaEndpoint::MessageMeta meta, Bytes wire) {
+        on_wire_message(meta, std::move(wire));
+      });
+}
+
+Status SmtEndpoint::register_session(PeerAddr peer, tls::CipherSuite suite,
+                                     const tls::TrafficKeys& tx_keys,
+                                     const tls::TrafficKeys& rx_keys) {
+  if (sessions_.count(peer)) {
+    return make_error(Errc::invalid_argument, "session already registered");
+  }
+  Session session;
+  session.suite = suite;
+  session.tx.emplace(suite, tx_keys);
+  session.rx.emplace(suite, rx_keys);
+  sessions_.emplace(peer, std::move(session));
+  return Status::success();
+}
+
+Status SmtEndpoint::rekey_session(PeerAddr peer, tls::CipherSuite suite,
+                                  const tls::TrafficKeys& tx_keys,
+                                  const tls::TrafficKeys& rx_keys) {
+  auto it = sessions_.find(peer);
+  if (it == sessions_.end()) {
+    return make_error(Errc::not_connected, "no session to rekey");
+  }
+  Session& session = it->second;
+  // Release stale NIC contexts; new keys need fresh ones.
+  for (const auto& [queue, ctx] : session.queue_contexts) {
+    homa_.host().nic().release_flow_context(ctx.nic_context_id);
+  }
+  session.queue_contexts.clear();
+  session.suite = suite;
+  session.tx.emplace(suite, tx_keys);
+  session.rx.emplace(suite, rx_keys);
+  // Key change resets the message-ID space (§4.5.2) — flush the transport
+  // dedup state so reused IDs are not mistaken for retransmissions.
+  session.next_msg_id = 0;
+  session.rx_filter.reset();
+  homa_.flush_dedup_state();
+  return Status::success();
+}
+
+Result<std::uint32_t> SmtEndpoint::context_for_queue(Session& session,
+                                                     std::size_t queue,
+                                                     std::uint64_t first_seq) {
+  auto it = session.queue_contexts.find(queue);
+  if (it != session.queue_contexts.end()) {
+    return it->second.nic_context_id;
+  }
+  auto ctx = homa_.host().nic().create_flow_context(
+      session.suite, session.tx->keys(), first_seq);
+  if (!ctx.ok()) return ctx;
+  session.queue_contexts[queue] = QueueContext{ctx.value(), first_seq};
+  ++stats_.contexts_created;
+  return ctx;
+}
+
+Result<std::uint64_t> SmtEndpoint::send_message(PeerAddr dst, Bytes plaintext,
+                                                stack::CpuCore* app_core,
+                                                std::size_t pad_to) {
+  auto session_it = sessions_.find(dst);
+  if (session_it == sessions_.end()) {
+    return make_error(Errc::not_connected, "no session registered for peer");
+  }
+  Session& session = session_it->second;
+
+  if (!config_.layout.valid_msg_id(session.next_msg_id)) {
+    return make_error(Errc::resource_exhausted,
+                      "session message-ID space exhausted; rekey required");
+  }
+  const std::uint64_t msg_id = session.next_msg_id++;
+  const std::size_t queue = homa_.queue_for_message(msg_id);
+
+  SegmenterConfig seg_config;
+  seg_config.layout = config_.layout;
+  seg_config.max_record_payload = config_.max_record_payload;
+  seg_config.max_tso_bytes = config_.homa.max_tso_bytes;
+  seg_config.hardware_crypto = config_.hw_offload;
+
+  if (config_.hw_offload) {
+    const std::uint64_t first_seq = config_.layout.compose(msg_id, 0);
+    auto ctx = context_for_queue(session, queue, first_seq);
+    if (!ctx.ok()) return ctx.error();
+    seg_config.nic_context_id = ctx.value();
+  }
+
+  auto wire = build_wire_message(seg_config, *session.tx, msg_id, plaintext,
+                                 pad_to);
+  if (!wire.ok()) return wire.error();
+  WireMessage& message = wire.value();
+
+  // Crypto CPU costs in the syscall context (§3.2: sends start there).
+  const auto& costs = homa_.host().costs();
+  if (app_core != nullptr) {
+    if (config_.hw_offload) {
+      // Only descriptor/metadata population; the NIC does the crypto.
+      app_core->charge(costs.offload_metadata *
+                       SimDuration(message.record_count));
+    } else {
+      app_core->charge(costs.aead_sw_cost(message.total_wire_bytes) -
+                       costs.aead_sw_per_record +
+                       costs.aead_sw_per_record *
+                           SimDuration(message.record_count));
+    }
+  }
+
+  // Hardware mode: the pre-post hook shadow-tracks the per-queue context
+  // and posts a resync whenever the hardware counter would diverge —
+  // context *reuse* across messages (§4.4.2).
+  transport::PrePostHook hook;
+  if (config_.hw_offload) {
+    hook = [this, dst](std::size_t q, const sim::SegmentDescriptor& desc) {
+      auto it = sessions_.find(dst);
+      if (it == sessions_.end()) return;
+      auto ctx_it = it->second.queue_contexts.find(q);
+      if (ctx_it == it->second.queue_contexts.end()) return;
+      QueueContext& ctx = ctx_it->second;
+      for (const sim::TlsRecordDesc& rec : desc.records) {
+        if (ctx.shadow_seq != rec.record_seq) {
+          homa_.host().nic().post_resync(q, ctx.nic_context_id,
+                                         rec.record_seq);
+        }
+        ctx.shadow_seq = rec.record_seq + 1;
+      }
+    };
+  }
+
+  std::vector<transport::SegmentSpec> segments;
+  segments.reserve(message.segments.size());
+  for (SegmentPlan& plan : message.segments) {
+    transport::SegmentSpec spec;
+    spec.payload = std::move(plan.payload);
+    spec.records = std::move(plan.records);
+    segments.push_back(std::move(spec));
+  }
+
+  auto sent = homa_.send_segments(dst, std::move(segments),
+                                  message.total_wire_bytes, msg_id, app_core,
+                                  std::move(hook));
+  if (!sent.ok()) return sent.error();
+  ++stats_.messages_sent;
+  return msg_id;
+}
+
+void SmtEndpoint::on_wire_message(transport::HomaEndpoint::MessageMeta meta,
+                                  Bytes wire) {
+  auto session_it = sessions_.find(meta.peer);
+  if (session_it == sessions_.end()) {
+    ++stats_.no_session_drops;
+    return;
+  }
+  Session& session = session_it->second;
+
+  // Replay defence (§4.4.1 / §6.1): a previously seen message ID is
+  // discarded WITHOUT decryption.
+  if (!session.rx_filter.accept(meta.msg_id)) {
+    ++stats_.replays_dropped;
+    return;
+  }
+
+  // Receive-side crypto is always software (§7): charge it on the softirq
+  // core the message was reassembled on, then decrypt for real.
+  stack::Host& host = homa_.host();
+  stack::CpuCore& core = host.softirq_core(meta.softirq_core);
+  const PeerAddr peer = meta.peer;
+  const std::uint64_t msg_id = meta.msg_id;
+  core.run(host.costs().aead_sw_cost(wire.size()),
+           [this, peer, msg_id, wire = std::move(wire)] {
+             auto it = sessions_.find(peer);
+             if (it == sessions_.end()) return;
+             auto opened = open_wire_message(config_.layout, *it->second.rx,
+                                             msg_id, wire);
+             if (!opened.ok()) {
+               ++stats_.decrypt_failures;
+               return;
+             }
+             ++stats_.messages_delivered;
+             if (on_message_) {
+               on_message_(MessageMeta{peer, msg_id},
+                           std::move(opened).take());
+             }
+           });
+}
+
+}  // namespace smt::proto

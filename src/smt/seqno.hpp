@@ -1,0 +1,74 @@
+// Composite 64-bit record sequence numbers (paper §4.4.1, Figures 4-5).
+//
+// TLS gives exactly one free variable — the 64-bit record sequence number
+// fed into the AEAD nonce. SMT partitions it into a message ID (high bits,
+// unique per secure session) and an intra-message record index (low bits,
+// monotonic within the message). The low-bits placement is what lets NIC
+// hardware's self-incrementing counter walk a message's records unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+
+namespace smt::proto {
+
+class SeqnoLayout {
+ public:
+  /// Default split per the paper: 48-bit message IDs, 16-bit record index
+  /// (up to 65 K records -> ~1 GB messages at 16 KB records).
+  explicit constexpr SeqnoLayout(unsigned msg_id_bits = 48) noexcept
+      : msg_id_bits_(msg_id_bits) {}
+
+  constexpr unsigned msg_id_bits() const noexcept { return msg_id_bits_; }
+  constexpr unsigned record_index_bits() const noexcept {
+    return 64 - msg_id_bits_;
+  }
+
+  /// Maximum number of distinct message IDs in one session.
+  constexpr std::uint64_t max_messages() const noexcept {
+    return msg_id_bits_ >= 64 ? ~std::uint64_t{0} : (1ULL << msg_id_bits_);
+  }
+
+  /// Maximum records per message.
+  constexpr std::uint64_t max_records_per_message() const noexcept {
+    const unsigned bits = record_index_bits();
+    return bits >= 64 ? ~std::uint64_t{0} : (1ULL << bits);
+  }
+
+  /// Maximum message size for a given record payload size (Figure 5).
+  constexpr std::uint64_t max_message_bytes(
+      std::uint64_t record_payload) const noexcept {
+    return max_records_per_message() * record_payload;
+  }
+
+  constexpr std::uint64_t compose(std::uint64_t msg_id,
+                                  std::uint64_t record_index) const noexcept {
+    return (msg_id << record_index_bits()) | record_index;
+  }
+
+  constexpr std::uint64_t msg_id_of(std::uint64_t composite) const noexcept {
+    return composite >> record_index_bits();
+  }
+
+  constexpr std::uint64_t record_index_of(
+      std::uint64_t composite) const noexcept {
+    const unsigned bits = record_index_bits();
+    return bits >= 64 ? composite : composite & ((1ULL << bits) - 1);
+  }
+
+  constexpr bool valid_msg_id(std::uint64_t msg_id) const noexcept {
+    return msg_id < max_messages();
+  }
+  constexpr bool valid_record_index(std::uint64_t index) const noexcept {
+    return index < max_records_per_message();
+  }
+
+  friend constexpr bool operator==(const SeqnoLayout&,
+                                   const SeqnoLayout&) = default;
+
+ private:
+  unsigned msg_id_bits_;
+};
+
+}  // namespace smt::proto

@@ -1,0 +1,149 @@
+#include "smt/wire.hpp"
+
+#include <cassert>
+
+namespace smt::proto {
+
+namespace {
+
+/// Builds one plaintext record shell (header + inner plaintext + tag room)
+/// for hardware encryption, returning its wire bytes.
+Bytes build_record_shell(ByteView app_data, std::size_t pad_len) {
+  const std::size_t inner_len = app_data.size() + 1 + pad_len;
+  const std::size_t body_len = inner_len + 16;
+  Bytes out;
+  out.reserve(tls::kRecordHeaderSize + body_len);
+  append_u8(out, 23);  // application_data
+  append_u16be(out, 0x0303);
+  append_u16be(out, static_cast<std::uint16_t>(body_len));
+  append(out, app_data);
+  append_u8(out, 23);  // inner content type
+  out.resize(out.size() + pad_len, 0);
+  out.resize(out.size() + 16, 0);  // tag space
+  return out;
+}
+
+}  // namespace
+
+Result<WireMessage> build_wire_message(const SegmenterConfig& config,
+                                       const tls::RecordProtection& protection,
+                                       std::uint64_t msg_id, ByteView plaintext,
+                                       std::size_t pad_to) {
+  if (!config.layout.valid_msg_id(msg_id)) {
+    return make_error(Errc::resource_exhausted,
+                      "message ID space exhausted for this session");
+  }
+
+  // Padding request: extend the final record's inner plaintext with zeros
+  // so the total app-data-plus-padding reaches pad_to.
+  const std::size_t padded_len = std::max(plaintext.size(), pad_to);
+  const std::size_t pad_total = padded_len - plaintext.size();
+
+  // Number of records at max_record_payload granularity (at least one so
+  // empty messages still authenticate).
+  const std::size_t n_records =
+      std::max<std::size_t>(1, (padded_len + config.max_record_payload - 1) /
+                                   config.max_record_payload);
+  if (!config.layout.valid_record_index(n_records - 1)) {
+    return make_error(Errc::message_too_large,
+                      "message needs more records than the index bits allow");
+  }
+
+  WireMessage wire;
+  wire.record_count = n_records;
+
+  SegmentPlan current;
+  std::size_t consumed = 0;  // plaintext bytes consumed
+  for (std::size_t rec = 0; rec < n_records; ++rec) {
+    // App bytes for this record (the tail records may carry padding).
+    const std::size_t record_target =
+        std::min(config.max_record_payload, padded_len - rec * config.max_record_payload);
+    const std::size_t app_take =
+        std::min(record_target, plaintext.size() - consumed);
+    const std::size_t pad_take = record_target - app_take;
+    const ByteView app_data = plaintext.subspan(consumed, app_take);
+    consumed += app_take;
+
+    // Framing header carries the padded length so plaintext metadata does
+    // not reveal the true size (§6.1 length concealment).
+    Bytes framing;
+    append_u32be(framing, static_cast<std::uint32_t>(record_target));
+
+    Bytes record_bytes;
+    sim::TlsRecordDesc desc;
+    const std::uint64_t seq = config.layout.compose(msg_id, rec);
+    if (config.hardware_crypto) {
+      record_bytes = build_record_shell(app_data, pad_take);
+      desc.context_id = config.nic_context_id;
+      desc.plaintext_len = app_data.size() + 1 + pad_take;
+      desc.record_seq = seq;
+      // record_offset is fixed up below once the segment layout is known.
+    } else {
+      record_bytes =
+          protection.seal(seq, tls::ContentType::application_data, app_data,
+                          pad_take);
+    }
+
+    const std::size_t block_len = framing.size() + record_bytes.size();
+    // Segment alignment (§4.3): a record never straddles TSO segments.
+    if (!current.payload.empty() &&
+        current.payload.size() + block_len > config.max_tso_bytes) {
+      wire.total_wire_bytes += current.payload.size();
+      wire.segments.push_back(std::move(current));
+      current = SegmentPlan{};
+    }
+    if (config.hardware_crypto) {
+      desc.record_offset = current.payload.size() + framing.size();
+      current.records.push_back(desc);
+    }
+    append(current.payload, framing);
+    append(current.payload, record_bytes);
+  }
+  wire.total_wire_bytes += current.payload.size();
+  wire.segments.push_back(std::move(current));
+  (void)pad_total;
+  return wire;
+}
+
+Result<Bytes> open_wire_message(const SeqnoLayout& layout,
+                                const tls::RecordProtection& protection,
+                                std::uint64_t msg_id, ByteView wire) {
+  Bytes out;
+  std::size_t offset = 0;
+  std::uint64_t record_index = 0;
+  while (offset < wire.size()) {
+    if (wire.size() - offset < kFramingHeaderSize + tls::kRecordHeaderSize) {
+      return make_error(Errc::protocol_violation, "truncated record block");
+    }
+    const std::uint32_t framed_len = load_u32be(wire.data() + offset);
+    offset += kFramingHeaderSize;
+
+    const auto body_len =
+        tls::parse_record_length(wire.subspan(offset, tls::kRecordHeaderSize));
+    if (!body_len.ok()) return body_len.error();
+    const std::size_t record_len = tls::kRecordHeaderSize + body_len.value();
+    if (wire.size() - offset < record_len) {
+      return make_error(Errc::protocol_violation, "truncated TLS record");
+    }
+    if (!layout.valid_record_index(record_index)) {
+      return make_error(Errc::protocol_violation, "record index overflow");
+    }
+
+    const std::uint64_t seq = layout.compose(msg_id, record_index);
+    auto opened = protection.open(seq, wire.subspan(offset, record_len));
+    if (!opened.ok()) return opened.error();
+
+    // The receiver learns the true length at decryption; padding (zeros
+    // beyond the app data) was already stripped by the record layer. The
+    // framing header's padded length only guides reassembly.
+    Bytes& payload = opened.value().payload;
+    out.insert(out.end(), payload.begin(), payload.end());
+    (void)framed_len;
+
+    offset += record_len;
+    ++record_index;
+  }
+  return out;
+}
+
+}  // namespace smt::proto

@@ -1,0 +1,128 @@
+// Simulated host: NIC + application cores + softirq cores + protocol demux.
+//
+// Mirrors the paper's testbed configuration (§5 HW&OS): separate cores for
+// softirq contexts and application threads, one NIC, protocols demuxed by
+// protocol number + destination port. Transport endpoints register
+// themselves for (proto, port) pairs and decide which softirq core their
+// work lands on:
+//   * TCP: RSS — hash(5-tuple) pins the flow to ONE softirq core (HoLB);
+//   * Homa/SMT: per-message choice of the least-loaded core (SRPT-style
+//     dynamic distribution, §2.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "netsim/event.hpp"
+#include "netsim/nic.hpp"
+#include "netsim/packet.hpp"
+#include "stack/core.hpp"
+#include "stack/cost_model.hpp"
+
+namespace smt::stack {
+
+struct HostConfig {
+  std::uint32_t ip = 0;
+  std::size_t app_cores = 12;      // paper §5.2: 12 application threads
+  std::size_t softirq_cores = 4;   // paper §5.2: 4 stack threads
+  sim::NicConfig nic;
+  CostModel costs;
+};
+
+class Host {
+ public:
+  Host(sim::EventLoop& loop, HostConfig config)
+      : loop_(loop), config_(config), nic_(loop, config.nic) {
+    for (std::size_t i = 0; i < config.app_cores; ++i) app_cores_.emplace_back(loop);
+    for (std::size_t i = 0; i < config.softirq_cores; ++i)
+      softirq_cores_.emplace_back(loop);
+    nic_.set_rx_handler([this](sim::Packet pkt) { demux(std::move(pkt)); });
+  }
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  sim::EventLoop& loop() noexcept { return loop_; }
+  sim::Nic& nic() noexcept { return nic_; }
+  const HostConfig& config() const noexcept { return config_; }
+  const CostModel& costs() const noexcept { return config_.costs; }
+  std::uint32_t ip() const noexcept { return config_.ip; }
+
+  CpuCore& app_core(std::size_t i) { return app_cores_.at(i); }
+  std::size_t app_core_count() const noexcept { return app_cores_.size(); }
+
+  CpuCore& softirq_core(std::size_t i) { return softirq_cores_.at(i); }
+  std::size_t softirq_core_count() const noexcept {
+    return softirq_cores_.size();
+  }
+
+  /// RSS: the fixed softirq core for a flow (TCP's affinity model).
+  CpuCore& softirq_for_flow(const sim::FiveTuple& flow) {
+    return softirq_cores_[flow.hash() % softirq_cores_.size()];
+  }
+  std::size_t softirq_index_for_flow(const sim::FiveTuple& flow) const {
+    return flow.hash() % softirq_cores_.size();
+  }
+
+  /// Least-loaded softirq core (Homa/SMT per-message distribution).
+  /// `start_from` lets the caller reserve low-numbered cores (Homa keeps
+  /// core 0 as its pacer/SRPT thread).
+  std::size_t least_loaded_softirq_index(std::size_t start_from = 0) const {
+    if (start_from >= softirq_cores_.size()) start_from = 0;
+    std::size_t best = start_from;
+    for (std::size_t i = start_from + 1; i < softirq_cores_.size(); ++i) {
+      if (softirq_cores_[i].backlog() < softirq_cores_[best].backlog())
+        best = i;
+    }
+    return best;
+  }
+
+  /// Aggregate CPU accounting (for the §5.2 CPU-usage experiment).
+  std::uint64_t total_app_busy_ns() const {
+    std::uint64_t sum = 0;
+    for (const auto& core : app_cores_) sum += core.busy_ns();
+    return sum;
+  }
+  std::uint64_t total_softirq_busy_ns() const {
+    std::uint64_t sum = 0;
+    for (const auto& core : softirq_cores_) sum += core.busy_ns();
+    return sum;
+  }
+
+  /// --- protocol demux ---------------------------------------------------
+
+  using Endpoint = std::function<void(sim::Packet)>;
+
+  void register_endpoint(sim::Proto proto, std::uint16_t port, Endpoint ep) {
+    endpoints_[{proto, port}] = std::move(ep);
+  }
+  void unregister_endpoint(sim::Proto proto, std::uint16_t port) {
+    endpoints_.erase({proto, port});
+  }
+
+ private:
+  void demux(sim::Packet pkt) {
+    const auto key = std::make_pair(pkt.hdr.flow.proto, pkt.hdr.flow.dst_port);
+    const auto it = endpoints_.find(key);
+    if (it != endpoints_.end()) it->second(std::move(pkt));
+    // Unmatched packets are dropped, as a real host would.
+  }
+
+  sim::EventLoop& loop_;
+  HostConfig config_;
+  sim::Nic nic_;
+  std::vector<CpuCore> app_cores_;
+  std::vector<CpuCore> softirq_cores_;
+  std::map<std::pair<sim::Proto, std::uint16_t>, Endpoint> endpoints_;
+};
+
+/// Wires two hosts back-to-back over a link (the paper's topology).
+inline void connect_hosts(Host& a, Host& b, sim::Link& link) {
+  a.nic().attach_tx(&link.a2b());
+  b.nic().attach_tx(&link.b2a());
+  link.a2b().set_receiver([&b](sim::Packet pkt) { b.nic().receive(std::move(pkt)); });
+  link.b2a().set_receiver([&a](sim::Packet pkt) { a.nic().receive(std::move(pkt)); });
+}
+
+}  // namespace smt::stack

@@ -1,0 +1,195 @@
+#include "tls/cert.hpp"
+
+#include "crypto/p256.hpp"
+
+namespace smt::tls {
+
+namespace {
+
+void append_string(Bytes& out, const std::string& s) {
+  append_u16be(out, static_cast<std::uint16_t>(s.size()));
+  append(out, to_bytes(std::string_view(s)));
+}
+
+std::optional<std::string> read_string(ByteView& cursor) {
+  if (cursor.size() < 2) return std::nullopt;
+  const std::size_t len = load_u16be(cursor.data());
+  cursor = cursor.subspan(2);
+  if (cursor.size() < len) return std::nullopt;
+  std::string s(cursor.begin(), cursor.begin() + std::ptrdiff_t(len));
+  cursor = cursor.subspan(len);
+  return s;
+}
+
+std::optional<Bytes> read_vector16(ByteView& cursor) {
+  if (cursor.size() < 2) return std::nullopt;
+  const std::size_t len = load_u16be(cursor.data());
+  cursor = cursor.subspan(2);
+  if (cursor.size() < len) return std::nullopt;
+  Bytes out(cursor.begin(), cursor.begin() + std::ptrdiff_t(len));
+  cursor = cursor.subspan(len);
+  return out;
+}
+
+}  // namespace
+
+Bytes Certificate::tbs() const {
+  Bytes out;
+  append_string(out, subject);
+  append_string(out, issuer);
+  append_u16be(out, static_cast<std::uint16_t>(public_key.size()));
+  append(out, public_key);
+  append_u64be(out, not_before);
+  append_u64be(out, not_after);
+  return out;
+}
+
+Bytes Certificate::serialize() const {
+  Bytes out = tbs();
+  append_u16be(out, static_cast<std::uint16_t>(signature.size()));
+  append(out, signature);
+  return out;
+}
+
+std::optional<Certificate> Certificate::parse(ByteView data) {
+  ByteView cursor = data;
+  Certificate cert;
+  auto subject = read_string(cursor);
+  auto issuer = read_string(cursor);
+  if (!subject || !issuer) return std::nullopt;
+  cert.subject = std::move(*subject);
+  cert.issuer = std::move(*issuer);
+  auto pubkey = read_vector16(cursor);
+  if (!pubkey) return std::nullopt;
+  cert.public_key = std::move(*pubkey);
+  if (cursor.size() < 16) return std::nullopt;
+  cert.not_before = load_u64be(cursor.data());
+  cert.not_after = load_u64be(cursor.data() + 8);
+  cursor = cursor.subspan(16);
+  auto sig = read_vector16(cursor);
+  if (!sig) return std::nullopt;
+  cert.signature = std::move(*sig);
+  if (!cursor.empty()) return std::nullopt;
+  return cert;
+}
+
+Bytes CertChain::serialize() const {
+  Bytes out;
+  append_u8(out, static_cast<std::uint8_t>(certs.size()));
+  for (const auto& cert : certs) {
+    const Bytes c = cert.serialize();
+    append_u16be(out, static_cast<std::uint16_t>(c.size()));
+    append(out, c);
+  }
+  return out;
+}
+
+std::optional<CertChain> CertChain::parse(ByteView data) {
+  if (data.empty()) return std::nullopt;
+  const std::size_t count = data[0];
+  ByteView cursor = data.subspan(1);
+  CertChain chain;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto blob = read_vector16(cursor);
+    if (!blob) return std::nullopt;
+    auto cert = Certificate::parse(*blob);
+    if (!cert) return std::nullopt;
+    chain.certs.push_back(std::move(*cert));
+  }
+  if (!cursor.empty()) return std::nullopt;
+  return chain;
+}
+
+CertificateAuthority CertificateAuthority::create(const std::string& name,
+                                                  crypto::HmacDrbg& rng) {
+  CertificateAuthority ca;
+  const Bytes seed = rng.generate(32);
+  ca.key_ = crypto::ecdsa_keypair_from_seed(seed);
+
+  Certificate root;
+  root.subject = name;
+  root.issuer = name;
+  root.public_key = crypto::encode_point(ca.key_.public_key);
+  root.not_before = 0;
+  root.not_after = ~std::uint64_t{0};
+  root.signature = crypto::ecdsa_sign(ca.key_.private_key, root.tbs()).encode();
+  ca.cert_ = std::move(root);
+  return ca;
+}
+
+Certificate CertificateAuthority::issue(const std::string& subject,
+                                        ByteView subject_public_key,
+                                        std::uint64_t not_before,
+                                        std::uint64_t not_after) const {
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = cert_.subject;
+  cert.public_key = to_bytes(subject_public_key);
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.signature = crypto::ecdsa_sign(key_.private_key, cert.tbs()).encode();
+  return cert;
+}
+
+CertificateAuthority CertificateAuthority::issue_intermediate(
+    const std::string& name, crypto::HmacDrbg& rng, std::uint64_t not_before,
+    std::uint64_t not_after) const {
+  CertificateAuthority sub;
+  sub.key_ = crypto::ecdsa_keypair_from_seed(rng.generate(32));
+  sub.cert_ = issue(name, crypto::encode_point(sub.key_.public_key),
+                    not_before, not_after);
+  return sub;
+}
+
+crypto::EcdsaSignature CertificateAuthority::sign(ByteView data) const {
+  return crypto::ecdsa_sign(key_.private_key, data);
+}
+
+Status verify_chain(const CertChain& chain,
+                    const crypto::AffinePoint& trusted_root_key,
+                    std::uint64_t now, const std::string& expected_subject) {
+  if (chain.certs.empty()) {
+    return make_error(Errc::cert_invalid, "empty chain");
+  }
+  if (!expected_subject.empty() &&
+      chain.certs.front().subject != expected_subject) {
+    return make_error(Errc::cert_invalid,
+                      "leaf subject mismatch: got " + chain.certs.front().subject);
+  }
+
+  for (std::size_t i = 0; i < chain.certs.size(); ++i) {
+    const Certificate& cert = chain.certs[i];
+    if (now < cert.not_before || now > cert.not_after) {
+      return make_error(Errc::cert_invalid,
+                        "certificate outside validity: " + cert.subject);
+    }
+
+    // The signer is the next cert's key, or the trusted root for the last.
+    crypto::AffinePoint signer_key;
+    if (i + 1 < chain.certs.size()) {
+      const auto pt = crypto::decode_point(chain.certs[i + 1].public_key);
+      if (!pt) {
+        return make_error(Errc::cert_invalid, "bad issuer key encoding");
+      }
+      signer_key = *pt;
+      if (cert.issuer != chain.certs[i + 1].subject) {
+        return make_error(Errc::cert_invalid,
+                          "issuer/subject mismatch at depth " + std::to_string(i));
+      }
+    } else {
+      signer_key = trusted_root_key;
+    }
+
+    const auto sig = crypto::EcdsaSignature::decode(cert.signature);
+    if (!sig) {
+      return make_error(Errc::cert_invalid, "bad signature encoding");
+    }
+    if (!crypto::ecdsa_verify(signer_key, cert.tbs(), *sig)) {
+      return make_error(Errc::cert_invalid,
+                        "signature verification failed: " + cert.subject);
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace smt::tls

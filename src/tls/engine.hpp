@@ -1,0 +1,183 @@
+// TLS 1.3 handshake engine: client and server state machines covering
+// every key-exchange mode the paper evaluates (Figure 12):
+//
+//   * Init-1RTT — standard TLS 1.3 full handshake (baseline);
+//   * Init      — SMT-ticket 0-RTT without forward secrecy (§4.5.2);
+//   * Init-FS   — SMT-ticket 0-RTT with the server ephemeral upgrade;
+//   * Rsmp      — PSK session resumption without ECDHE;
+//   * Rsmp-FS   — PSK session resumption with ECDHE.
+//
+// plus mutual authentication (mTLS, §4.2) and the §4.5.1 accelerations
+// (key pre-generation, ECDSA, short chains with a pre-installed CA key).
+//
+// Flights are opaque byte strings; the caller moves them across whatever
+// medium it likes (directly in tests, through the simulated network in
+// benches). Per-operation wall-clock timings are recorded with the paper's
+// Table 2 operation labels.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/p256.hpp"
+#include "tls/cert.hpp"
+#include "tls/cipher.hpp"
+#include "tls/keyschedule.hpp"
+#include "tls/messages.hpp"
+#include "tls/ticket.hpp"
+#include "tls/transcript.hpp"
+
+namespace smt::tls {
+
+/// Established session key material handed to the transport.
+struct SessionSecrets {
+  CipherSuite suite = CipherSuite::aes_128_gcm_sha256;
+  Bytes client_app_secret;
+  Bytes server_app_secret;
+  TrafficKeys client_keys;
+  TrafficKeys server_keys;
+  Bytes resumption_master;
+  bool forward_secret = false;
+  bool early_data_accepted = false;
+  /// 0-RTT direction keys (client->server) when early data is in use.
+  Bytes client_early_secret;
+  TrafficKeys client_early_keys;
+};
+
+/// Wall-clock breakdown using the paper's Table 2 operation identifiers.
+struct HandshakeTimings {
+  std::vector<std::pair<std::string, double>> ops;  // label -> microseconds
+
+  void add(std::string label, double micros) {
+    ops.emplace_back(std::move(label), micros);
+  }
+  double total_us() const {
+    double sum = 0;
+    for (const auto& [label, us] : ops) sum += us;
+    return sum;
+  }
+};
+
+struct PskInfo {
+  Bytes identity;
+  Bytes key;
+};
+
+struct ClientIdentity {
+  CertChain chain;
+  crypto::EcdsaKeyPair key;
+};
+
+struct ClientConfig {
+  CipherSuite suite = CipherSuite::aes_128_gcm_sha256;
+  std::string server_name;
+  crypto::AffinePoint trusted_ca;
+  std::uint64_t now = 0;
+
+  /// mTLS client identity; engaged when the server requests a certificate.
+  std::optional<ClientIdentity> identity;
+
+  /// PSK resumption (Rsmp / Rsmp-FS).
+  std::optional<PskInfo> psk;
+  bool psk_ecdhe = false;
+
+  /// SMT-ticket 0-RTT (Init / Init-FS). The ticket must already be
+  /// verified (verify_smt_ticket) — the paper's point is that verification
+  /// happens ahead of the connection (§4.5.2).
+  std::optional<SmtTicket> smt_ticket;
+  bool early_data = false;
+  bool request_fs = false;
+
+  /// Standby ephemeral key (paper §4.5.1 key pre-generation). When absent
+  /// the engine generates one inside the timed section (C1.1).
+  std::optional<crypto::EcdhKeyPair> pregen_ephemeral;
+};
+
+struct ServerConfig {
+  CipherSuite suite = CipherSuite::aes_128_gcm_sha256;
+  CertChain chain;
+  crypto::EcdsaKeyPair sig_key;
+  crypto::AffinePoint trusted_ca;  // for client-cert verification
+  std::uint64_t now = 0;
+  bool request_client_cert = false;
+
+  /// Resumption PSK lookup by ticket identity.
+  std::function<std::optional<Bytes>(ByteView identity)> psk_lookup;
+
+  /// SMT long-term ECDH key lookup by ticket identity (§4.5.2).
+  std::function<std::optional<crypto::EcdhKeyPair>(ByteView ticket_id)>
+      smt_key_lookup;
+
+  bool accept_early_data = false;
+  ZeroRttReplayGuard* replay_guard = nullptr;  // borrowed; may be null
+
+  std::optional<crypto::EcdhKeyPair> pregen_ephemeral;
+};
+
+class ClientHandshake {
+ public:
+  ClientHandshake(ClientConfig config, crypto::HmacDrbg& rng);
+
+  /// Produces the first flight (ClientHello). With an SMT ticket or PSK +
+  /// early data, 0-RTT keys are available immediately afterwards.
+  Result<Bytes> start();
+
+  /// Consumes the server flight; returns the client's second flight.
+  Result<Bytes> on_server_flight(ByteView flight);
+
+  bool done() const noexcept { return done_; }
+  const SessionSecrets& secrets() const noexcept { return secrets_; }
+  const HandshakeTimings& timings() const noexcept { return timings_; }
+
+  /// Computes the resumption PSK for a NewSessionTicket from this session.
+  PskInfo psk_from_ticket(const NewSessionTicket& ticket) const;
+
+ private:
+  ClientConfig config_;
+  crypto::HmacDrbg& rng_;
+  crypto::EcdhKeyPair ephemeral_;
+  KeySchedule schedule_;
+  Transcript transcript_;
+  SessionSecrets secrets_;
+  HandshakeTimings timings_;
+  Bytes smt_key_;  // derived 0-RTT key in SMT-ticket mode
+  bool started_ = false;
+  bool done_ = false;
+};
+
+class ServerHandshake {
+ public:
+  ServerHandshake(ServerConfig config, crypto::HmacDrbg& rng);
+
+  /// Consumes the client's first flight; returns the server flight.
+  Result<Bytes> on_client_flight(ByteView flight);
+
+  /// Consumes the client's second flight (Finished, maybe certs).
+  Status on_client_finished(ByteView flight);
+
+  bool done() const noexcept { return done_; }
+  const SessionSecrets& secrets() const noexcept { return secrets_; }
+  const HandshakeTimings& timings() const noexcept { return timings_; }
+
+  /// Issues a NewSessionTicket and returns the PSK to store server-side.
+  std::pair<Bytes, PskInfo> make_session_ticket();
+
+ private:
+  ServerConfig config_;
+  crypto::HmacDrbg& rng_;
+  KeySchedule schedule_;
+  Transcript transcript_;
+  SessionSecrets secrets_;
+  HandshakeTimings timings_;
+  Bytes client_finished_key_;
+  bool expect_client_cert_ = false;
+  bool done_ = false;
+};
+
+}  // namespace smt::tls

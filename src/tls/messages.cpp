@@ -1,0 +1,199 @@
+#include "tls/messages.hpp"
+
+namespace smt::tls {
+
+namespace {
+
+void append_vector16(Bytes& out, ByteView v) {
+  append_u16be(out, static_cast<std::uint16_t>(v.size()));
+  append(out, v);
+}
+
+std::optional<Bytes> read_vector16(ByteView& cursor) {
+  if (cursor.size() < 2) return std::nullopt;
+  const std::size_t len = load_u16be(cursor.data());
+  cursor = cursor.subspan(2);
+  if (cursor.size() < len) return std::nullopt;
+  Bytes out(cursor.begin(), cursor.begin() + std::ptrdiff_t(len));
+  cursor = cursor.subspan(len);
+  return out;
+}
+
+Bytes frame(HandshakeType type, ByteView body) {
+  Bytes out;
+  append_u8(out, static_cast<std::uint8_t>(type));
+  append_u24be(out, static_cast<std::uint32_t>(body.size()));
+  append(out, body);
+  return out;
+}
+
+}  // namespace
+
+Bytes ClientHello::serialize() const {
+  Bytes body;
+  append(body, random);
+  append_u16be(body, static_cast<std::uint16_t>(suite));
+  append_vector16(body, key_share);
+  append_vector16(body, psk_identity);
+  append_vector16(body, psk_binder);
+  append_vector16(body, smt_ticket_id);
+  std::uint8_t flags = 0;
+  if (early_data) flags |= 0x01;
+  if (request_fs) flags |= 0x02;
+  if (psk_ecdhe) flags |= 0x04;
+  append_u8(body, flags);
+  return frame(HandshakeType::client_hello, body);
+}
+
+std::optional<ClientHello> ClientHello::parse(ByteView body) {
+  if (body.size() < 32) return std::nullopt;
+  ClientHello hello;
+  hello.random = to_bytes(body.first(32));
+  ByteView cursor = body.subspan(32);
+  if (cursor.size() < 2) return std::nullopt;
+  hello.suite = static_cast<CipherSuite>(load_u16be(cursor.data()));
+  cursor = cursor.subspan(2);
+  auto key_share = read_vector16(cursor);
+  auto psk_identity = read_vector16(cursor);
+  auto psk_binder = read_vector16(cursor);
+  auto smt_ticket_id = read_vector16(cursor);
+  if (!key_share || !psk_identity || !psk_binder || !smt_ticket_id)
+    return std::nullopt;
+  hello.key_share = std::move(*key_share);
+  hello.psk_identity = std::move(*psk_identity);
+  hello.psk_binder = std::move(*psk_binder);
+  hello.smt_ticket_id = std::move(*smt_ticket_id);
+  if (cursor.size() != 1) return std::nullopt;
+  hello.early_data = cursor[0] & 0x01;
+  hello.request_fs = cursor[0] & 0x02;
+  hello.psk_ecdhe = cursor[0] & 0x04;
+  return hello;
+}
+
+Bytes ServerHello::serialize() const {
+  Bytes body;
+  append(body, random);
+  append_u16be(body, static_cast<std::uint16_t>(suite));
+  append_vector16(body, key_share);
+  std::uint8_t flags = 0;
+  if (psk_accepted) flags |= 0x01;
+  if (early_data_accepted) flags |= 0x02;
+  append_u8(body, flags);
+  return frame(HandshakeType::server_hello, body);
+}
+
+std::optional<ServerHello> ServerHello::parse(ByteView body) {
+  if (body.size() < 32 + 2) return std::nullopt;
+  ServerHello hello;
+  hello.random = to_bytes(body.first(32));
+  ByteView cursor = body.subspan(32);
+  hello.suite = static_cast<CipherSuite>(load_u16be(cursor.data()));
+  cursor = cursor.subspan(2);
+  auto key_share = read_vector16(cursor);
+  if (!key_share) return std::nullopt;
+  hello.key_share = std::move(*key_share);
+  if (cursor.size() != 1) return std::nullopt;
+  hello.psk_accepted = cursor[0] & 0x01;
+  hello.early_data_accepted = cursor[0] & 0x02;
+  return hello;
+}
+
+Bytes EncryptedExtensions::serialize() const {
+  Bytes body;
+  append_u8(body, client_cert_requested ? 1 : 0);
+  return frame(HandshakeType::encrypted_extensions, body);
+}
+
+std::optional<EncryptedExtensions> EncryptedExtensions::parse(ByteView body) {
+  if (body.size() != 1) return std::nullopt;
+  EncryptedExtensions ee;
+  ee.client_cert_requested = body[0] & 0x01;
+  return ee;
+}
+
+Bytes CertificateMsg::serialize() const {
+  return frame(HandshakeType::certificate, chain.serialize());
+}
+
+std::optional<CertificateMsg> CertificateMsg::parse(ByteView body) {
+  auto chain = CertChain::parse(body);
+  if (!chain) return std::nullopt;
+  return CertificateMsg{std::move(*chain)};
+}
+
+Bytes CertificateVerify::serialize() const {
+  Bytes body;
+  append_vector16(body, signature);
+  return frame(HandshakeType::certificate_verify, body);
+}
+
+std::optional<CertificateVerify> CertificateVerify::parse(ByteView body) {
+  ByteView cursor = body;
+  auto sig = read_vector16(cursor);
+  if (!sig || !cursor.empty()) return std::nullopt;
+  return CertificateVerify{std::move(*sig)};
+}
+
+Bytes Finished::serialize() const {
+  Bytes body;
+  append_vector16(body, verify_data);
+  return frame(HandshakeType::finished, body);
+}
+
+std::optional<Finished> Finished::parse(ByteView body) {
+  ByteView cursor = body;
+  auto vd = read_vector16(cursor);
+  if (!vd || !cursor.empty()) return std::nullopt;
+  return Finished{std::move(*vd)};
+}
+
+Bytes NewSessionTicket::serialize() const {
+  Bytes body;
+  append_u64be(body, lifetime_seconds);
+  append_vector16(body, ticket_id);
+  append_vector16(body, nonce);
+  return frame(HandshakeType::new_session_ticket, body);
+}
+
+std::optional<NewSessionTicket> NewSessionTicket::parse(ByteView body) {
+  if (body.size() < 8) return std::nullopt;
+  NewSessionTicket ticket;
+  ticket.lifetime_seconds = load_u64be(body.data());
+  ByteView cursor = body.subspan(8);
+  auto id = read_vector16(cursor);
+  auto nonce = read_vector16(cursor);
+  if (!id || !nonce || !cursor.empty()) return std::nullopt;
+  ticket.ticket_id = std::move(*id);
+  ticket.nonce = std::move(*nonce);
+  return ticket;
+}
+
+std::optional<std::vector<FramedMessage>> split_flight(ByteView flight) {
+  std::vector<FramedMessage> out;
+  ByteView cursor = flight;
+  while (!cursor.empty()) {
+    if (cursor.size() < 4) return std::nullopt;
+    FramedMessage msg;
+    msg.type = static_cast<HandshakeType>(cursor[0]);
+    const std::size_t len = load_u24be(cursor.data() + 1);
+    if (cursor.size() < 4 + len) return std::nullopt;
+    msg.raw = to_bytes(cursor.first(4 + len));
+    msg.body = to_bytes(cursor.subspan(4, len));
+    cursor = cursor.subspan(4 + len);
+    out.push_back(std::move(msg));
+  }
+  return out;
+}
+
+Bytes certificate_verify_content(bool server, ByteView transcript_hash) {
+  // RFC 8446 §4.4.3: 64 spaces, context string, 0x00, transcript hash.
+  Bytes content(64, 0x20);
+  const std::string_view ctx = server ? "TLS 1.3, server CertificateVerify"
+                                      : "TLS 1.3, client CertificateVerify";
+  append(content, to_bytes(ctx));
+  append_u8(content, 0x00);
+  append(content, transcript_hash);
+  return content;
+}
+
+}  // namespace smt::tls

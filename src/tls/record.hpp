@@ -1,0 +1,79 @@
+// TLS 1.3 record protection (RFC 8446 §5.2-5.3).
+//
+// The caller supplies the 64-bit record sequence number explicitly. This is
+// the pivot of the paper's Figure 4:
+//   * TLS/TCP    — a single monotonically increasing per-connection counter;
+//   * SMT        — a composite (48-bit message ID || 16-bit intra-message
+//                  record index) supplied by the SMT session (§4.4.1);
+//   * QUIC-style — a per-packet number (discussed in §6.3).
+// The AEAD nonce is IV XOR seq per RFC 8446, so hardware with a
+// self-incrementing counter works for the low (record-index) bits — the
+// property SMT's composite layout preserves.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/gcm.hpp"
+#include "tls/cipher.hpp"
+#include "tls/keyschedule.hpp"
+
+namespace smt::tls {
+
+/// Record content types (subset used here).
+enum class ContentType : std::uint8_t {
+  alert = 21,
+  handshake = 22,
+  application_data = 23,
+};
+
+/// Maximum plaintext per record (RFC 8446 §5.1): 2^14 bytes.
+constexpr std::size_t kMaxRecordPlaintext = 16384;
+
+/// Record header size on the wire: type(1) + legacy version(2) + length(2).
+constexpr std::size_t kRecordHeaderSize = 5;
+
+/// Per-record expansion: header + content-type byte + AEAD tag.
+constexpr std::size_t record_overhead(CipherSuite suite) noexcept {
+  return kRecordHeaderSize + 1 + tag_length(suite);
+}
+
+struct OpenedRecord {
+  ContentType type;
+  Bytes payload;  // with padding and content-type byte stripped
+};
+
+/// Stateless sealer/opener bound to one direction's traffic keys.
+class RecordProtection {
+ public:
+  RecordProtection(CipherSuite suite, TrafficKeys keys);
+
+  /// Seals `payload` into a full wire record (header included).
+  /// `pad_len` appends that many zero bytes inside the ciphertext for
+  /// length concealment (§6.1 "Length concealment").
+  Bytes seal(std::uint64_t seq, ContentType type, ByteView payload,
+             std::size_t pad_len = 0) const;
+
+  /// Opens a full wire record (header included). Fails on tag mismatch,
+  /// malformed header, or empty inner plaintext.
+  Result<OpenedRecord> open(std::uint64_t seq, ByteView record) const;
+
+  /// Computes the per-record nonce (exposed so the simulated NIC offload
+  /// engine encrypts exactly like the software path).
+  Bytes nonce_for(std::uint64_t seq) const;
+
+  const TrafficKeys& keys() const noexcept { return keys_; }
+  CipherSuite suite() const noexcept { return suite_; }
+
+ private:
+  CipherSuite suite_;
+  TrafficKeys keys_;
+  crypto::AesGcm aead_;
+};
+
+/// Parses the 5-byte record header; returns the record body length or an
+/// error. Used by stream reassembly to delimit records in TCP flows.
+Result<std::size_t> parse_record_length(ByteView header5);
+
+}  // namespace smt::tls

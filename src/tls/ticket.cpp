@@ -1,0 +1,122 @@
+#include "tls/ticket.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace smt::tls {
+
+namespace {
+
+void append_string(Bytes& out, const std::string& s) {
+  append_u16be(out, static_cast<std::uint16_t>(s.size()));
+  append(out, to_bytes(std::string_view(s)));
+}
+
+}  // namespace
+
+Bytes SmtTicket::id() const { return crypto::sha256(tbs()); }
+
+Bytes SmtTicket::tbs() const {
+  Bytes out;
+  append_string(out, server_name);
+  append_u16be(out, static_cast<std::uint16_t>(server_longterm_pub.size()));
+  append(out, server_longterm_pub);
+  const Bytes chain_bytes = chain.serialize();
+  append_u16be(out, static_cast<std::uint16_t>(chain_bytes.size()));
+  append(out, chain_bytes);
+  append_u64be(out, not_before);
+  append_u64be(out, not_after);
+  return out;
+}
+
+Bytes SmtTicket::serialize() const {
+  Bytes out = tbs();
+  append_u16be(out, static_cast<std::uint16_t>(signature.size()));
+  append(out, signature);
+  return out;
+}
+
+std::optional<SmtTicket> SmtTicket::parse(ByteView data) {
+  ByteView cursor = data;
+  const auto read16 = [&cursor]() -> std::optional<Bytes> {
+    if (cursor.size() < 2) return std::nullopt;
+    const std::size_t len = load_u16be(cursor.data());
+    cursor = cursor.subspan(2);
+    if (cursor.size() < len) return std::nullopt;
+    Bytes out(cursor.begin(), cursor.begin() + std::ptrdiff_t(len));
+    cursor = cursor.subspan(len);
+    return out;
+  };
+
+  SmtTicket ticket;
+  auto name = read16();
+  if (!name) return std::nullopt;
+  ticket.server_name.assign(name->begin(), name->end());
+  auto pub = read16();
+  if (!pub) return std::nullopt;
+  ticket.server_longterm_pub = std::move(*pub);
+  auto chain_bytes = read16();
+  if (!chain_bytes) return std::nullopt;
+  auto chain = CertChain::parse(*chain_bytes);
+  if (!chain) return std::nullopt;
+  ticket.chain = std::move(*chain);
+  if (cursor.size() < 16) return std::nullopt;
+  ticket.not_before = load_u64be(cursor.data());
+  ticket.not_after = load_u64be(cursor.data() + 8);
+  cursor = cursor.subspan(16);
+  auto sig = read16();
+  if (!sig || !cursor.empty()) return std::nullopt;
+  ticket.signature = std::move(*sig);
+  return ticket;
+}
+
+SmtTicket issue_smt_ticket(const CertificateAuthority& ca,
+                           const std::string& server_name,
+                           ByteView server_longterm_pub,
+                           const CertChain& server_chain,
+                           std::uint64_t not_before, std::uint64_t not_after) {
+  SmtTicket ticket;
+  ticket.server_name = server_name;
+  ticket.server_longterm_pub = to_bytes(server_longterm_pub);
+  ticket.chain = server_chain;
+  ticket.not_before = not_before;
+  ticket.not_after = not_after;
+  ticket.signature = ca.sign(ticket.tbs()).encode();
+  return ticket;
+}
+
+Status verify_smt_ticket(const SmtTicket& ticket,
+                         const crypto::AffinePoint& ca_key,
+                         std::uint64_t now) {
+  if (now < ticket.not_before || now > ticket.not_after) {
+    return make_error(Errc::ticket_expired,
+                      "SMT-ticket outside validity window");
+  }
+  const auto sig = crypto::EcdsaSignature::decode(ticket.signature);
+  if (!sig) {
+    return make_error(Errc::cert_invalid, "bad ticket signature encoding");
+  }
+  if (!crypto::ecdsa_verify(ca_key, ticket.tbs(), *sig)) {
+    return make_error(Errc::cert_invalid, "ticket signature invalid");
+  }
+  if (!crypto::decode_point(ticket.server_longterm_pub)) {
+    return make_error(Errc::cert_invalid, "ticket carries invalid ECDH share");
+  }
+  return verify_chain(ticket.chain, ca_key, now, ticket.server_name);
+}
+
+void TicketDirectory::publish(SmtTicket ticket) {
+  tickets_[ticket.server_name] = std::move(ticket);
+}
+
+std::optional<SmtTicket> TicketDirectory::lookup(
+    const std::string& server_name) const {
+  const auto it = tickets_.find(server_name);
+  if (it == tickets_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ZeroRttReplayGuard::check_and_record(ByteView chlo_random) {
+  return seen_.insert(to_bytes(chlo_random)).second;
+}
+
+}  // namespace smt::tls

@@ -1,0 +1,83 @@
+// SMT-ticket: DNS-distributed 0-RTT key material (paper §4.5.2).
+//
+// The datacenter's internal DNS resolver (here: TicketDirectory) hands
+// clients an SMT-ticket containing (i) the server's long-term ECDH public
+// share, (ii) its certificate chain, and (iii) a CA signature over the
+// ticket. A client that trusts the pre-installed CA key can verify the
+// ticket *before* any connection, derive an SMT-key from the long-term
+// share and its own ephemeral, and send encrypted data on the first flight.
+//
+// Forward secrecy (§4.5.3): tickets carry a validity window (the paper
+// recommends at most one hour); servers additionally record ClientHello
+// randoms seen within the window to limit 0-RTT replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/p256.hpp"
+#include "tls/cert.hpp"
+
+namespace smt::tls {
+
+struct SmtTicket {
+  std::string server_name;
+  Bytes server_longterm_pub;  // 65-byte SEC1 ECDH share
+  CertChain chain;            // server certificate chain
+  std::uint64_t not_before = 0;
+  std::uint64_t not_after = 0;   // recommended <= not_before + 3600
+  Bytes signature;            // CA signature over tbs()
+
+  /// Ticket identity carried in the ClientHello (hash of the ticket body).
+  Bytes id() const;
+
+  Bytes tbs() const;
+  Bytes serialize() const;
+  static std::optional<SmtTicket> parse(ByteView data);
+};
+
+/// Issues a ticket for a server's long-term share, signed by the CA.
+SmtTicket issue_smt_ticket(const CertificateAuthority& ca,
+                           const std::string& server_name,
+                           ByteView server_longterm_pub,
+                           const CertChain& server_chain,
+                           std::uint64_t not_before, std::uint64_t not_after);
+
+/// Client-side verification against the pre-installed CA key. Checks the
+/// CA signature, the validity window, and the embedded certificate chain.
+Status verify_smt_ticket(const SmtTicket& ticket,
+                         const crypto::AffinePoint& ca_key, std::uint64_t now);
+
+/// The "internal DNS resolver": serves the freshest ticket per server name.
+class TicketDirectory {
+ public:
+  void publish(SmtTicket ticket);
+  std::optional<SmtTicket> lookup(const std::string& server_name) const;
+  std::size_t size() const noexcept { return tickets_.size(); }
+
+ private:
+  std::map<std::string, SmtTicket> tickets_;
+};
+
+/// Server-side 0-RTT anti-replay store (§4.5.3): remembers ClientHello
+/// randoms within the ticket validity window.
+class ZeroRttReplayGuard {
+ public:
+  /// Returns false (replay) if the random was seen before.
+  bool check_and_record(ByteView chlo_random);
+
+  /// Drops all recorded randoms (e.g. on ticket rotation).
+  void rotate() { seen_.clear(); }
+
+  std::size_t size() const noexcept { return seen_.size(); }
+
+ private:
+  std::set<Bytes> seen_;
+};
+
+}  // namespace smt::tls

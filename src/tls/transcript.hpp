@@ -1,0 +1,27 @@
+// Handshake transcript hash (RFC 8446 §4.4.1).
+//
+// Copyable so the key schedule can snapshot the hash at intermediate
+// points (e.g. ClientHello..ServerFinished) while the handshake continues.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace smt::tls {
+
+class Transcript {
+ public:
+  void add(ByteView handshake_message) { hash_.update(handshake_message); }
+
+  /// Hash of everything added so far; does not disturb the running state.
+  Bytes current() const {
+    crypto::Sha256 copy = hash_;
+    const auto digest = copy.finish();
+    return Bytes(digest.begin(), digest.end());
+  }
+
+ private:
+  crypto::Sha256 hash_;
+};
+
+}  // namespace smt::tls

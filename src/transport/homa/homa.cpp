@@ -1,0 +1,510 @@
+#include "transport/homa/homa.hpp"
+
+#include <cassert>
+
+namespace smt::transport {
+
+using sim::Packet;
+using sim::PacketType;
+
+namespace {
+/// How long a completed message's identity is remembered for dedup. Must
+/// cover the sender's retry horizon (5 retries x 5 resend intervals) so a
+/// backstop retransmission of an already-delivered message is recognised.
+constexpr SimDuration kCompletedRetention = msec(30);
+}  // namespace
+
+HomaEndpoint::HomaEndpoint(stack::Host& host, std::uint16_t port,
+                           HomaConfig config)
+    : host_(host), port_(port), config_(config) {
+  host_.register_endpoint(config_.proto, port_,
+                          [this](Packet pkt) { on_packet(std::move(pkt)); });
+}
+
+HomaEndpoint::~HomaEndpoint() { host_.unregister_endpoint(config_.proto, port_); }
+
+sim::FiveTuple HomaEndpoint::flow_to(PeerAddr dst) const {
+  sim::FiveTuple flow;
+  flow.src_ip = host_.ip();
+  flow.dst_ip = dst.ip;
+  flow.src_port = port_;
+  flow.dst_port = dst.port;
+  flow.proto = config_.proto;
+  return flow;
+}
+
+Result<std::uint64_t> HomaEndpoint::send_message(PeerAddr dst, Bytes payload,
+                                                 stack::CpuCore* app_core) {
+  if (payload.size() > config_.max_message_bytes) {
+    return make_error(Errc::message_too_large,
+                      "message exceeds max_message_bytes");
+  }
+  // Cut into TSO-sized segments.
+  std::vector<SegmentSpec> segments;
+  std::size_t off = 0;
+  const std::size_t total = payload.size();
+  do {
+    const std::size_t take =
+        std::min(config_.max_tso_bytes, payload.size() - off);
+    SegmentSpec seg;
+    seg.payload.assign(payload.begin() + std::ptrdiff_t(off),
+                       payload.begin() + std::ptrdiff_t(off + take));
+    segments.push_back(std::move(seg));
+    off += take;
+  } while (off < payload.size());
+  return send_segments(dst, std::move(segments), total, std::nullopt,
+                       app_core, nullptr);
+}
+
+Result<std::uint64_t> HomaEndpoint::send_segments(
+    PeerAddr dst, std::vector<SegmentSpec> segments, std::size_t total_bytes,
+    std::optional<std::uint64_t> explicit_id, stack::CpuCore* app_core,
+    PrePostHook pre_post) {
+  if (total_bytes > config_.max_message_bytes) {
+    return make_error(Errc::message_too_large,
+                      "message exceeds max_message_bytes");
+  }
+  const std::uint64_t msg_id = explicit_id.value_or(next_msg_id_++);
+  if (explicit_id && *explicit_id >= next_msg_id_) next_msg_id_ = *explicit_id + 1;
+  if (tx_messages_.count(msg_id)) {
+    return make_error(Errc::invalid_argument, "duplicate message id");
+  }
+
+  TxMessage tx;
+  tx.dst = dst;
+  tx.msg_id = msg_id;
+  tx.total_bytes = total_bytes;
+  tx.granted_bytes = std::min(total_bytes, config_.unscheduled_bytes);
+  if (tx.granted_bytes == 0 && total_bytes == 0) tx.granted_bytes = 0;
+  tx.pre_post = std::move(pre_post);
+  std::size_t offset = 0;
+  for (auto& seg : segments) {
+    tx.segment_offsets.push_back(offset);
+    offset += seg.payload.size();
+    tx.segments.push_back(std::move(seg));
+  }
+  assert(offset == total_bytes && "segment sizes must sum to total_bytes");
+
+  auto [it, inserted] = tx_messages_.emplace(msg_id, std::move(tx));
+  assert(inserted);
+  ++stats_.messages_sent;
+
+  // Syscall-context costs: entry + copy-in, then the unscheduled part is
+  // pushed directly from the syscall (paper §3.2: small messages are sent
+  // in the syscall context).
+  if (app_core != nullptr) {
+    const auto& costs = host_.costs();
+    const SimDuration cost = costs.syscall + costs.copy_cost(total_bytes);
+    app_core->run(cost, [this, msg_id, app_core] {
+      auto it2 = tx_messages_.find(msg_id);
+      if (it2 != tx_messages_.end()) pump_tx(it2->second, app_core);
+    });
+  } else {
+    pump_tx(it->second, nullptr);
+  }
+  return msg_id;
+}
+
+void HomaEndpoint::pump_tx(TxMessage& tx, stack::CpuCore* core) {
+  // Send whole segments, in order, while their start offset is inside the
+  // granted window (segment 0 is always unscheduled).
+  while (tx.next_segment < tx.segments.size()) {
+    const std::size_t index = tx.next_segment;
+    if (tx.segment_offsets[index] > 0 &&
+        tx.segment_offsets[index] >= tx.granted_bytes) {
+      break;  // waiting for grants
+    }
+    post_segment_for(tx, index, core);
+    tx.sent_bytes += tx.segments[index].payload.size();
+    ++tx.next_segment;
+  }
+
+  if (tx.next_segment >= tx.segments.size() && !tx.gc_armed) {
+    tx.gc_armed = true;
+    arm_tx_retry(tx.msg_id);
+  }
+}
+
+void HomaEndpoint::arm_tx_retry(std::uint64_t msg_id) {
+  // Sender-side backstop: if the receiver never ACKs (all packets of the
+  // message lost, so receiver-driven RESEND cannot trigger — or the ACK
+  // itself was lost), retransmit the whole message a few times, then give
+  // up. Duplicates are harmless: the receiver's interval merge and, one
+  // layer up, SMT's replay filter absorb them.
+  host_.loop().schedule(config_.resend_interval * 5, [this, msg_id] {
+    const auto it = tx_messages_.find(msg_id);
+    if (it == tx_messages_.end()) return;  // acked and freed
+    TxMessage& tx = it->second;
+    if (++tx.retries > 4) {
+      tx_messages_.erase(it);
+      if (on_sent_) on_sent_(msg_id);  // gave up; report to unblock callers
+      return;
+    }
+    ++stats_.packets_retransmitted;
+    for (std::size_t i = 0; i < tx.segments.size(); ++i) {
+      post_segment_for(tx, i, nullptr);
+    }
+    arm_tx_retry(msg_id);
+  });
+}
+
+void HomaEndpoint::post_segment_for(TxMessage& tx, std::size_t seg_index,
+                                    stack::CpuCore* core) {
+  const SegmentSpec& seg = tx.segments[seg_index];
+
+  sim::SegmentDescriptor d;
+  d.segment.hdr.flow = flow_to(tx.dst);
+  d.segment.hdr.type = PacketType::data;
+  d.segment.hdr.msg_id = tx.msg_id;
+  d.segment.hdr.msg_len = std::uint32_t(tx.total_bytes);
+  d.segment.hdr.tso_off = std::uint32_t(tx.segment_offsets[seg_index]);
+  d.segment.payload = seg.payload;
+  d.records = seg.records;
+
+  const std::size_t queue = queue_for_message(tx.msg_id);
+  const std::size_t mss = host_.nic().config().mtu_payload;
+  const std::size_t npkts = (seg.payload.size() + mss - 1) / mss;
+  const auto& costs = host_.costs();
+  const SimDuration cost =
+      costs.tso_build + costs.homa_tx_packet * SimDuration(npkts == 0 ? 1 : npkts);
+
+  auto post = [this, queue, pre = tx.pre_post, desc = std::move(d)]() mutable {
+    if (pre) pre(queue, desc);
+    host_.nic().post_segment(queue, std::move(desc));
+  };
+  if (core != nullptr) {
+    core->run(cost, std::move(post));
+  } else {
+    post();
+  }
+}
+
+void HomaEndpoint::on_packet(Packet pkt) {
+  switch (pkt.hdr.type) {
+    case PacketType::data:
+      handle_data(std::move(pkt));
+      break;
+    case PacketType::grant:
+      handle_grant(pkt);
+      break;
+    case PacketType::resend:
+      handle_resend(pkt);
+      break;
+    case PacketType::ack:
+      handle_ack(pkt);
+      break;
+    default:
+      break;
+  }
+}
+
+void HomaEndpoint::handle_data(Packet pkt) {
+  const PeerAddr peer{pkt.hdr.flow.src_ip, pkt.hdr.flow.src_port};
+  const RxKey key{peer, pkt.hdr.msg_id};
+
+  // NDP-style trimmed stub (§7): the payload is gone but the PLAINTEXT
+  // metadata identifies exactly which bytes to re-request — the receiver
+  // fires a RESEND immediately instead of waiting for the gap timer.
+  if (pkt.hdr.trimmed) {
+    if (recently_completed_.count(key)) return;
+    std::size_t offset;
+    if (pkt.hdr.resend_off != 0) {
+      offset = pkt.hdr.resend_off - 1;
+    } else {
+      const std::uint16_t delta =
+          std::uint16_t(pkt.hdr.ip_id - pkt.hdr.ipid_base);
+      offset =
+          pkt.hdr.tso_off + std::size_t(delta) * host_.nic().config().mtu_payload;
+    }
+    ++stats_.trim_resends;
+    send_ctrl(peer, PacketType::resend, pkt.hdr.msg_id,
+              std::uint32_t(offset) + 1,
+              std::uint32_t(offset + pkt.hdr.trimmed_len));
+    return;
+  }
+
+  // Spurious retransmission of an already-delivered message (§4.3). The
+  // dedup window is TIME-bounded: expired entries are pruned here too, so
+  // long-delayed duplicates fall through to the layer above (where SMT's
+  // replay filter provides the durable defence, §6.1).
+  const SimTime now = host_.loop().now();
+  while (!completed_order_.empty() &&
+         completed_order_.front().first + kCompletedRetention < now) {
+    recently_completed_.erase(completed_order_.front().second);
+    completed_order_.pop_front();
+  }
+  if (recently_completed_.count(key)) return;
+
+  auto [it, created] = rx_messages_.try_emplace(key);
+  RxMessage& rx = it->second;
+  if (created) {
+    rx.peer = peer;
+    rx.msg_id = pkt.hdr.msg_id;
+    rx.total_bytes = pkt.hdr.msg_len;
+    rx.buffer.resize(rx.total_bytes);
+    // SRPT-style dynamic distribution: the message binds to the currently
+    // least-loaded softirq core, NOT a flow-pinned one (§2.2). Core 0 is
+    // the pacer/SRPT thread and is skipped when other cores exist.
+    rx.softirq_core = host_.least_loaded_softirq_index(
+        host_.softirq_core_count() > 1 ? 1 : 0);
+    ++stats_.messages_received;
+  }
+  rx.last_activity = host_.loop().now();
+
+  // Intra-segment packet offset from the IPID (§4.3); retransmitted
+  // packets carry an explicit offset instead.
+  std::size_t offset;
+  if (pkt.hdr.resend_off != 0) {
+    offset = pkt.hdr.resend_off - 1;
+  } else {
+    const std::uint16_t delta =
+        std::uint16_t(pkt.hdr.ip_id - pkt.hdr.ipid_base);
+    offset = pkt.hdr.tso_off + std::size_t(delta) * host_.nic().config().mtu_payload;
+  }
+
+  stack::CpuCore& core = host_.softirq_core(rx.softirq_core);
+  const auto& costs = host_.costs();
+  const SimDuration rx_cost = pkt.hdr.ip_id == pkt.hdr.ipid_base
+                                  ? costs.homa_rx_packet
+                                  : costs.rx_packet_cont;
+  // Pacer/SRPT thread (core 0): every message passes through a fixed
+  // bookkeeping step on creation; multi-packet (scheduled-path) messages
+  // additionally pay per packet. This serialised thread is Homa/Linux's
+  // throughput ceiling — the paper's "constrained to ~700 K RPC/s by the
+  // softirq thread" (§5.2/§5.3). It adds only nanoseconds of unloaded
+  // latency, but under load the per-message work queues on ONE core.
+  SimDuration pacer_cost = 0;
+  if (created) pacer_cost += costs.homa_pacer_per_message;
+  if (rx.total_bytes > host_.nic().config().mtu_payload) {
+    pacer_cost += costs.homa_pacer_per_packet;
+  }
+
+  auto process = [this, key, offset, payload = std::move(pkt.payload)] {
+    auto it2 = rx_messages_.find(key);
+    if (it2 == rx_messages_.end()) return;
+    RxMessage& rx2 = it2->second;
+    rx_insert(rx2, offset, payload);
+    if (rx2.received_bytes >= rx2.total_bytes) {
+      rx_complete(key);
+    } else {
+      maybe_grant(rx2);
+      arm_resend_timer(key);
+    }
+  };
+
+  if (pacer_cost > 0) {
+    // The packet's protocol work is gated behind the pacer step.
+    host_.softirq_core(0).run(
+        pacer_cost, [this, key, rx_cost, process = std::move(process)] {
+          auto it2 = rx_messages_.find(key);
+          if (it2 == rx_messages_.end()) return;
+          host_.softirq_core(it2->second.softirq_core)
+              .run(rx_cost, std::move(process));
+        });
+  } else {
+    core.run(rx_cost, std::move(process));
+  }
+}
+
+void HomaEndpoint::rx_insert(RxMessage& rx, std::size_t offset,
+                             const Bytes& data) {
+  if (data.empty() && rx.total_bytes == 0) return;
+  if (offset + data.size() > rx.total_bytes) return;  // malformed; drop
+
+  // Merge [offset, end) into the received-interval map, counting only
+  // newly covered bytes (duplicates from spurious retransmits are free).
+  std::size_t begin = offset;
+  std::size_t end = offset + data.size();
+  std::copy(data.begin(), data.end(),
+            rx.buffer.begin() + std::ptrdiff_t(offset));
+
+  auto it = rx.intervals.upper_bound(begin);
+  if (it != rx.intervals.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = rx.intervals.erase(prev);
+    }
+  }
+  while (it != rx.intervals.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = rx.intervals.erase(it);
+  }
+  // Recompute covered bytes delta.
+  std::size_t covered = 0;
+  rx.intervals[begin] = end;
+  for (const auto& [s, e] : rx.intervals) covered += e - s;
+  rx.received_bytes = covered;
+}
+
+void HomaEndpoint::maybe_grant(RxMessage& rx) {
+  if (rx.total_bytes <= config_.unscheduled_bytes) return;
+  if (rx.granted_bytes == 0) rx.granted_bytes = config_.unscheduled_bytes;
+  const std::size_t target =
+      std::min(rx.total_bytes, rx.received_bytes + config_.grant_window);
+  if (target <= rx.granted_bytes) return;
+  rx.granted_bytes = target;
+  ++stats_.grants_sent;
+  stack::CpuCore& core = host_.softirq_core(rx.softirq_core);
+  core.charge(host_.costs().ctrl_packet);
+  send_ctrl(rx.peer, PacketType::grant, rx.msg_id, 0, std::uint32_t(target));
+}
+
+void HomaEndpoint::rx_complete(const RxKey& key) {
+  auto it = rx_messages_.find(key);
+  if (it == rx_messages_.end()) return;
+  RxMessage& rx = it->second;
+
+  // Remember the identity briefly to drop spurious retransmissions.
+  const SimTime now = host_.loop().now();
+  recently_completed_[key] = now;
+  completed_order_.emplace_back(now, key);
+  while (!completed_order_.empty() &&
+         completed_order_.front().first + kCompletedRetention < now) {
+    recently_completed_.erase(completed_order_.front().second);
+    completed_order_.pop_front();
+  }
+
+  // ACK lets the sender free its retransmission state.
+  send_ctrl(rx.peer, PacketType::ack, rx.msg_id, 0, 0);
+
+  // Homa copies the COMPLETE message to the application in one go (§5.1) —
+  // the cost lands at completion, after the last packet.
+  MessageMeta meta{rx.peer, rx.msg_id, rx.softirq_core};
+  Bytes payload = std::move(rx.buffer);
+  const std::size_t core_index = rx.softirq_core;
+  rx_messages_.erase(it);
+
+  // Copy cost only: the application-side wakeup (recvmsg return) is
+  // charged by the layer that dispatches to the app thread. The factor
+  // models Homa/Linux's unpipelined full-message delivery (§5.1).
+  stack::CpuCore& core = host_.softirq_core(core_index);
+  const auto& costs = host_.costs();
+  const auto copy = SimDuration(double(costs.copy_cost(payload.size())) *
+                                costs.homa_completion_copy_factor);
+  core.run(copy, [this, meta, payload = std::move(payload)]() mutable {
+    if (on_message_) on_message_(meta, std::move(payload));
+  });
+}
+
+void HomaEndpoint::arm_resend_timer(const RxKey& key) {
+  auto it = rx_messages_.find(key);
+  if (it == rx_messages_.end() || it->second.timer_armed) return;
+  it->second.timer_armed = true;
+  host_.loop().schedule(config_.resend_interval, [this, key] {
+    auto it2 = rx_messages_.find(key);
+    if (it2 == rx_messages_.end()) return;
+    RxMessage& rx = it2->second;
+    rx.timer_armed = false;
+    const SimTime idle = host_.loop().now() - rx.last_activity;
+    if (idle >= config_.resend_interval) {
+      if (++rx.resend_count > config_.max_resends) {
+        ++stats_.messages_expired;
+        rx_messages_.erase(it2);
+        return;
+      }
+      // First missing range.
+      std::size_t missing_begin = 0;
+      std::size_t missing_end = rx.total_bytes;
+      for (const auto& [s, e] : rx.intervals) {
+        if (s == missing_begin) {
+          missing_begin = e;
+        } else {
+          missing_end = s;
+          break;
+        }
+      }
+      if (missing_begin < missing_end) {
+        ++stats_.resends_requested;
+        send_ctrl(rx.peer, PacketType::resend, rx.msg_id,
+                  std::uint32_t(missing_begin) + 1,
+                  std::uint32_t(missing_end));
+      }
+    }
+    arm_resend_timer(key);
+  });
+}
+
+void HomaEndpoint::handle_grant(const Packet& pkt) {
+  auto it = tx_messages_.find(pkt.hdr.msg_id);
+  if (it == tx_messages_.end()) return;
+  TxMessage& tx = it->second;
+  tx.granted_bytes = std::max<std::size_t>(tx.granted_bytes, pkt.hdr.grant_off);
+  // Grant processing runs in the softirq context (§3.2).
+  stack::CpuCore& core = host_.softirq_for_flow(flow_to(tx.dst));
+  core.charge(host_.costs().ctrl_packet);
+  pump_tx(tx, &core);
+}
+
+void HomaEndpoint::handle_resend(const Packet& pkt) {
+  auto it = tx_messages_.find(pkt.hdr.msg_id);
+  if (it == tx_messages_.end()) return;
+  TxMessage& tx = it->second;
+  const std::size_t from = pkt.hdr.resend_off - 1;
+  const std::size_t to = pkt.hdr.grant_off;
+
+  stack::CpuCore& core = host_.softirq_for_flow(flow_to(tx.dst));
+
+  // Resend every segment overlapping [from, to). Segments with inline
+  // crypto are reposted whole (the NIC must re-encrypt the records, with
+  // the pre-post hook injecting resyncs). Plain segments resend only the
+  // missing MTU packets, carrying explicit offsets (§4.3).
+  for (std::size_t i = 0; i < tx.segments.size(); ++i) {
+    const std::size_t seg_begin = tx.segment_offsets[i];
+    const std::size_t seg_end = seg_begin + tx.segments[i].payload.size();
+    if (seg_end <= from || seg_begin >= to) continue;
+    if (seg_begin >= tx.sent_bytes) continue;  // never sent; grants cover it
+
+    if (!tx.segments[i].records.empty()) {
+      post_segment_for(tx, i, &core);
+      ++stats_.packets_retransmitted;
+    } else {
+      const std::size_t mss = host_.nic().config().mtu_payload;
+      const std::size_t lo = std::max(from, seg_begin);
+      const std::size_t hi = std::min(to, seg_end);
+      for (std::size_t off = seg_begin; off < seg_end; off += mss) {
+        const std::size_t pkt_end = std::min(off + mss, seg_end);
+        if (pkt_end <= lo || off >= hi) continue;
+        sim::SegmentDescriptor d;
+        d.segment.hdr.flow = flow_to(tx.dst);
+        d.segment.hdr.type = PacketType::data;
+        d.segment.hdr.msg_id = tx.msg_id;
+        d.segment.hdr.msg_len = std::uint32_t(tx.total_bytes);
+        d.segment.hdr.tso_off = std::uint32_t(seg_begin);
+        d.segment.hdr.resend_off = std::uint32_t(off) + 1;  // explicit offset
+        d.segment.payload.assign(
+            tx.segments[i].payload.begin() + std::ptrdiff_t(off - seg_begin),
+            tx.segments[i].payload.begin() + std::ptrdiff_t(pkt_end - seg_begin));
+        const std::size_t queue = queue_for_message(tx.msg_id);
+        core.run(host_.costs().homa_tx_packet,
+                 [this, queue, desc = std::move(d)]() mutable {
+                   host_.nic().post_segment(queue, std::move(desc));
+                 });
+        ++stats_.packets_retransmitted;
+      }
+    }
+  }
+}
+
+void HomaEndpoint::handle_ack(const Packet& pkt) {
+  const auto it = tx_messages_.find(pkt.hdr.msg_id);
+  if (it == tx_messages_.end()) return;
+  const std::uint64_t msg_id = it->first;
+  tx_messages_.erase(it);
+  if (on_sent_) on_sent_(msg_id);
+}
+
+void HomaEndpoint::send_ctrl(PeerAddr dst, PacketType type,
+                             std::uint64_t msg_id, std::uint32_t resend_off,
+                             std::uint32_t grant_off) {
+  sim::SegmentDescriptor d;
+  d.segment.hdr.flow = flow_to(dst);
+  d.segment.hdr.type = type;
+  d.segment.hdr.msg_id = msg_id;
+  d.segment.hdr.resend_off = resend_off;
+  d.segment.hdr.grant_off = grant_off;
+  host_.nic().post_segment(queue_for_message(msg_id), std::move(d));
+}
+
+}  // namespace smt::transport

@@ -1,0 +1,187 @@
+// Homa-style message transport (Montazeri et al., Ousterhout's Homa/Linux)
+// as the paper characterises it (§2.2):
+//
+//   * message-based: the unit of delivery is a complete message, delivered
+//     to the application only when fully reassembled (the §5.1 large-RPC
+//     caveat versus TCP streaming);
+//   * receiver-driven: the first `unscheduled_bytes` travel on the first
+//     RTT; the rest is released by GRANT packets from the receiver;
+//   * out-of-order message delivery: losses stall only their own message;
+//   * SRPT core scheduling: each inbound message picks the least-loaded
+//     softirq core instead of a flow-pinned one — no HoLB on a core;
+//   * TSO via the TCP-overlay header: message ID / length / TSO offset are
+//     replicated into every packet; the IPID gives intra-segment offsets;
+//     retransmitted packets carry an explicit resend offset (§4.3).
+//
+// SMT layers on this engine through the pre-segmented send API: segments
+// may carry TLS record descriptors for NIC inline encryption plus a
+// pre-post hook where SMT injects resync descriptors (§4.4.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "stack/host.hpp"
+
+namespace smt::transport {
+
+struct HomaConfig {
+  std::size_t max_message_bytes = 1 << 20;  // Homa default: 1 MB
+  std::size_t unscheduled_bytes = 60000;    // first-RTT data (~BDP)
+  std::size_t grant_window = 60000;         // granted-ahead bytes
+  std::size_t max_tso_bytes = 65536;
+  SimDuration resend_interval = msec(1);    // receiver gap timer
+  int max_resends = 20;                     // before the message is dropped
+  sim::Proto proto = sim::Proto::homa;      // SMT reuses the engine with
+                                            // its own protocol number
+};
+
+/// Identifies a peer endpoint.
+struct PeerAddr {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+  friend auto operator<=>(const PeerAddr&, const PeerAddr&) = default;
+};
+
+/// A pre-built TSO segment of an outgoing message (SMT supplies these;
+/// plain Homa builds them internally).
+struct SegmentSpec {
+  Bytes payload;
+  std::vector<sim::TlsRecordDesc> records;  // NIC inline-crypto descriptors
+};
+
+/// Hook invoked immediately before a segment is posted to the NIC; SMT
+/// uses it to post resync descriptors for the segment's records.
+using PrePostHook =
+    std::function<void(std::size_t queue, const sim::SegmentDescriptor&)>;
+
+class HomaEndpoint {
+ public:
+  struct MessageMeta {
+    PeerAddr peer;
+    std::uint64_t msg_id = 0;
+    std::size_t softirq_core = 0;  // core the message was processed on
+  };
+  /// Complete-message delivery callback (runs after reassembly, copy cost
+  /// and wakeup are charged on the message's softirq core).
+  using MessageHandler = std::function<void(MessageMeta, Bytes)>;
+  /// Sender-side completion (message fully acked by the receiver).
+  using SentHandler = std::function<void(std::uint64_t msg_id)>;
+
+  HomaEndpoint(stack::Host& host, std::uint16_t port, HomaConfig config = {});
+  ~HomaEndpoint();
+
+  HomaEndpoint(const HomaEndpoint&) = delete;
+  HomaEndpoint& operator=(const HomaEndpoint&) = delete;
+
+  void set_on_message(MessageHandler handler) { on_message_ = std::move(handler); }
+  void set_on_sent(SentHandler handler) { on_sent_ = std::move(handler); }
+
+  /// Plain send: the endpoint segments the payload itself.
+  /// Returns the message id. `app_core` is the syscall context charged.
+  Result<std::uint64_t> send_message(PeerAddr dst, Bytes payload,
+                                     stack::CpuCore* app_core = nullptr);
+
+  /// Pre-segmented send (SMT path). `explicit_id` lets the caller control
+  /// message-ID allocation (SMT's 48-bit unique IDs, §4.4.1).
+  Result<std::uint64_t> send_segments(PeerAddr dst,
+                                      std::vector<SegmentSpec> segments,
+                                      std::size_t total_bytes,
+                                      std::optional<std::uint64_t> explicit_id,
+                                      stack::CpuCore* app_core = nullptr,
+                                      PrePostHook pre_post = nullptr);
+
+  /// The NIC queue a message's segments use — stable per message so
+  /// intra-message order is preserved (§4.4.2).
+  std::size_t queue_for_message(std::uint64_t msg_id) const {
+    return std::size_t(msg_id) % host_.nic().config().num_queues;
+  }
+
+  std::uint16_t port() const noexcept { return port_; }
+  stack::Host& host() noexcept { return host_; }
+
+  /// Drops the completed-message dedup state. Called on a session key
+  /// update, which resets the message-ID space (§4.5.2) — IDs may repeat.
+  void flush_dedup_state() {
+    recently_completed_.clear();
+    completed_order_.clear();
+  }
+
+  struct Stats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_received = 0;
+    std::uint64_t grants_sent = 0;
+    std::uint64_t resends_requested = 0;
+    std::uint64_t packets_retransmitted = 0;
+    std::uint64_t messages_expired = 0;
+    std::uint64_t trim_resends = 0;  // RESENDs triggered by trimmed stubs
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct TxMessage {
+    PeerAddr dst;
+    std::uint64_t msg_id = 0;
+    std::vector<SegmentSpec> segments;
+    std::vector<std::size_t> segment_offsets;  // tso_off per segment
+    std::size_t total_bytes = 0;
+    std::size_t next_segment = 0;   // first not-yet-transmitted segment
+    std::size_t sent_bytes = 0;     // high-water mark of transmitted bytes
+    std::size_t granted_bytes = 0;  // receiver's grant high-water mark
+    bool gc_armed = false;
+    int retries = 0;  // sender-side full retransmissions (lost first RTT)
+    PrePostHook pre_post;
+  };
+
+  struct RxMessage {
+    PeerAddr peer;
+    std::uint64_t msg_id = 0;
+    std::size_t total_bytes = 0;
+    Bytes buffer;
+    std::map<std::size_t, std::size_t> intervals;  // received [off, end)
+    std::size_t received_bytes = 0;
+    std::size_t granted_bytes = 0;
+    std::size_t softirq_core = 0;  // chosen least-loaded at first packet
+    SimTime last_activity = 0;
+    int resend_count = 0;
+    bool timer_armed = false;
+  };
+
+  using RxKey = std::pair<PeerAddr, std::uint64_t>;
+
+  void on_packet(sim::Packet pkt);
+  void handle_data(sim::Packet pkt);
+  void handle_grant(const sim::Packet& pkt);
+  void handle_resend(const sim::Packet& pkt);
+  void handle_ack(const sim::Packet& pkt);
+  void rx_insert(RxMessage& rx, std::size_t offset, const Bytes& data);
+  void rx_complete(const RxKey& key);
+  void maybe_grant(RxMessage& rx);
+  void arm_resend_timer(const RxKey& key);
+  void pump_tx(TxMessage& tx, stack::CpuCore* core);
+  void arm_tx_retry(std::uint64_t msg_id);
+  void post_segment_for(TxMessage& tx, std::size_t seg_index,
+                        stack::CpuCore* core);
+  void send_ctrl(PeerAddr dst, sim::PacketType type, std::uint64_t msg_id,
+                 std::uint32_t resend_off, std::uint32_t grant_off);
+  sim::FiveTuple flow_to(PeerAddr dst) const;
+
+  stack::Host& host_;
+  std::uint16_t port_;
+  HomaConfig config_;
+  MessageHandler on_message_;
+  SentHandler on_sent_;
+  std::map<std::uint64_t, TxMessage> tx_messages_;
+  std::map<RxKey, RxMessage> rx_messages_;
+  // Recently completed messages, kept briefly so spurious retransmissions
+  // are recognised and dropped (§4.3) without unbounded memory.
+  std::map<RxKey, SimTime> recently_completed_;
+  std::deque<std::pair<SimTime, RxKey>> completed_order_;
+  std::uint64_t next_msg_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace smt::transport

@@ -1,0 +1,424 @@
+#include "transport/tcp/tcp.hpp"
+
+#include <cassert>
+
+#include "tls/record.hpp"
+
+namespace smt::transport {
+
+using sim::Packet;
+using sim::PacketType;
+using sim::Proto;
+
+namespace {
+/// 64-bit stream offsets ride in the (unused-for-TCP) msg_id field; the
+/// 32-bit hdr.seq carries the truncated value the NIC TSO engine advances
+/// per packet. This models TCP sequence arithmetic without implementing
+/// 32-bit wraparound (documented substitution).
+std::uint64_t packet_stream_offset(const Packet& pkt) noexcept {
+  const std::uint32_t delta =
+      pkt.hdr.seq - static_cast<std::uint32_t>(pkt.hdr.msg_id);
+  return pkt.hdr.msg_id + delta;
+}
+}  // namespace
+
+TcpEndpoint::TcpEndpoint(stack::Host& host, std::uint16_t port,
+                         TcpConfig config)
+    : host_(host), port_(port), config_(config) {
+  host_.register_endpoint(Proto::tcp, port_,
+                          [this](Packet pkt) { on_packet(std::move(pkt)); });
+}
+
+TcpEndpoint::~TcpEndpoint() {
+  host_.unregister_endpoint(Proto::tcp, port_);
+  for (const std::uint16_t port : ephemeral_ports_) {
+    host_.unregister_endpoint(Proto::tcp, port);
+  }
+}
+
+TcpEndpoint::ConnId TcpEndpoint::connect(std::uint32_t dst_ip,
+                                         std::uint16_t dst_port) {
+  sim::FiveTuple flow;
+  flow.src_ip = host_.ip();
+  flow.dst_ip = dst_ip;
+  flow.src_port = next_ephemeral_port_++;
+  flow.dst_port = dst_port;
+  flow.proto = Proto::tcp;
+
+  // Return traffic (ACKs, server data) arrives on the ephemeral port.
+  host_.register_endpoint(Proto::tcp, flow.src_port,
+                          [this](Packet pkt) { on_packet(std::move(pkt)); });
+  ephemeral_ports_.push_back(flow.src_port);
+
+  bool created = false;
+  Connection& conn = ensure_connection(flow, &created);
+  assert(created && "ephemeral port collision");
+
+  Packet syn;
+  syn.hdr.flow = flow;
+  syn.hdr.type = PacketType::ctrl;
+  sim::SegmentDescriptor d;
+  d.segment = std::move(syn);
+  host_.nic().post_segment(flow.hash() % host_.nic().config().num_queues,
+                           std::move(d));
+  return conn_id(flow);
+}
+
+TcpEndpoint::Connection& TcpEndpoint::ensure_connection(
+    const sim::FiveTuple& local_flow, bool* created) {
+  const ConnId id = conn_id(local_flow);
+  auto [it, inserted] = connections_.try_emplace(id);
+  if (inserted) it->second.flow = local_flow;
+  if (created) *created = inserted;
+  return it->second;
+}
+
+Status TcpEndpoint::enable_tls_offload(ConnId conn, tls::CipherSuite suite,
+                                       const tls::TrafficKeys& keys,
+                                       std::uint64_t initial_seq) {
+  auto it = connections_.find(conn);
+  if (it == connections_.end()) {
+    return make_error(Errc::not_connected, "no such connection");
+  }
+  auto ctx = host_.nic().create_flow_context(suite, keys, initial_seq);
+  if (!ctx.ok()) return ctx.error();
+  it->second.tls_tx = TcpTlsTxContext{ctx.value(), initial_seq};
+  it->second.tls_suite = suite;
+  return Status::success();
+}
+
+void TcpEndpoint::send(ConnId conn, Bytes data, stack::CpuCore* app_core,
+                       std::vector<RecordMark> records) {
+  auto it = connections_.find(conn);
+  assert(it != connections_.end() && "send on unknown connection");
+  Connection& c = it->second;
+
+  const std::uint64_t base = c.snd_una + c.send_buffer.size();
+  for (const RecordMark& mark : records) {
+    RecordBoundary boundary;
+    boundary.stream_off = base + mark.offset;
+    boundary.plaintext_len = mark.plaintext_len;
+    boundary.record_seq = mark.record_seq;
+    // Wire length: header + plaintext + tag.
+    boundary.wire_len = tls::kRecordHeaderSize + mark.plaintext_len +
+                        tls::tag_length(c.tls_suite);
+    c.record_queue.push_back(boundary);
+  }
+  append(c.send_buffer, data);
+
+  const auto costs = host_.costs();
+  if (app_core != nullptr) {
+    const SimDuration cost =
+        costs.syscall + costs.tcp_send_lock + costs.copy_cost(data.size());
+    app_core->run(cost, [this, conn] {
+      auto it2 = connections_.find(conn);
+      if (it2 != connections_.end()) push(it2->second);
+    });
+  } else {
+    push(c);
+  }
+}
+
+void TcpEndpoint::push(Connection& conn) {
+  const std::uint64_t stream_end = conn.snd_una + conn.send_buffer.size();
+  while (conn.snd_nxt < stream_end) {
+    const std::uint64_t in_flight = conn.snd_nxt - conn.snd_una;
+    if (in_flight >= config_.window_bytes) break;
+    std::uint64_t budget =
+        std::min<std::uint64_t>(config_.window_bytes - in_flight,
+                                stream_end - conn.snd_nxt);
+
+    std::uint64_t chunk = std::min<std::uint64_t>(budget, config_.max_tso_bytes);
+    // With TLS offload, segments align to record boundaries so each record
+    // is encrypted whole inside one TSO segment (§4.3 alignment).
+    if (conn.tls_tx && !conn.record_queue.empty() &&
+        conn.record_queue.front().stream_off == conn.snd_nxt) {
+      const RecordBoundary& rec = conn.record_queue.front();
+      if (rec.wire_len > budget) break;  // window too small; wait for acks
+      chunk = rec.wire_len;
+    }
+    if (chunk == 0) break;
+    transmit_range(conn, conn.snd_nxt, conn.snd_nxt + chunk,
+                   /*is_retransmit=*/false);
+    conn.snd_nxt += chunk;
+  }
+  if (conn.snd_nxt > conn.snd_una) arm_rto(conn);
+}
+
+void TcpEndpoint::transmit_range(Connection& conn, std::uint64_t from,
+                                 std::uint64_t to, bool is_retransmit) {
+  assert(from >= conn.snd_una && to <= conn.snd_una + conn.send_buffer.size());
+
+  sim::SegmentDescriptor d;
+  d.segment.hdr.flow = conn.flow;
+  d.segment.hdr.type = PacketType::data;
+  d.segment.hdr.msg_id = from;  // 64-bit stream offset (see header note)
+  d.segment.hdr.seq = static_cast<std::uint32_t>(from);
+  const std::size_t buf_off = std::size_t(from - conn.snd_una);
+  d.segment.payload.assign(
+      conn.send_buffer.begin() + std::ptrdiff_t(buf_off),
+      conn.send_buffer.begin() + std::ptrdiff_t(buf_off + (to - from)));
+
+  const std::size_t queue =
+      conn.flow.hash() % host_.nic().config().num_queues;
+
+  // Resyncs must be posted to the NIC queue immediately before their
+  // segment, in the same serialised step — posting them early would let
+  // other pending segments slip between resync and segment (§3.2 hazard).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> resyncs;
+  if (conn.tls_tx) {
+    // Attach record descriptors for records fully inside this range, and
+    // shadow-track the NIC counter, posting resyncs when it diverges —
+    // the tls_device driver logic (§2.3 / Figure 2).
+    if (!is_retransmit) {
+      while (!conn.record_queue.empty() &&
+             conn.record_queue.front().stream_off >= from &&
+             conn.record_queue.front().stream_off + conn.record_queue.front().wire_len <= to) {
+        RecordBoundary rec = conn.record_queue.front();
+        conn.record_queue.pop_front();
+        if (conn.tls_tx->driver_shadow_seq != rec.record_seq) {
+          resyncs.emplace_back(conn.tls_tx->nic_context_id, rec.record_seq);
+        }
+        sim::TlsRecordDesc desc;
+        desc.context_id = conn.tls_tx->nic_context_id;
+        desc.record_offset = std::size_t(rec.stream_off - from);
+        desc.plaintext_len = rec.plaintext_len;
+        desc.record_seq = rec.record_seq;
+        d.records.push_back(desc);
+        conn.tls_tx->driver_shadow_seq = rec.record_seq + 1;
+        conn.sent_records[rec.stream_off] = rec;
+      }
+    } else {
+      // Retransmission: the stored stream bytes are plaintext (the NIC
+      // encrypted the original transmission), so the covering records are
+      // re-encrypted with an explicit resync each (the "Out-resync" path).
+      auto rec_it = conn.sent_records.upper_bound(from);
+      if (rec_it != conn.sent_records.begin()) --rec_it;
+      for (; rec_it != conn.sent_records.end() && rec_it->first < to; ++rec_it) {
+        const RecordBoundary& rec = rec_it->second;
+        if (rec.stream_off < from || rec.stream_off + rec.wire_len > to)
+          continue;  // partially covered; the caller re-sends whole records
+        // Resync only where the hardware counter diverges; consecutive
+        // records then ride the self-increment (one resync per run).
+        if (conn.tls_tx->driver_shadow_seq != rec.record_seq) {
+          resyncs.emplace_back(conn.tls_tx->nic_context_id, rec.record_seq);
+        }
+        sim::TlsRecordDesc desc;
+        desc.context_id = conn.tls_tx->nic_context_id;
+        desc.record_offset = std::size_t(rec.stream_off - from);
+        desc.plaintext_len = rec.plaintext_len;
+        desc.record_seq = rec.record_seq;
+        d.records.push_back(desc);
+        conn.tls_tx->driver_shadow_seq = rec.record_seq + 1;
+      }
+    }
+  }
+
+  // Protocol CPU cost: per-MTU-packet work plus segment build, charged to
+  // the softirq core the flow is pinned to (ack-clocked context).
+  const std::size_t mss = host_.nic().config().mtu_payload;
+  const std::size_t npkts = (d.segment.payload.size() + mss - 1) / mss;
+  const auto& costs = host_.costs();
+  const SimDuration cost =
+      costs.tso_build + costs.tcp_tx_packet * SimDuration(npkts == 0 ? 1 : npkts);
+  stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
+  core.run(cost, [this, queue, resyncs = std::move(resyncs),
+                  desc = std::move(d)]() mutable {
+    for (const auto& [ctx, seq] : resyncs) {
+      host_.nic().post_resync(queue, ctx, seq);
+    }
+    host_.nic().post_segment(queue, std::move(desc));
+  });
+}
+
+void TcpEndpoint::on_packet(Packet pkt) {
+  // Local flow view: swap to this host's perspective.
+  const sim::FiveTuple local_flow = pkt.hdr.flow.reversed();
+  bool created = false;
+  Connection& conn = ensure_connection(local_flow, &created);
+  if (created && on_accept_) on_accept_(conn_id(local_flow));
+
+  switch (pkt.hdr.type) {
+    case PacketType::ctrl:
+      break;  // SYN: connection created above
+    case PacketType::ack:
+      handle_ack(conn, pkt);
+      break;
+    case PacketType::data:
+      handle_data(conn, std::move(pkt));
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpEndpoint::handle_data(Connection& conn, Packet pkt) {
+  // RSS pins the whole connection to one softirq core (§2): every packet's
+  // protocol work queues there.
+  stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
+  const ConnId id = conn_id(conn.flow);
+  const auto& costs = host_.costs();
+  // GRO: continuation packets of a TSO burst coalesce cheaply.
+  const SimDuration rx_cost = pkt.hdr.ip_id == pkt.hdr.ipid_base
+                                  ? costs.tcp_rx_packet
+                                  : costs.rx_packet_cont;
+  core.run(rx_cost,
+           [this, id, pkt = std::move(pkt)]() mutable {
+             auto it = connections_.find(id);
+             if (it == connections_.end()) return;
+             Connection& c = it->second;
+             const std::uint64_t seq = packet_stream_offset(pkt);
+             if (seq + pkt.payload.size() > c.rcv_nxt) {
+               c.out_of_order[seq] = std::move(pkt.payload);
+               deliver_in_order(c);
+             }
+             // Delayed ACKs (RFC 1122): every second segment, immediately
+             // on reordering (to generate dup-acks for fast retransmit),
+             // or after the delayed-ack timer.
+             if (!c.out_of_order.empty() || ++c.ack_pending >= 2) {
+               c.ack_pending = 0;
+               send_ack(c);
+             } else if (!c.ack_timer_armed) {
+               c.ack_timer_armed = true;
+               host_.loop().schedule(usec(40), [this, id] {
+                 auto it2 = connections_.find(id);
+                 if (it2 == connections_.end()) return;
+                 Connection& c2 = it2->second;
+                 c2.ack_timer_armed = false;
+                 if (c2.ack_pending > 0) {
+                   c2.ack_pending = 0;
+                   send_ack(c2);
+                 }
+               });
+             }
+           });
+}
+
+void TcpEndpoint::deliver_in_order(Connection& conn) {
+  Bytes chunk;
+  auto it = conn.out_of_order.begin();
+  while (it != conn.out_of_order.end()) {
+    const std::uint64_t seq = it->first;
+    Bytes& data = it->second;
+    if (seq > conn.rcv_nxt) break;  // gap
+    if (seq + data.size() <= conn.rcv_nxt) {
+      it = conn.out_of_order.erase(it);  // stale duplicate
+      continue;
+    }
+    const std::size_t skip = std::size_t(conn.rcv_nxt - seq);
+    chunk.insert(chunk.end(), data.begin() + std::ptrdiff_t(skip), data.end());
+    conn.rcv_nxt = seq + data.size();
+    it = conn.out_of_order.erase(it);
+  }
+  if (chunk.empty()) return;
+
+  // Streaming delivery: copy cost now, then hand to the application. This
+  // is TCP's large-message advantage — no waiting for a full message.
+  stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
+  const ConnId id = conn_id(conn.flow);
+  core.run(host_.costs().copy_cost(chunk.size()),
+           [this, id, chunk = std::move(chunk)]() mutable {
+             if (on_data_) on_data_(id, std::move(chunk));
+           });
+}
+
+void TcpEndpoint::send_ack(Connection& conn) {
+  Packet ack;
+  ack.hdr.flow = conn.flow;
+  ack.hdr.type = PacketType::ack;
+  ack.hdr.msg_id = conn.rcv_nxt;  // 64-bit cumulative ack
+  ack.hdr.ack = static_cast<std::uint32_t>(conn.rcv_nxt);
+  stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
+  const std::size_t queue = conn.flow.hash() % host_.nic().config().num_queues;
+  core.run(host_.costs().ctrl_packet, [this, queue, ack]() mutable {
+    sim::SegmentDescriptor d;
+    d.segment = std::move(ack);
+    host_.nic().post_segment(queue, std::move(d));
+  });
+}
+
+void TcpEndpoint::handle_ack(Connection& conn, const Packet& pkt) {
+  const std::uint64_t ack = pkt.hdr.msg_id;
+  if (ack > conn.snd_una) {
+    const std::size_t advance = std::size_t(ack - conn.snd_una);
+    conn.send_buffer.erase(conn.send_buffer.begin(),
+                           conn.send_buffer.begin() + std::ptrdiff_t(advance));
+    conn.snd_una = ack;
+    conn.dup_acks = 0;
+    // Drop acked record bookkeeping.
+    while (!conn.sent_records.empty() &&
+           conn.sent_records.begin()->first +
+                   conn.sent_records.begin()->second.wire_len <=
+               ack) {
+      conn.sent_records.erase(conn.sent_records.begin());
+    }
+    ++conn.rto_epoch;
+    if (conn.snd_nxt > conn.snd_una) arm_rto(conn);
+    push(conn);  // ack-clocked transmission
+  } else if (ack == conn.snd_una && conn.snd_nxt > conn.snd_una) {
+    ++conn.dup_acks;
+    ++stats_.dup_acks;
+    if (conn.dup_acks == 3) {
+      ++stats_.fast_retransmits;
+      ++stats_.retransmits;
+      retransmit_head(conn);
+    }
+  }
+}
+
+void TcpEndpoint::arm_rto(Connection& conn) {
+  const std::uint64_t epoch = conn.rto_epoch;
+  const ConnId id = conn_id(conn.flow);
+  host_.loop().schedule(config_.rto, [this, id, epoch] {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    Connection& c = it->second;
+    if (c.rto_epoch != epoch) return;       // progress happened
+    if (c.snd_nxt == c.snd_una) return;     // nothing outstanding
+    ++stats_.rto_fires;
+    ++stats_.retransmits;
+    ++c.rto_epoch;
+    retransmit_head(c);
+    arm_rto(c);
+  });
+}
+
+std::optional<sim::FiveTuple> TcpEndpoint::flow_of(ConnId conn) const {
+  const auto it = connections_.find(conn);
+  if (it == connections_.end()) return std::nullopt;
+  return it->second.flow;
+}
+
+std::size_t TcpEndpoint::unacked_bytes(ConnId conn) const {
+  const auto it = connections_.find(conn);
+  if (it == connections_.end()) return 0;
+  return std::size_t(it->second.snd_nxt - it->second.snd_una);
+}
+
+void TcpEndpoint::retransmit_head(Connection& conn) {
+  // Go-back-one-segment: resend from snd_una. With TLS offload the range
+  // expands to cover whole records so the NIC can re-encrypt them.
+  std::uint64_t from = conn.snd_una;
+  std::uint64_t to =
+      std::min(conn.snd_nxt, from + std::uint64_t(config_.max_tso_bytes));
+  if (conn.tls_tx) {
+    auto it = conn.sent_records.upper_bound(from);
+    if (it != conn.sent_records.begin()) {
+      --it;
+      if (it->second.stream_off + it->second.wire_len > from) {
+        from = it->second.stream_off;  // include the whole covering record
+      }
+    }
+    // Snap `to` to a record end when it lands mid-record.
+    auto cover = conn.sent_records.upper_bound(to);
+    if (cover != conn.sent_records.begin()) {
+      --cover;
+      const std::uint64_t rec_end =
+          cover->second.stream_off + cover->second.wire_len;
+      if (cover->second.stream_off < to && rec_end > to) to = rec_end;
+    }
+  }
+  if (to > from) transmit_range(conn, from, to, /*is_retransmit=*/true);
+}
+
+}  // namespace smt::transport

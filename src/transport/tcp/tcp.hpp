@@ -1,0 +1,152 @@
+// Simplified TCP: reliable, in-order bytestream with cumulative ACKs,
+// fast retransmit, TSO-sized sends, and RSS flow-to-core affinity.
+//
+// Behavioural properties the paper's comparisons rest on — all modelled:
+//   * stream abstraction: receivers see in-order byte chunks as packets
+//     arrive, overlapping reception with delivery (§5.1's 64 KB caveat);
+//   * 5-tuple core affinity: ALL rx processing of a connection lands on
+//     one softirq core -> head-of-line blocking under concurrency (§2);
+//   * serialised transmission: one in-flight window, retransmissions go
+//     through the same ordered path (§3.2);
+//   * kTLS hook: sends may carry TLS-record metadata so the NIC encrypts
+//     in line; the driver shadow-tracks the flow context's record counter
+//     and posts resyncs exactly like the kernel's tls_device path (§2.3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "stack/host.hpp"
+
+namespace smt::transport {
+
+struct TcpConfig {
+  std::size_t max_tso_bytes = 65536;
+  std::size_t window_bytes = 1 << 20;  // static datacenter window
+  SimDuration rto = msec(10);  // datacenter min-RTO (Linux clamps far higher)
+  std::size_t tx_queue = 0;  // NIC queue used by this connection's sends
+};
+
+/// TLS-offload binding for a connection (kTLS-hw mode).
+struct TcpTlsTxContext {
+  std::uint32_t nic_context_id = 0;
+  std::uint64_t driver_shadow_seq = 0;  // driver's view of the NIC counter
+};
+
+class TcpEndpoint {
+ public:
+  using ConnId = std::uint64_t;
+  /// In-order stream data callback: (connection, bytes). Invoked on the
+  /// softirq core after per-packet and copy costs are charged.
+  using DataHandler = std::function<void(ConnId, Bytes)>;
+  using AcceptHandler = std::function<void(ConnId)>;
+
+  TcpEndpoint(stack::Host& host, std::uint16_t port, TcpConfig config = {});
+  ~TcpEndpoint();
+
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  void set_on_data(DataHandler handler) { on_data_ = std::move(handler); }
+  void set_on_accept(AcceptHandler handler) { on_accept_ = std::move(handler); }
+
+  /// Opens a connection (SYN exchange is implicit: the peer auto-accepts).
+  ConnId connect(std::uint32_t dst_ip, std::uint16_t dst_port);
+
+  /// Appends bytes to the stream. `app_core` is the syscall context the
+  /// costs are charged to (nullptr = charge nothing, for pure-protocol
+  /// tests). `records` optionally mark TLS records inside `data` for NIC
+  /// inline encryption (offsets relative to the start of `data`).
+  struct RecordMark {
+    std::size_t offset;         // where the record header starts in `data`
+    std::size_t plaintext_len;  // inner plaintext length (w/ type byte)
+    std::uint64_t record_seq;
+  };
+  void send(ConnId conn, Bytes data, stack::CpuCore* app_core = nullptr,
+            std::vector<RecordMark> records = {});
+
+  /// Enables NIC TLS offload on a connection (kTLS-hw).
+  Status enable_tls_offload(ConnId conn, tls::CipherSuite suite,
+                            const tls::TrafficKeys& keys,
+                            std::uint64_t initial_seq);
+
+  /// Bytes not yet acknowledged (for drain checks in tests).
+  std::size_t unacked_bytes(ConnId conn) const;
+
+  /// The connection's flow 5-tuple (local perspective). Used by layers
+  /// above (kTLS) to charge work on the flow's softirq core.
+  std::optional<sim::FiveTuple> flow_of(ConnId conn) const;
+
+  stack::Host& host() noexcept { return host_; }
+
+  std::uint16_t port() const noexcept { return port_; }
+  std::uint32_t ip() const noexcept { return host_.ip(); }
+
+  struct Stats {
+    std::uint64_t retransmits = 0;
+    std::uint64_t fast_retransmits = 0;
+    std::uint64_t rto_fires = 0;
+    std::uint64_t dup_acks = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct RecordBoundary {
+    std::uint64_t stream_off;   // where the record starts in the stream
+    std::size_t wire_len;       // full wire record length
+    std::size_t plaintext_len;
+    std::uint64_t record_seq;
+  };
+
+  struct Connection {
+    sim::FiveTuple flow;  // local perspective (src = this host)
+    // Send side.
+    Bytes send_buffer;          // bytes from snd_una onward
+    std::uint64_t snd_una = 0;  // first unacked stream offset
+    std::uint64_t snd_nxt = 0;  // next stream offset to send
+    std::uint32_t dup_acks = 0;
+    bool rto_armed = false;
+    std::uint64_t rto_epoch = 0;
+    std::deque<RecordBoundary> record_queue;  // records not yet fully sent
+    std::map<std::uint64_t, RecordBoundary> sent_records;  // by stream_off
+    std::optional<TcpTlsTxContext> tls_tx;
+    tls::CipherSuite tls_suite = tls::CipherSuite::aes_128_gcm_sha256;
+    // Receive side.
+    std::uint64_t rcv_nxt = 0;
+    std::map<std::uint64_t, Bytes> out_of_order;  // seq -> payload
+    std::uint32_t ack_pending = 0;  // delayed-ACK counter
+    bool ack_timer_armed = false;
+  };
+
+  ConnId conn_id(const sim::FiveTuple& flow) const noexcept {
+    return (std::uint64_t(flow.dst_ip) << 32) ^
+           (std::uint64_t(flow.dst_port) << 16) ^ flow.src_port;
+  }
+
+  Connection& ensure_connection(const sim::FiveTuple& local_flow, bool* created);
+  void on_packet(sim::Packet pkt);
+  void handle_data(Connection& conn, sim::Packet pkt);
+  void handle_ack(Connection& conn, const sim::Packet& pkt);
+  void push(Connection& conn);
+  void transmit_range(Connection& conn, std::uint64_t from, std::uint64_t to,
+                      bool is_retransmit);
+  void send_ack(Connection& conn);
+  void arm_rto(Connection& conn);
+  void deliver_in_order(Connection& conn);
+  void retransmit_head(Connection& conn);
+
+  stack::Host& host_;
+  std::uint16_t port_;
+  TcpConfig config_;
+  DataHandler on_data_;
+  AcceptHandler on_accept_;
+  std::map<ConnId, Connection> connections_;
+  std::vector<std::uint16_t> ephemeral_ports_;
+  std::uint16_t next_ephemeral_port_ = 40000;
+  Stats stats_;
+};
+
+}  // namespace smt::transport

@@ -1,0 +1,157 @@
+#include "apps/miniredis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::apps {
+namespace {
+
+TEST(MiniRedis, SetGetRoundTrip) {
+  MiniRedis redis;
+  RedisRequest set;
+  set.op = RedisOp::set;
+  set.key = "alpha";
+  set.value = to_bytes(std::string_view("value-1"));
+  EXPECT_TRUE(redis.apply(set).ok);
+
+  RedisRequest get;
+  get.op = RedisOp::get;
+  get.key = "alpha";
+  const RedisResponse response = redis.apply(get);
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.value, to_bytes(std::string_view("value-1")));
+}
+
+TEST(MiniRedis, GetMissing) {
+  MiniRedis redis;
+  RedisRequest get;
+  get.op = RedisOp::get;
+  get.key = "nope";
+  EXPECT_FALSE(redis.apply(get).ok);
+}
+
+TEST(MiniRedis, OverwriteValue) {
+  MiniRedis redis;
+  RedisRequest set;
+  set.op = RedisOp::set;
+  set.key = "k";
+  set.value = {1};
+  redis.apply(set);
+  set.value = {2};
+  redis.apply(set);
+  RedisRequest get;
+  get.op = RedisOp::get;
+  get.key = "k";
+  EXPECT_EQ(redis.apply(get).value, (Bytes{2}));
+  EXPECT_EQ(redis.size(), 1u);
+}
+
+TEST(MiniRedis, Delete) {
+  MiniRedis redis;
+  RedisRequest set;
+  set.op = RedisOp::set;
+  set.key = "k";
+  set.value = {1};
+  redis.apply(set);
+  RedisRequest del;
+  del.op = RedisOp::del;
+  del.key = "k";
+  EXPECT_TRUE(redis.apply(del).ok);
+  EXPECT_FALSE(redis.apply(del).ok);  // second delete: already gone
+  EXPECT_EQ(redis.size(), 0u);
+}
+
+TEST(MiniRedis, RequestCodecRoundTrip) {
+  RedisRequest request;
+  request.op = RedisOp::set;
+  request.key = "some-key";
+  request.value = Bytes(1024, 0x3c);
+  const auto decoded = RedisRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, RedisOp::set);
+  EXPECT_EQ(decoded->key, "some-key");
+  EXPECT_EQ(decoded->value, request.value);
+}
+
+TEST(MiniRedis, ResponseCodecRoundTrip) {
+  RedisResponse response;
+  response.ok = true;
+  response.value = Bytes(64, 0x7e);
+  const auto decoded = RedisResponse::decode(response.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_EQ(decoded->value, response.value);
+}
+
+TEST(MiniRedis, DecodeRejectsGarbage) {
+  EXPECT_FALSE(RedisRequest::decode(Bytes{}).has_value());
+  EXPECT_FALSE(RedisRequest::decode(Bytes{9, 0, 0}).has_value());  // bad op
+  RedisRequest request;
+  request.op = RedisOp::get;
+  request.key = "k";
+  Bytes enc = request.encode();
+  enc.pop_back();
+  EXPECT_FALSE(RedisRequest::decode(enc).has_value());
+  enc = request.encode();
+  enc.push_back(0);
+  EXPECT_FALSE(RedisRequest::decode(enc).has_value());
+}
+
+TEST(MiniRedis, HandlerAdapterWorks) {
+  MiniRedis redis;
+  RedisRequest set;
+  set.op = RedisOp::set;
+  set.key = "x";
+  set.value = {42};
+  const RpcReply reply = redis.handle(set.encode());
+  EXPECT_GT(reply.cpu_cost, 0);
+  const auto response = RedisResponse::decode(reply.payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok);
+}
+
+TEST(MiniRedis, CpuCostScalesWithValueSize) {
+  RedisRequest small;
+  small.op = RedisOp::set;
+  small.key = "k";
+  small.value = Bytes(64, 0);
+  RedisRequest big = small;
+  big.value = Bytes(4096, 0);
+  EXPECT_GT(MiniRedis::cpu_cost(big), MiniRedis::cpu_cost(small));
+}
+
+// End-to-end over the RPC fabric: Redis over SMT-sw vs plain Homa.
+TEST(MiniRedisEndToEnd, WorksOverSmt) {
+  RpcFabricConfig config;
+  config.kind = TransportKind::smt_sw;
+  config.single_threaded_server = true;  // Redis's threading model (§5.3)
+  RpcFabric fabric(config);
+  auto redis = std::make_shared<MiniRedis>();
+  fabric.set_handler(
+      [redis](ByteView request) { return redis->handle(request); });
+
+  auto channel = fabric.make_channel(0);
+  RedisRequest set;
+  set.op = RedisOp::set;
+  set.key = "hello";
+  set.value = to_bytes(std::string_view("world"));
+  int step = 0;
+  channel->call(set.encode(), 0, [&](SimDuration, Bytes payload) {
+    ++step;
+    const auto response = RedisResponse::decode(payload);
+    ASSERT_TRUE(response && response->ok);
+    RedisRequest get;
+    get.op = RedisOp::get;
+    get.key = "hello";
+    channel->call(get.encode(), 0, [&](SimDuration, Bytes payload2) {
+      ++step;
+      const auto response2 = RedisResponse::decode(payload2);
+      ASSERT_TRUE(response2 && response2->ok);
+      EXPECT_EQ(response2->value, to_bytes(std::string_view("world")));
+    });
+  });
+  fabric.loop().run();
+  EXPECT_EQ(step, 2);
+}
+
+}  // namespace
+}  // namespace smt::apps

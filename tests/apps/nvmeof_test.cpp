@@ -1,0 +1,114 @@
+#include "apps/nvmeof.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::apps {
+namespace {
+
+TEST(NvmeCommand, CodecRoundTrip) {
+  NvmeCommand cmd;
+  cmd.lba = 0x123456789a;
+  cmd.block_bytes = 4096;
+  const auto decoded = NvmeCommand::decode(cmd.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->lba, cmd.lba);
+  EXPECT_EQ(decoded->block_bytes, 4096u);
+  EXPECT_FALSE(NvmeCommand::decode(Bytes(11, 0)).has_value());
+}
+
+TEST(NvmeDevice, ReadCompletesAfterServiceTime) {
+  sim::EventLoop loop;
+  NvmeDeviceConfig config;
+  config.base_read_latency = usec(50);
+  config.latency_jitter = 1;  // effectively none
+  NvmeDevice device(loop, config);
+  SimTime completed_at = 0;
+  device.read(0, 4096, [&](Bytes data) {
+    completed_at = loop.now();
+    EXPECT_EQ(data.size(), 4096u);
+  });
+  loop.run();
+  EXPECT_GE(completed_at, usec(50));
+  EXPECT_LT(completed_at, usec(52));
+}
+
+TEST(NvmeDevice, ChannelsServeInParallel) {
+  sim::EventLoop loop;
+  NvmeDeviceConfig config;
+  config.base_read_latency = usec(50);
+  config.latency_jitter = 1;
+  config.channels = 4;
+  NvmeDevice device(loop, config);
+  std::vector<SimTime> completions;
+  // LBAs 0..3 hash to distinct channels: all finish around 50 us.
+  for (std::uint64_t lba = 0; lba < 4; ++lba) {
+    device.read(lba, 4096, [&](Bytes) { completions.push_back(loop.now()); });
+  }
+  loop.run();
+  ASSERT_EQ(completions.size(), 4u);
+  for (const SimTime t : completions) EXPECT_LT(t, usec(55));
+}
+
+TEST(NvmeDevice, SameChannelQueues) {
+  sim::EventLoop loop;
+  NvmeDeviceConfig config;
+  config.base_read_latency = usec(50);
+  config.latency_jitter = 1;
+  config.channels = 4;
+  NvmeDevice device(loop, config);
+  std::vector<SimTime> completions;
+  // Same LBA -> same channel -> FCFS: second completes ~100 us.
+  device.read(8, 4096, [&](Bytes) { completions.push_back(loop.now()); });
+  device.read(8, 4096, [&](Bytes) { completions.push_back(loop.now()); });
+  loop.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_GE(completions[1], usec(100));
+}
+
+TEST(LatencyStatsTest, Percentiles) {
+  LatencyStats stats;
+  for (int i = 1; i <= 100; ++i) stats.record(usec(i));
+  EXPECT_NEAR(stats.p50(), double(usec(50)), double(usec(2)));
+  EXPECT_NEAR(stats.p99(), double(usec(99)), double(usec(2)));
+  EXPECT_EQ(stats.count(), 100u);
+}
+
+TEST(NvmeOfEndToEnd, FioOverSmtCompletesAllRequests) {
+  RpcFabricConfig config;
+  config.kind = TransportKind::smt_sw;
+  RpcFabric fabric(config);
+  NvmeDevice device(fabric.loop(), NvmeDeviceConfig{});
+  NvmeTarget target(fabric, device);
+
+  FioConfig fio;
+  fio.iodepth = 4;
+  fio.total_requests = 200;
+  FioClient client(fabric, fio);
+  const LatencyStats stats = client.run();
+  EXPECT_EQ(stats.count(), 200u);
+  EXPECT_EQ(device.reads_served(), 200u);
+  // Latency is dominated by the device (~55-65 us) plus transport.
+  EXPECT_GT(stats.p50(), double(usec(50)));
+  EXPECT_LT(stats.p99(), double(usec(400)));
+}
+
+TEST(NvmeOfEndToEnd, DeeperIodepthRaisesLatency) {
+  const auto p50_for = [](std::size_t iodepth) {
+    RpcFabricConfig config;
+    config.kind = TransportKind::homa;
+    RpcFabric fabric(config);
+    NvmeDevice device(fabric.loop(), NvmeDeviceConfig{});
+    NvmeTarget target(fabric, device);
+    FioConfig fio;
+    fio.iodepth = iodepth;
+    fio.total_requests = 400;
+    FioClient client(fabric, fio);
+    return client.run().p50();
+  };
+  // More outstanding requests -> more device queueing -> higher latency
+  // (the Figure 9 x-axis trend).
+  EXPECT_GT(p50_for(8), p50_for(1));
+}
+
+}  // namespace
+}  // namespace smt::apps

@@ -1,0 +1,164 @@
+// Integration tests: the RPC fabric across all seven transport variants.
+#include "apps/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::apps {
+namespace {
+
+class RpcFabricTest : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(RpcFabricTest, SingleEchoCall) {
+  RpcFabricConfig config;
+  config.kind = GetParam();
+  RpcFabric fabric(config);
+
+  auto channel = fabric.make_channel(0);
+  bool done = false;
+  SimDuration rtt = 0;
+  channel->call(Bytes(64, 0x11), 64, [&](SimDuration d, Bytes response) {
+    done = true;
+    rtt = d;
+    EXPECT_EQ(response.size(), 64u);
+  });
+  fabric.loop().run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(rtt, 0);
+  EXPECT_LT(rtt, msec(1));  // sane unloaded RTT
+}
+
+TEST_P(RpcFabricTest, CustomHandlerPayload) {
+  RpcFabricConfig config;
+  config.kind = GetParam();
+  RpcFabric fabric(config);
+  fabric.set_handler([](ByteView request) {
+    RpcReply reply;
+    reply.payload = to_bytes(request);
+    std::reverse(reply.payload.begin(), reply.payload.end());
+    reply.cpu_cost = usec(1);
+    return reply;
+  });
+
+  auto channel = fabric.make_channel(0);
+  Bytes response;
+  channel->call(Bytes{1, 2, 3, 4}, 4,
+                [&](SimDuration, Bytes r) { response = std::move(r); });
+  fabric.loop().run();
+  EXPECT_EQ(response, (Bytes{4, 3, 2, 1}));
+}
+
+TEST_P(RpcFabricTest, ManyConcurrentCallsComplete) {
+  RpcFabricConfig config;
+  config.kind = GetParam();
+  RpcFabric fabric(config);
+
+  constexpr int kChannels = 8;
+  constexpr int kCallsPerChannel = 25;
+  std::vector<std::unique_ptr<RpcChannel>> channels;
+  int completed = 0;
+  for (int c = 0; c < kChannels; ++c) {
+    channels.push_back(fabric.make_channel(std::size_t(c)));
+  }
+  for (int c = 0; c < kChannels; ++c) {
+    for (int i = 0; i < kCallsPerChannel; ++i) {
+      channels[std::size_t(c)]->call(Bytes(128, std::uint8_t(i)), 128,
+                                     [&](SimDuration, Bytes) { ++completed; });
+    }
+  }
+  fabric.loop().run();
+  EXPECT_EQ(completed, kChannels * kCallsPerChannel);
+}
+
+TEST_P(RpcFabricTest, LargeRequestAndResponse) {
+  RpcFabricConfig config;
+  config.kind = GetParam();
+  RpcFabric fabric(config);
+  auto channel = fabric.make_channel(0);
+  bool done = false;
+  channel->call(Bytes(65536, 0x22), 65536, [&](SimDuration, Bytes response) {
+    done = true;
+    EXPECT_EQ(response.size(), 65536u);
+  });
+  fabric.loop().run();
+  EXPECT_TRUE(done);
+}
+
+TEST_P(RpcFabricTest, PipelinedCallsOnOneChannel) {
+  RpcFabricConfig config;
+  config.kind = GetParam();
+  RpcFabric fabric(config);
+  auto channel = fabric.make_channel(0);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    channel->call(Bytes(256, std::uint8_t(i)), 256,
+                  [&](SimDuration, Bytes) { ++completed; });
+  }
+  fabric.loop().run();
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ(channel->inflight(), 0u);
+}
+
+TEST_P(RpcFabricTest, ServerBusyAccountingGrows) {
+  RpcFabricConfig config;
+  config.kind = GetParam();
+  RpcFabric fabric(config);
+  auto channel = fabric.make_channel(0);
+  channel->call(Bytes(1024, 0x01), 1024, [](SimDuration, Bytes) {});
+  fabric.loop().run();
+  EXPECT_GT(fabric.server_busy_ns(), 0u);
+  EXPECT_GT(fabric.client_busy_ns(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, RpcFabricTest,
+    ::testing::Values(TransportKind::tcp, TransportKind::ktls_sw,
+                      TransportKind::ktls_hw, TransportKind::homa,
+                      TransportKind::smt_sw, TransportKind::smt_hw,
+                      TransportKind::tcpls),
+    [](const ::testing::TestParamInfo<TransportKind>& info) {
+      std::string name = transport_name(info.param);
+      for (char& c : name) {
+        if (c == '-' || c == '/') c = '_';
+      }
+      return name;
+    });
+
+TEST(RpcFabricShape, EncryptedCostsMoreThanPlain) {
+  // Sanity for the §5 comparisons: with identical traffic, kTLS-sw burns
+  // more server CPU than TCP, and SMT-sw more than Homa.
+  const auto busy_for = [](TransportKind kind) {
+    RpcFabricConfig config;
+    config.kind = kind;
+    RpcFabric fabric(config);
+    auto channel = fabric.make_channel(0);
+    int completed = 0;
+    for (int i = 0; i < 20; ++i) {
+      channel->call(Bytes(4096, 0x01), 4096,
+                    [&](SimDuration, Bytes) { ++completed; });
+    }
+    fabric.loop().run();
+    EXPECT_EQ(completed, 20);
+    return fabric.server_busy_ns() + fabric.client_busy_ns();
+  };
+  EXPECT_GT(busy_for(TransportKind::ktls_sw), busy_for(TransportKind::tcp));
+  EXPECT_GT(busy_for(TransportKind::smt_sw), busy_for(TransportKind::homa));
+}
+
+TEST(RpcFabricShape, HwOffloadSavesCpuVsSoftware) {
+  const auto busy_for = [](TransportKind kind) {
+    RpcFabricConfig config;
+    config.kind = kind;
+    RpcFabric fabric(config);
+    auto channel = fabric.make_channel(0);
+    for (int i = 0; i < 20; ++i) {
+      channel->call(Bytes(8192, 0x01), 8192, [](SimDuration, Bytes) {});
+    }
+    fabric.loop().run();
+    return fabric.client_busy_ns();  // tx-side crypto lives here
+  };
+  EXPECT_LT(busy_for(TransportKind::smt_hw), busy_for(TransportKind::smt_sw));
+  EXPECT_LT(busy_for(TransportKind::ktls_hw), busy_for(TransportKind::ktls_sw));
+}
+
+}  // namespace
+}  // namespace smt::apps

@@ -1,0 +1,94 @@
+#include "apps/ycsb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::apps {
+namespace {
+
+YcsbConfig make_config(YcsbWorkload workload) {
+  YcsbConfig config;
+  config.workload = workload;
+  config.record_count = 1000;
+  config.value_size = 128;
+  return config;
+}
+
+TEST(Ycsb, WorkloadAMixRoughlyHalfReads) {
+  YcsbGenerator gen(make_config(YcsbWorkload::a));
+  for (int i = 0; i < 10000; ++i) gen.next();
+  EXPECT_NEAR(gen.observed_read_fraction(), 0.50, 0.03);
+}
+
+TEST(Ycsb, WorkloadBMostlyReads) {
+  YcsbGenerator gen(make_config(YcsbWorkload::b));
+  for (int i = 0; i < 10000; ++i) gen.next();
+  EXPECT_NEAR(gen.observed_read_fraction(), 0.95, 0.02);
+}
+
+TEST(Ycsb, WorkloadCReadOnly) {
+  YcsbGenerator gen(make_config(YcsbWorkload::c));
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(gen.next().op, RedisOp::get);
+  }
+  EXPECT_DOUBLE_EQ(gen.observed_read_fraction(), 1.0);
+}
+
+TEST(Ycsb, WorkloadDInsertsNewKeys) {
+  YcsbGenerator gen(make_config(YcsbWorkload::d));
+  std::set<std::string> inserted;
+  for (int i = 0; i < 10000; ++i) {
+    const RedisRequest request = gen.next();
+    if (request.op == RedisOp::set) {
+      // New keys extend the keyspace beyond the initial records.
+      EXPECT_TRUE(inserted.insert(request.key).second);
+    }
+  }
+  EXPECT_GT(inserted.size(), 100u);
+}
+
+TEST(Ycsb, ValuesSizedPerConfig) {
+  YcsbConfig config = make_config(YcsbWorkload::a);
+  config.value_size = 4096;
+  YcsbGenerator gen(config);
+  for (int i = 0; i < 1000; ++i) {
+    const RedisRequest request = gen.next();
+    if (request.op == RedisOp::set) {
+      EXPECT_EQ(request.value.size(), 4096u);
+    }
+  }
+}
+
+TEST(Ycsb, ZipfianSkewsKeyPopularity) {
+  YcsbGenerator gen(make_config(YcsbWorkload::c));
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[gen.next().key];
+  // The hottest key should be far above uniform (20000/1000 = 20).
+  int hottest = 0;
+  for (const auto& [key, count] : counts) hottest = std::max(hottest, count);
+  EXPECT_GT(hottest, 200);
+}
+
+TEST(Ycsb, LoadRequestsCoverAllRecords) {
+  YcsbGenerator gen(make_config(YcsbWorkload::a));
+  std::set<std::string> keys;
+  for (std::uint64_t i = 0; i < gen.record_count(); ++i) {
+    const RedisRequest request = gen.load_request(i);
+    EXPECT_EQ(request.op, RedisOp::set);
+    keys.insert(request.key);
+  }
+  EXPECT_EQ(keys.size(), gen.record_count());
+}
+
+TEST(Ycsb, DeterministicUnderSeed) {
+  YcsbGenerator a(make_config(YcsbWorkload::a));
+  YcsbGenerator b(make_config(YcsbWorkload::a));
+  for (int i = 0; i < 100; ++i) {
+    const RedisRequest ra = a.next();
+    const RedisRequest rb = b.next();
+    EXPECT_EQ(ra.op, rb.op);
+    EXPECT_EQ(ra.key, rb.key);
+  }
+}
+
+}  // namespace
+}  // namespace smt::apps

@@ -1,0 +1,79 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0x7f, 0x80, 0xff};
+  EXPECT_EQ(to_hex(data), "00017f80ff");
+  EXPECT_EQ(from_hex("00017f80ff"), data);
+  EXPECT_EQ(from_hex("00017F80FF"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, BigEndian16) {
+  Bytes b;
+  append_u16be(b, 0xabcd);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 0xab);
+  EXPECT_EQ(b[1], 0xcd);
+  EXPECT_EQ(load_u16be(b.data()), 0xabcd);
+}
+
+TEST(Bytes, BigEndian24) {
+  Bytes b;
+  append_u24be(b, 0x123456);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(load_u24be(b.data()), 0x123456u);
+}
+
+TEST(Bytes, BigEndian32) {
+  Bytes b;
+  append_u32be(b, 0xdeadbeef);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(load_u32be(b.data()), 0xdeadbeefu);
+}
+
+TEST(Bytes, BigEndian64) {
+  Bytes b;
+  append_u64be(b, 0x0123456789abcdefULL);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(load_u64be(b.data()), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, StoreLoad64) {
+  std::uint8_t buf[8];
+  store_u64be(buf, 0xfedcba9876543210ULL);
+  EXPECT_EQ(load_u64be(buf), 0xfedcba9876543210ULL);
+}
+
+TEST(Bytes, Append) {
+  Bytes a = {1, 2};
+  const Bytes b = {3, 4};
+  append(a, b);
+  EXPECT_EQ(a, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Bytes, ToBytesFromString) {
+  EXPECT_EQ(to_bytes(std::string_view("ab")), (Bytes{'a', 'b'}));
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+}  // namespace
+}  // namespace smt

@@ -1,0 +1,50 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), Errc::ok);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(make_error(Errc::decrypt_failed, "bad tag"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::decrypt_failed);
+  EXPECT_EQ(r.error().message, "bad tag");
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r(std::string("hello"));
+  const std::string s = std::move(r).take();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Errc::ok);
+}
+
+TEST(Status, CarriesError) {
+  Status s = make_error(Errc::replay_detected, "msg id reused");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::replay_detected);
+  EXPECT_EQ(s.message(), "msg id reused");
+}
+
+TEST(Errc, NamesAreStable) {
+  EXPECT_STREQ(errc_name(Errc::ok), "ok");
+  EXPECT_STREQ(errc_name(Errc::replay_detected), "replay_detected");
+  EXPECT_STREQ(errc_name(Errc::decrypt_failed), "decrypt_failed");
+  EXPECT_STREQ(errc_name(Errc::would_block), "would_block");
+  EXPECT_STREQ(errc_name(Errc::ticket_expired), "ticket_expired");
+}
+
+}  // namespace
+}  // namespace smt

@@ -1,0 +1,76 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace smt {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[rng.next_below(8)];
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 300) << "value " << value << " badly under-represented";
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Zipf, SkewsTowardsLowRanks) {
+  ZipfGenerator zipf(1000, 0.99, 123);
+  std::uint64_t low = 0, total = 20000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (zipf.next() < 50) ++low;
+  }
+  // With theta=0.99 the head is very hot: the top 5% of keys should take
+  // well over a third of draws.
+  EXPECT_GT(low, total / 3);
+}
+
+TEST(Zipf, StaysInUniverse) {
+  ZipfGenerator zipf(100, 0.8, 9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.next(), 100u);
+}
+
+TEST(Zipf, Deterministic) {
+  ZipfGenerator a(500, 0.9, 77), b(500, 0.9, 77);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace smt

@@ -1,0 +1,164 @@
+#include "crypto/bignum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace smt::crypto {
+namespace {
+
+TEST(U256, FromHexAndBytesAgree) {
+  const U256 a = U256::from_hex(
+      "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  const auto bytes = a.to_bytes();
+  EXPECT_EQ(U256::from_bytes(ByteView(bytes.data(), bytes.size())), a);
+  EXPECT_EQ(to_hex(ByteView(bytes.data(), bytes.size())),
+            "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+}
+
+TEST(U256, FromHexShort) {
+  EXPECT_EQ(U256::from_hex("ff"), U256::from_u64(255));
+  EXPECT_EQ(U256::from_hex("10000000000000000"),  // 2^64
+            (U256{{0, 1, 0, 0}}));
+}
+
+TEST(U256, Comparisons) {
+  const U256 small = U256::from_u64(5);
+  const U256 big = U256::from_hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_TRUE(u256_less(small, big));
+  EXPECT_FALSE(u256_less(big, small));
+  EXPECT_FALSE(u256_less(big, big));
+}
+
+TEST(U256, AddCarryPropagates) {
+  const U256 max = U256::from_hex(
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  U256 r;
+  EXPECT_EQ(u256_add(max, U256::one(), r), 1u);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(U256, SubBorrowPropagates) {
+  U256 r;
+  EXPECT_EQ(u256_sub(U256::zero(), U256::one(), r), 1u);
+  const U256 max = U256::from_hex(
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(r, max);
+}
+
+TEST(U256, AddSubRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    U256 a, b;
+    for (auto& l : a.limbs) l = rng.next();
+    for (auto& l : b.limbs) l = rng.next();
+    U256 sum, back;
+    const std::uint64_t carry = u256_add(a, b, sum);
+    const std::uint64_t borrow = u256_sub(sum, b, back);
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);  // overflow in add shows as borrow in sub
+  }
+}
+
+TEST(U256, TopBit) {
+  EXPECT_EQ(U256::zero().top_bit(), -1);
+  EXPECT_EQ(U256::one().top_bit(), 0);
+  EXPECT_EQ(U256::from_u64(0x8000000000000000ULL).top_bit(), 63);
+  EXPECT_EQ(U256::from_hex("10000000000000000").top_bit(), 64);
+}
+
+TEST(U256, BitAccess) {
+  const U256 v = U256::from_u64(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+}
+
+TEST(U512, MulSmall) {
+  const U512 p = u256_mul(U256::from_u64(7), U256::from_u64(6));
+  EXPECT_EQ(p.limbs[0], 42u);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(p.limbs[std::size_t(i)], 0u);
+}
+
+TEST(U512, MulMaxValues) {
+  // (2^256 - 1)^2 = 2^512 - 2^257 + 1
+  const U256 max = U256::from_hex(
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  const U512 p = u256_mul(max, max);
+  EXPECT_EQ(p.limbs[0], 1u);
+  EXPECT_EQ(p.limbs[1], 0u);
+  EXPECT_EQ(p.limbs[2], 0u);
+  EXPECT_EQ(p.limbs[3], 0u);
+  EXPECT_EQ(p.limbs[4], 0xfffffffffffffffeULL);
+  EXPECT_EQ(p.limbs[5], 0xffffffffffffffffULL);
+  EXPECT_EQ(p.limbs[6], 0xffffffffffffffffULL);
+  EXPECT_EQ(p.limbs[7], 0xffffffffffffffffULL);
+}
+
+TEST(U512, ModSmallNumbers) {
+  U512 v{};
+  v.limbs[0] = 100;
+  EXPECT_EQ(u512_mod(v, U256::from_u64(7)), U256::from_u64(2));
+  EXPECT_EQ(u512_mod(v, U256::from_u64(100)), U256::zero());
+  EXPECT_EQ(u512_mod(v, U256::from_u64(101)), U256::from_u64(100));
+}
+
+TEST(U512, ModAgainstKnownSquare) {
+  // (2^64)^2 mod (2^64 + 1) == 1 (since 2^64 == -1 mod m).
+  const U256 m = U256::from_hex("10000000000000001");
+  const U512 sq = u256_mul(U256::from_hex("10000000000000000"),
+                           U256::from_hex("10000000000000000"));
+  EXPECT_EQ(u512_mod(sq, m), U256::one());
+}
+
+TEST(ModArith, AddSubInverse) {
+  const U256 m = U256::from_hex("bce6faada7179e84f3b9cac2fc632551");
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    U256 a{}, b{};
+    a.limbs[0] = rng.next();
+    a.limbs[1] = rng.next();
+    b.limbs[0] = rng.next();
+    // Reduce into range first.
+    U512 wa{}, wb{};
+    wa.limbs[0] = a.limbs[0];
+    wa.limbs[1] = a.limbs[1];
+    wb.limbs[0] = b.limbs[0];
+    a = u512_mod(wa, m);
+    b = u512_mod(wb, m);
+    const U256 sum = mod_add(a, b, m);
+    EXPECT_EQ(mod_sub(sum, b, m), a);
+  }
+}
+
+TEST(ModArith, MulCommutesAndAssociates) {
+  const U256 m = U256::from_hex(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  const U256 a = U256::from_hex("1234567890abcdef");
+  const U256 b = U256::from_hex("fedcba0987654321");
+  const U256 c = U256::from_hex("13579bdf2468ace0");
+  EXPECT_EQ(mod_mul(a, b, m), mod_mul(b, a, m));
+  EXPECT_EQ(mod_mul(mod_mul(a, b, m), c, m), mod_mul(a, mod_mul(b, c, m), m));
+}
+
+TEST(ModArith, PowSmallCases) {
+  const U256 m = U256::from_u64(1000000007);
+  EXPECT_EQ(mod_pow(U256::from_u64(2), U256::from_u64(10), m),
+            U256::from_u64(1024));
+  EXPECT_EQ(mod_pow(U256::from_u64(5), U256::zero(), m), U256::one());
+  // Fermat's little theorem: a^(p-1) == 1 mod p.
+  EXPECT_EQ(mod_pow(U256::from_u64(123456), U256::from_u64(1000000006), m),
+            U256::one());
+}
+
+TEST(ModArith, InvPrime) {
+  const U256 m = U256::from_u64(1000000007);
+  for (const std::uint64_t a : {2ULL, 3ULL, 999999999ULL, 12345ULL}) {
+    const U256 inv = mod_inv_prime(U256::from_u64(a), m);
+    EXPECT_EQ(mod_mul(U256::from_u64(a), inv, m), U256::one());
+  }
+}
+
+}  // namespace
+}  // namespace smt::crypto

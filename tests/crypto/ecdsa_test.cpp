@@ -1,0 +1,145 @@
+#include "crypto/ecdsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/sha256.hpp"
+
+namespace smt::crypto {
+namespace {
+
+// RFC 6979 A.2.5, P-256 + SHA-256 key.
+const U256 kX = U256::from_hex(
+    "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721");
+const char* kUx =
+    "60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6";
+const char* kUy =
+    "7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299";
+
+TEST(Ecdsa, Rfc6979PublicKeyDerivation) {
+  const AffinePoint pub = scalar_mul_base(kX);
+  EXPECT_EQ(pub.x, U256::from_hex(kUx));
+  EXPECT_EQ(pub.y, U256::from_hex(kUy));
+}
+
+TEST(Ecdsa, Rfc6979NonceSample) {
+  const auto digest = Sha256::digest(to_bytes(std::string_view("sample")));
+  const U256 k = rfc6979_nonce(kX, ByteView(digest.data(), digest.size()));
+  EXPECT_EQ(k, U256::from_hex(
+      "a6e3c57dd01abe90086538398355dd4c3b17aa873382b0f24d6129493d8aad60"));
+}
+
+TEST(Ecdsa, Rfc6979SignatureSample) {
+  const EcdsaSignature sig = ecdsa_sign(kX, to_bytes(std::string_view("sample")));
+  EXPECT_EQ(sig.r, U256::from_hex(
+      "efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716"));
+  EXPECT_EQ(sig.s, U256::from_hex(
+      "f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8"));
+}
+
+TEST(Ecdsa, Rfc6979SignatureTest) {
+  const EcdsaSignature sig = ecdsa_sign(kX, to_bytes(std::string_view("test")));
+  EXPECT_EQ(sig.r, U256::from_hex(
+      "f1abb023518351cd71d881567b1ea663ed3efcf6c5132b354f28d3b0b7d38367"));
+  EXPECT_EQ(sig.s, U256::from_hex(
+      "019f4113742a2b14bd25926b49c649155f267e60d3814b4c0cc84250e46f0083"));
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-seed")));
+  const auto kp = ecdsa_keypair_from_seed(drbg.generate(32));
+  const Bytes msg = to_bytes(std::string_view("authenticate this message"));
+  const EcdsaSignature sig = ecdsa_sign(kp.private_key, msg);
+  EXPECT_TRUE(ecdsa_verify(kp.public_key, msg, sig));
+}
+
+TEST(Ecdsa, VerifyRejectsWrongMessage) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-seed")));
+  const auto kp = ecdsa_keypair_from_seed(drbg.generate(32));
+  const EcdsaSignature sig =
+      ecdsa_sign(kp.private_key, to_bytes(std::string_view("message A")));
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, to_bytes(std::string_view("message B")), sig));
+}
+
+TEST(Ecdsa, VerifyRejectsWrongKey) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-seed")));
+  const auto kp1 = ecdsa_keypair_from_seed(drbg.generate(32));
+  const auto kp2 = ecdsa_keypair_from_seed(drbg.generate(32));
+  const Bytes msg = to_bytes(std::string_view("message"));
+  const EcdsaSignature sig = ecdsa_sign(kp1.private_key, msg);
+  EXPECT_FALSE(ecdsa_verify(kp2.public_key, msg, sig));
+}
+
+TEST(Ecdsa, VerifyRejectsTamperedSignature) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-seed")));
+  const auto kp = ecdsa_keypair_from_seed(drbg.generate(32));
+  const Bytes msg = to_bytes(std::string_view("message"));
+  EcdsaSignature sig = ecdsa_sign(kp.private_key, msg);
+  sig.r = mod_add(sig.r, U256::one(), P256::n());
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, msg, sig));
+}
+
+TEST(Ecdsa, VerifyRejectsZeroComponents) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-seed")));
+  const auto kp = ecdsa_keypair_from_seed(drbg.generate(32));
+  const Bytes msg = to_bytes(std::string_view("message"));
+  EcdsaSignature sig = ecdsa_sign(kp.private_key, msg);
+  EcdsaSignature zero_r = sig;
+  zero_r.r = U256::zero();
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, msg, zero_r));
+  EcdsaSignature zero_s = sig;
+  zero_s.s = U256::zero();
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, msg, zero_s));
+}
+
+TEST(Ecdsa, VerifyRejectsOutOfRangeComponents) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-seed")));
+  const auto kp = ecdsa_keypair_from_seed(drbg.generate(32));
+  const Bytes msg = to_bytes(std::string_view("message"));
+  EcdsaSignature sig = ecdsa_sign(kp.private_key, msg);
+  sig.r = P256::n();  // == n is out of range
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, msg, sig));
+}
+
+TEST(Ecdsa, DeterministicSignatures) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-seed")));
+  const auto kp = ecdsa_keypair_from_seed(drbg.generate(32));
+  const Bytes msg = to_bytes(std::string_view("same message"));
+  const EcdsaSignature s1 = ecdsa_sign(kp.private_key, msg);
+  const EcdsaSignature s2 = ecdsa_sign(kp.private_key, msg);
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+TEST(Ecdsa, EncodeDecodeRoundTrip) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-seed")));
+  const auto kp = ecdsa_keypair_from_seed(drbg.generate(32));
+  const EcdsaSignature sig =
+      ecdsa_sign(kp.private_key, to_bytes(std::string_view("msg")));
+  const Bytes enc = sig.encode();
+  EXPECT_EQ(enc.size(), 64u);
+  const auto dec = EcdsaSignature::decode(enc);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->r, sig.r);
+  EXPECT_EQ(dec->s, sig.s);
+}
+
+TEST(Ecdsa, DecodeRejectsBadLength) {
+  EXPECT_FALSE(EcdsaSignature::decode(Bytes(63, 0)).has_value());
+  EXPECT_FALSE(EcdsaSignature::decode(Bytes(65, 0)).has_value());
+}
+
+TEST(Ecdsa, SignDigestMatchesSignMessage) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-seed")));
+  const auto kp = ecdsa_keypair_from_seed(drbg.generate(32));
+  const Bytes msg = to_bytes(std::string_view("digest-vs-message"));
+  const auto digest = Sha256::digest(msg);
+  const EcdsaSignature s1 = ecdsa_sign(kp.private_key, msg);
+  const EcdsaSignature s2 =
+      ecdsa_sign_digest(kp.private_key, ByteView(digest.data(), digest.size()));
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+}  // namespace
+}  // namespace smt::crypto

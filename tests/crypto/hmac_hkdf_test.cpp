@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+
+namespace smt::crypto {
+namespace {
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = to_bytes(std::string_view("Hi There"));
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 (short key).
+TEST(Hmac, Rfc4231Case2) {
+  const Bytes key = to_bytes(std::string_view("Jefe"));
+  const Bytes data = to_bytes(std::string_view("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3 (key 0xaa x 20, data 0xdd x 50).
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than one block gets hashed first.
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const Bytes data = to_bytes(std::string_view(
+      "Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, IncrementalMatchesOneShot) {
+  const Bytes key = to_bytes(std::string_view("incremental-key"));
+  const Bytes data = to_bytes(std::string_view("some message of moderate length"));
+  HmacSha256 mac(key);
+  for (const auto b : data) mac.update(ByteView(&b, 1));
+  const auto tag1 = mac.finish();
+  const auto tag2 = HmacSha256::mac(key, data);
+  EXPECT_EQ(tag1, tag2);
+}
+
+// RFC 5869 test case 1.
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  const Bytes okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3: zero-length salt and info.
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes prk = hkdf_extract({}, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04");
+  const Bytes okm = hkdf_expand(prk, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandLengths) {
+  const Bytes prk = hkdf_extract({}, to_bytes(std::string_view("ikm")));
+  for (const std::size_t len : {1u, 16u, 31u, 32u, 33u, 64u, 100u}) {
+    const Bytes okm = hkdf_expand(prk, {}, len);
+    EXPECT_EQ(okm.size(), len);
+  }
+  // Prefix property: shorter output is a prefix of longer output.
+  const Bytes long_okm = hkdf_expand(prk, {}, 64);
+  const Bytes short_okm = hkdf_expand(prk, {}, 16);
+  EXPECT_TRUE(std::equal(short_okm.begin(), short_okm.end(), long_okm.begin()));
+}
+
+TEST(Hkdf, ExpandLabelStructure) {
+  // Same inputs give same outputs; different labels give different outputs.
+  const Bytes secret(32, 0x42);
+  const Bytes ctx = from_hex("aabb");
+  const Bytes a = hkdf_expand_label(secret, "key", ctx, 16);
+  const Bytes b = hkdf_expand_label(secret, "key", ctx, 16);
+  const Bytes c = hkdf_expand_label(secret, "iv", ctx, 16);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 16u);
+}
+
+TEST(Hkdf, DeriveSecretUsesTranscript) {
+  const Bytes secret(32, 0x24);
+  const Bytes th1(32, 0x01);
+  const Bytes th2(32, 0x02);
+  EXPECT_NE(derive_secret(secret, "c hs traffic", th1),
+            derive_secret(secret, "c hs traffic", th2));
+  EXPECT_EQ(derive_secret(secret, "c hs traffic", th1).size(), 32u);
+}
+
+}  // namespace
+}  // namespace smt::crypto

@@ -1,0 +1,87 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace smt::crypto {
+namespace {
+
+std::string digest_hex(ByteView data) {
+  const auto d = Sha256::digest(data);
+  return to_hex(ByteView(d.data(), d.size()));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  const Bytes msg = to_bytes(std::string_view("abc"));
+  EXPECT_EQ(digest_hex(msg),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const Bytes msg = to_bytes(std::string_view(
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  EXPECT_EQ(digest_hex(msg),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.finish();
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = to_bytes(std::string_view(
+      "The quick brown fox jumps over the lazy dog"));
+  // Split at every possible boundary; all must agree with one-shot.
+  const auto expected = Sha256::digest(msg);
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(ByteView(msg.data(), split));
+    h.update(ByteView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // Messages of exactly 55, 56, 63, 64, 65 bytes hit distinct padding paths.
+  for (const std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(len, 0x5a);
+    Sha256 a;
+    a.update(msg);
+    const auto one = a.finish();
+
+    Sha256 b;
+    for (std::size_t i = 0; i < len; ++i) b.update(ByteView(&msg[i], 1));
+    EXPECT_EQ(b.finish(), one) << "len " << len;
+  }
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update(to_bytes(std::string_view("garbage")));
+  h.reset();
+  h.update(to_bytes(std::string_view("abc")));
+  const auto d = h.finish();
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, OwnedBufferHelper) {
+  const Bytes d = sha256(to_bytes(std::string_view("abc")));
+  EXPECT_EQ(d.size(), Sha256::kDigestSize);
+  EXPECT_EQ(to_hex(d),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+}  // namespace
+}  // namespace smt::crypto

@@ -1,0 +1,249 @@
+#include "transport/homa/homa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/link.hpp"
+
+namespace smt::transport {
+namespace {
+
+class HomaTest : public ::testing::Test {
+ protected:
+  HomaTest()
+      : client_host_(loop_, host_config(1)),
+        server_host_(loop_, host_config(2)),
+        link_(loop_, link_config()),
+        client_(client_host_, 1000),
+        server_(server_host_, 80) {
+    stack::connect_hosts(client_host_, server_host_, link_);
+    server_.set_on_message(
+        [this](HomaEndpoint::MessageMeta meta, Bytes data) {
+          received_.emplace_back(meta, std::move(data));
+        });
+  }
+
+  static stack::HostConfig host_config(std::uint32_t ip) {
+    stack::HostConfig config;
+    config.ip = ip;
+    config.app_cores = 2;
+    config.softirq_cores = 2;
+    return config;
+  }
+  static sim::LinkConfig link_config() {
+    sim::LinkConfig config;
+    config.propagation = usec(1);
+    return config;
+  }
+
+  PeerAddr server_addr() const { return PeerAddr{2, 80}; }
+
+  sim::EventLoop loop_;
+  stack::Host client_host_;
+  stack::Host server_host_;
+  sim::Link link_;
+  HomaEndpoint client_;
+  HomaEndpoint server_;
+  std::vector<std::pair<HomaEndpoint::MessageMeta, Bytes>> received_;
+};
+
+TEST_F(HomaTest, SmallMessageDelivered) {
+  const auto id = client_.send_message(server_addr(),
+                                       to_bytes(std::string_view("hello homa")));
+  ASSERT_TRUE(id.ok());
+  loop_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].second, to_bytes(std::string_view("hello homa")));
+  EXPECT_EQ(received_[0].first.msg_id, id.value());
+  EXPECT_EQ(received_[0].first.peer.ip, 1u);
+}
+
+TEST_F(HomaTest, EmptyMessageDelivered) {
+  ASSERT_TRUE(client_.send_message(server_addr(), {}).ok());
+  loop_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_TRUE(received_[0].second.empty());
+}
+
+TEST_F(HomaTest, MessageBoundariesPreserved) {
+  client_.send_message(server_addr(), Bytes(100, 0xaa));
+  client_.send_message(server_addr(), Bytes(200, 0xbb));
+  client_.send_message(server_addr(), Bytes(300, 0xcc));
+  loop_.run();
+  ASSERT_EQ(received_.size(), 3u);
+  std::multiset<std::size_t> sizes;
+  for (const auto& [meta, data] : received_) sizes.insert(data.size());
+  EXPECT_EQ(sizes, (std::multiset<std::size_t>{100, 200, 300}));
+}
+
+TEST_F(HomaTest, LargeMessageUsesGrants) {
+  // 1 MB >> unscheduled bytes: the transfer requires GRANT packets.
+  Bytes big(1 << 20, 0);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = std::uint8_t(i % 253);
+  client_.send_message(server_addr(), big);
+  loop_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].second, big);
+  EXPECT_GT(server_.stats().grants_sent, 0u);
+}
+
+TEST_F(HomaTest, TooLargeMessageRejected) {
+  const auto result = client_.send_message(server_addr(), Bytes((1 << 20) + 1, 0));
+  EXPECT_EQ(result.code(), Errc::message_too_large);
+}
+
+TEST_F(HomaTest, FullMessageDeliveryNotStreaming) {
+  // Homa delivers only COMPLETE messages (§5.1): nothing is visible at the
+  // app until the whole 512 KB message has arrived.
+  Bytes big(512 * 1024, 0x01);
+  client_.send_message(server_addr(), big);
+  std::size_t messages_at_30us = 999;
+  loop_.schedule(usec(30), [&] { messages_at_30us = received_.size(); });
+  loop_.run();
+  EXPECT_EQ(messages_at_30us, 0u);
+  ASSERT_EQ(received_.size(), 1u);
+}
+
+TEST_F(HomaTest, LostPacketRecoveredByResend) {
+  int dropped = 0;
+  link_.a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
+    if (pkt.hdr.type == sim::PacketType::data && dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  Bytes data(10000, 0x3c);
+  client_.send_message(server_addr(), data);
+  loop_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].second, data);
+  EXPECT_GT(server_.stats().resends_requested, 0u);
+  EXPECT_GT(client_.stats().packets_retransmitted, 0u);
+}
+
+TEST_F(HomaTest, LossInOneMessageDoesNotBlockAnother) {
+  // Out-of-order message delivery (§2.2): message A loses a packet, but
+  // message B — sent later — completes first. No transport-level HoLB.
+  bool dropped = false;
+  link_.a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
+    if (pkt.hdr.type == sim::PacketType::data && !dropped &&
+        pkt.hdr.msg_id == 1) {
+      dropped = true;
+      return true;
+    }
+    return false;
+  });
+  std::vector<std::uint64_t> completion_order;
+  server_.set_on_message([&](HomaEndpoint::MessageMeta meta, Bytes) {
+    completion_order.push_back(meta.msg_id);
+  });
+  client_.send_message(server_addr(), Bytes(5000, 0xaa));  // msg 1, loses a pkt
+  client_.send_message(server_addr(), Bytes(100, 0xbb));   // msg 2
+  loop_.run();
+  ASSERT_EQ(completion_order.size(), 2u);
+  EXPECT_EQ(completion_order[0], 2u);  // B first — A is waiting on RESEND
+  EXPECT_EQ(completion_order[1], 1u);
+}
+
+TEST_F(HomaTest, SenderNotifiedOnAck) {
+  std::vector<std::uint64_t> sent;
+  client_.set_on_sent([&](std::uint64_t id) { sent.push_back(id); });
+  const auto id = client_.send_message(server_addr(), Bytes(100, 0x01));
+  loop_.run();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0], id.value());
+}
+
+TEST_F(HomaTest, ExplicitMessageIds) {
+  std::vector<SegmentSpec> segments(1);
+  segments[0].payload = Bytes(64, 0x11);
+  const auto id = client_.send_segments(server_addr(), std::move(segments), 64,
+                                        std::uint64_t{777});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 777u);
+  loop_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].first.msg_id, 777u);
+}
+
+TEST_F(HomaTest, DuplicateExplicitIdRejected) {
+  std::vector<SegmentSpec> s1(1), s2(1);
+  s1[0].payload = Bytes(10, 1);
+  s2[0].payload = Bytes(10, 2);
+  ASSERT_TRUE(client_.send_segments(server_addr(), std::move(s1), 10,
+                                    std::uint64_t{5}).ok());
+  EXPECT_EQ(client_
+                .send_segments(server_addr(), std::move(s2), 10,
+                               std::uint64_t{5})
+                .code(),
+            Errc::invalid_argument);
+}
+
+TEST_F(HomaTest, BidirectionalRpc) {
+  server_.set_on_message([this](HomaEndpoint::MessageMeta meta, Bytes data) {
+    server_.send_message(PeerAddr{meta.peer.ip, 1000}, std::move(data));
+  });
+  Bytes response;
+  client_.set_on_message(
+      [&](HomaEndpoint::MessageMeta, Bytes data) { response = std::move(data); });
+  client_.send_message(server_addr(), to_bytes(std::string_view("request")));
+  loop_.run();
+  EXPECT_EQ(response, to_bytes(std::string_view("request")));
+}
+
+TEST_F(HomaTest, MessagesSpreadAcrossSoftirqCores) {
+  // Two concurrent large messages from one flow 5-tuple land on DIFFERENT
+  // softirq cores (SRPT dynamic distribution) — unlike TCP's RSS pinning.
+  client_.send_message(server_addr(), Bytes(50000, 0x01));
+  client_.send_message(server_addr(), Bytes(50000, 0x02));
+  loop_.run();
+  ASSERT_EQ(received_.size(), 2u);
+  EXPECT_GT(server_host_.softirq_core(0).busy_ns(), 0u);
+  EXPECT_GT(server_host_.softirq_core(1).busy_ns(), 0u);
+}
+
+TEST_F(HomaTest, PrePostHookSeesSegments) {
+  std::vector<std::size_t> queues;
+  std::vector<SegmentSpec> segments(2);
+  segments[0].payload = Bytes(65536, 0x01);
+  segments[1].payload = Bytes(1000, 0x02);
+  client_.send_segments(
+      server_addr(), std::move(segments), 65536 + 1000, std::uint64_t{3},
+      nullptr,
+      [&](std::size_t queue, const sim::SegmentDescriptor&) {
+        queues.push_back(queue);
+      });
+  loop_.run();
+  ASSERT_EQ(queues.size(), 2u);
+  EXPECT_EQ(queues[0], queues[1]);  // same queue for the whole message
+  EXPECT_EQ(queues[0], client_.queue_for_message(3));
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].second.size(), 65536u + 1000u);
+}
+
+TEST_F(HomaTest, ManyConcurrentMessagesAllComplete) {
+  constexpr int kCount = 50;
+  for (int i = 0; i < kCount; ++i) {
+    client_.send_message(server_addr(), Bytes(std::size_t(100 + i * 37), 0x01));
+  }
+  loop_.run();
+  EXPECT_EQ(received_.size(), std::size_t(kCount));
+}
+
+TEST_F(HomaTest, LossyLinkEventuallyDeliversEverything) {
+  sim::LinkConfig lossy;
+  lossy.loss_rate = 0.05;
+  lossy.loss_seed = 9;
+  lossy.propagation = usec(1);
+  // Rebuild the topology with a lossy link.
+  sim::Link lossy_link(loop_, lossy);
+  stack::connect_hosts(client_host_, server_host_, lossy_link);
+  for (int i = 0; i < 20; ++i) {
+    client_.send_message(server_addr(), Bytes(8000, std::uint8_t(i)));
+  }
+  loop_.run();
+  EXPECT_EQ(received_.size(), 20u);
+}
+
+}  // namespace
+}  // namespace smt::transport

@@ -1,0 +1,189 @@
+// Cross-module integration: full handshake -> key registration -> many
+// encrypted RPCs through the simulated NIC/link, across configurations
+// (MTU, TSO, suites, record sizes, concurrency).
+#include <gtest/gtest.h>
+
+#include "apps/rpc.hpp"
+#include "crypto/drbg.hpp"
+#include "netsim/link.hpp"
+#include "smt/endpoint.hpp"
+#include "tls/engine.hpp"
+
+namespace smt::apps {
+namespace {
+
+struct EndToEndParam {
+  TransportKind kind;
+  std::size_t mtu;
+  bool tso;
+};
+
+class EndToEnd : public ::testing::TestWithParam<EndToEndParam> {};
+
+TEST_P(EndToEnd, MixedSizesAllComplete) {
+  const auto param = GetParam();
+  RpcFabricConfig config;
+  config.kind = param.kind;
+  config.mtu_payload = param.mtu;
+  config.tso_enabled = param.tso;
+  RpcFabric fabric(config);
+  fabric.set_handler([](ByteView request) {
+    RpcReply reply;
+    reply.payload = to_bytes(request);  // echo back exactly
+    reply.cpu_cost = usec(1);
+    return reply;
+  });
+
+  constexpr std::size_t kChannels = 6;
+  const std::size_t sizes[] = {1, 64, 1500, 4096, 16000, 16001, 70000};
+  std::vector<std::unique_ptr<RpcChannel>> channels;
+  for (std::size_t i = 0; i < kChannels; ++i) {
+    channels.push_back(fabric.make_channel(i));
+  }
+  int completed = 0, expected = 0;
+  for (std::size_t i = 0; i < kChannels; ++i) {
+    for (const std::size_t size : sizes) {
+      ++expected;
+      Bytes request(size, std::uint8_t(size % 251));
+      channels[i]->call(request, std::uint32_t(size),
+                        [&completed, size](SimDuration, Bytes response) {
+                          ++completed;
+                          EXPECT_EQ(response.size(), size);
+                          if (!response.empty()) {
+                            EXPECT_EQ(response[0], std::uint8_t(size % 251));
+                          }
+                        });
+    }
+  }
+  fabric.loop().run();
+  EXPECT_EQ(completed, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EndToEnd,
+    ::testing::Values(EndToEndParam{TransportKind::smt_sw, 1500, true},
+                      EndToEndParam{TransportKind::smt_hw, 1500, true},
+                      EndToEndParam{TransportKind::smt_hw, 9000, true},
+                      EndToEndParam{TransportKind::smt_hw, 1500, false},
+                      EndToEndParam{TransportKind::ktls_hw, 1500, true},
+                      EndToEndParam{TransportKind::ktls_sw, 9000, true},
+                      EndToEndParam{TransportKind::tcpls, 1500, true},
+                      EndToEndParam{TransportKind::homa, 1500, false}),
+    [](const ::testing::TestParamInfo<EndToEndParam>& info) {
+      std::string name = transport_name(info.param.kind);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      name += info.param.mtu == 9000 ? "_mtu9k" : "_mtu1500";
+      name += info.param.tso ? "_tso" : "_notso";
+      return name;
+    });
+
+TEST(EndToEndAes256, Suite256WorksEndToEnd) {
+  // Drive an SMT session with the 256-bit suite through hosts and NIC.
+  sim::EventLoop loop;
+  stack::HostConfig hc;
+  hc.ip = 1;
+  stack::Host client_host(loop, hc);
+  hc.ip = 2;
+  stack::Host server_host(loop, hc);
+  sim::Link link(loop, sim::LinkConfig{});
+  stack::connect_hosts(client_host, server_host, link);
+
+  proto::SmtConfig config;
+  config.hw_offload = true;
+  proto::SmtEndpoint client(client_host, 1000, config);
+  proto::SmtEndpoint server(server_host, 80, config);
+  tls::TrafficKeys tx{Bytes(32, 0x01), Bytes(12, 0x02)};
+  tls::TrafficKeys rx{Bytes(32, 0x03), Bytes(12, 0x04)};
+  ASSERT_TRUE(client
+                  .register_session({2, 80},
+                                    tls::CipherSuite::aes_256_gcm_sha256, tx, rx)
+                  .ok());
+  ASSERT_TRUE(server
+                  .register_session({1, 1000},
+                                    tls::CipherSuite::aes_256_gcm_sha256, rx, tx)
+                  .ok());
+  Bytes received;
+  server.set_on_message(
+      [&](proto::SmtEndpoint::MessageMeta, Bytes data) { received = std::move(data); });
+  const Bytes msg(20000, 0x5f);
+  ASSERT_TRUE(client.send_message({2, 80}, msg).ok());
+  loop.run();
+  EXPECT_EQ(received, msg);
+  EXPECT_GT(client_host.nic().counters().records_encrypted, 0u);
+}
+
+TEST(EndToEndHandshakeToTraffic, ResumedSessionCarriesTraffic) {
+  // Full handshake -> ticket -> resumption -> rekeyed SMT session traffic.
+  crypto::HmacDrbg rng(to_bytes(std::string_view("resume-e2e")));
+  auto ca = tls::CertificateAuthority::create("root", rng);
+  const auto key = crypto::ecdsa_keypair_from_seed(rng.generate(32));
+  tls::CertChain chain;
+  chain.certs.push_back(
+      ca.issue("server", crypto::encode_point(key.public_key), 0, 1u << 30));
+
+  tls::ClientConfig cc;
+  cc.server_name = "server";
+  cc.trusted_ca = ca.public_key();
+  cc.now = 1;
+  tls::ServerConfig sc;
+  sc.chain = chain;
+  sc.sig_key = key;
+  sc.trusted_ca = ca.public_key();
+  sc.now = 1;
+
+  // First connection.
+  tls::ClientHandshake c1(cc, rng);
+  tls::ServerHandshake s1(sc, rng);
+  auto f1 = c1.start();
+  auto sf1 = s1.on_client_flight(f1.value());
+  auto f2 = c1.on_server_flight(sf1.value());
+  ASSERT_TRUE(s1.on_client_finished(f2.value()).ok());
+  auto [ticket_bytes, server_psk] = s1.make_session_ticket();
+  const auto messages = tls::split_flight(ticket_bytes);
+  const auto nst = tls::NewSessionTicket::parse((*messages)[0].body);
+  const tls::PskInfo client_psk = c1.psk_from_ticket(*nst);
+
+  // Resumption with ECDHE.
+  cc.psk = client_psk;
+  cc.psk_ecdhe = true;
+  sc.psk_lookup = [&server_psk](ByteView id) -> std::optional<Bytes> {
+    if (to_bytes(id) == server_psk.identity) return server_psk.key;
+    return std::nullopt;
+  };
+  tls::ClientHandshake c2(cc, rng);
+  tls::ServerHandshake s2(sc, rng);
+  auto g1 = c2.start();
+  auto sg = s2.on_client_flight(g1.value());
+  auto g2 = c2.on_server_flight(sg.value());
+  ASSERT_TRUE(s2.on_client_finished(g2.value()).ok());
+
+  // Resumed keys drive SMT traffic over the simulated network.
+  sim::EventLoop loop;
+  stack::HostConfig hc;
+  hc.ip = 1;
+  stack::Host client_host(loop, hc);
+  hc.ip = 2;
+  stack::Host server_host(loop, hc);
+  sim::Link link(loop, sim::LinkConfig{});
+  stack::connect_hosts(client_host, server_host, link);
+  proto::SmtEndpoint client(client_host, 1000);
+  proto::SmtEndpoint server(server_host, 80);
+  const auto& cs = c2.secrets();
+  const auto& ss = s2.secrets();
+  ASSERT_TRUE(client.register_session({2, 80}, cs.suite, cs.client_keys,
+                                      cs.server_keys).ok());
+  ASSERT_TRUE(server.register_session({1, 1000}, ss.suite, ss.server_keys,
+                                      ss.client_keys).ok());
+  int delivered = 0;
+  server.set_on_message([&](proto::SmtEndpoint::MessageMeta, Bytes) { ++delivered; });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client.send_message({2, 80}, Bytes(100, std::uint8_t(i))).ok());
+  }
+  loop.run();
+  EXPECT_EQ(delivered, 10);
+}
+
+}  // namespace
+}  // namespace smt::apps

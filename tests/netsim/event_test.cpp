@@ -1,0 +1,100 @@
+#include "netsim/event.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::sim {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(usec(3), [&] { order.push_back(3); });
+  loop.schedule(usec(1), [&] { order.push_back(1); });
+  loop.schedule(usec(2), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), usec(3));
+}
+
+TEST(EventLoop, FifoAmongSameTimeEvents) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule(usec(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  std::vector<SimTime> times;
+  loop.schedule(usec(1), [&] {
+    times.push_back(loop.now());
+    loop.schedule(usec(1), [&] { times.push_back(loop.now()); });
+  });
+  loop.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{usec(1), usec(2)}));
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule(usec(1), [&] { ++count; });
+  loop.schedule(usec(10), [&] { ++count; });
+  const std::size_t executed = loop.run_until(usec(5));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loop.now(), usec(5));
+  loop.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, StopFromCallback) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule(usec(1), [&] {
+    ++count;
+    loop.stop();
+  });
+  loop.schedule(usec(2), [&] { ++count; });
+  loop.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(loop.stopped());
+  loop.reset_stop();
+  loop.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, NegativeDelayClamped) {
+  EventLoop loop;
+  bool ran = false;
+  loop.schedule(-100, [&] { ran = true; });
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.now(), 0);
+}
+
+TEST(EventLoop, ScheduleAtPastClamped) {
+  EventLoop loop;
+  std::vector<SimTime> times;
+  loop.schedule(usec(5), [&] {
+    loop.schedule_at(usec(1), [&] { times.push_back(loop.now()); });
+  });
+  loop.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], usec(5));  // not in the past
+}
+
+TEST(EventLoop, PendingCount) {
+  EventLoop loop;
+  EXPECT_TRUE(loop.empty());
+  loop.schedule(usec(1), [] {});
+  loop.schedule(usec(2), [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.run();
+  EXPECT_TRUE(loop.empty());
+}
+
+}  // namespace
+}  // namespace smt::sim

@@ -1,0 +1,134 @@
+#include "netsim/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::sim {
+namespace {
+
+Packet make_packet(std::size_t payload_size) {
+  Packet pkt;
+  pkt.payload.assign(payload_size, 0xab);
+  return pkt;
+}
+
+TEST(Link, DeliversWithPropagationAndSerialization) {
+  EventLoop loop;
+  LinkConfig config;
+  config.bandwidth_gbps = 100.0;
+  config.propagation = usec(1);
+  LinkDirection dir(loop, config);
+
+  SimTime arrival = -1;
+  dir.set_receiver([&](Packet) { arrival = loop.now(); });
+  const Packet pkt = make_packet(1430);  // 1500 B on the wire
+  dir.send(pkt);
+  loop.run();
+  // 1500 B = 12000 bits at 100 Gb/s = 120 ns serialization + 1000 ns prop.
+  EXPECT_EQ(arrival, 120 + 1000);
+}
+
+TEST(Link, BackToBackPacketsQueueBehindEachOther) {
+  EventLoop loop;
+  LinkConfig config;
+  config.bandwidth_gbps = 100.0;
+  config.propagation = 0;
+  LinkDirection dir(loop, config);
+
+  std::vector<SimTime> arrivals;
+  dir.set_receiver([&](Packet) { arrivals.push_back(loop.now()); });
+  dir.send(make_packet(1430));
+  dir.send(make_packet(1430));
+  dir.send(make_packet(1430));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 120);
+  EXPECT_EQ(arrivals[1], 240);  // serialized after the first
+  EXPECT_EQ(arrivals[2], 360);
+}
+
+TEST(Link, SlowerLinkTakesLonger) {
+  EventLoop loop;
+  LinkConfig config;
+  config.bandwidth_gbps = 10.0;
+  config.propagation = 0;
+  LinkDirection dir(loop, config);
+  SimTime arrival = -1;
+  dir.set_receiver([&](Packet) { arrival = loop.now(); });
+  dir.send(make_packet(1430));
+  loop.run();
+  EXPECT_EQ(arrival, 1200);  // 10x slower than 100 Gb/s
+}
+
+TEST(Link, RandomLossDropsSomePackets) {
+  EventLoop loop;
+  LinkConfig config;
+  config.loss_rate = 0.5;
+  config.loss_seed = 7;
+  LinkDirection dir(loop, config);
+  int received = 0;
+  dir.set_receiver([&](Packet) { ++received; });
+  for (int i = 0; i < 1000; ++i) dir.send(make_packet(100));
+  loop.run();
+  EXPECT_GT(received, 350);
+  EXPECT_LT(received, 650);
+  EXPECT_EQ(dir.packets_sent(), 1000u);
+  EXPECT_EQ(dir.packets_dropped(), 1000u - std::uint64_t(received));
+}
+
+TEST(Link, DropPredicateKillsTargetedPackets) {
+  EventLoop loop;
+  LinkDirection dir(loop, LinkConfig{});
+  std::vector<std::uint64_t> received;
+  dir.set_receiver([&](Packet pkt) { received.push_back(pkt.hdr.msg_id); });
+  dir.set_drop_predicate(
+      [](const Packet& pkt) { return pkt.hdr.msg_id == 2; });
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    Packet pkt = make_packet(10);
+    pkt.hdr.msg_id = id;
+    dir.send(pkt);
+  }
+  loop.run();
+  EXPECT_EQ(received, (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST(Link, FullDuplexDirectionsIndependent) {
+  EventLoop loop;
+  LinkConfig config;
+  config.propagation = usec(1);
+  Link link(loop, config);
+  int a_received = 0, b_received = 0;
+  link.a2b().set_receiver([&](Packet) { ++b_received; });
+  link.b2a().set_receiver([&](Packet) { ++a_received; });
+  link.a2b().send(make_packet(100));
+  link.b2a().send(make_packet(100));
+  loop.run();
+  EXPECT_EQ(a_received, 1);
+  EXPECT_EQ(b_received, 1);
+}
+
+TEST(Link, DeterministicLossPattern) {
+  const auto run_once = [] {
+    EventLoop loop;
+    LinkConfig config;
+    config.loss_rate = 0.3;
+    config.loss_seed = 42;
+    LinkDirection dir(loop, config);
+    std::vector<int> received;
+    int counter = 0;
+    dir.set_receiver([&](Packet pkt) {
+      received.push_back(int(pkt.hdr.msg_id));
+      (void)counter;
+    });
+    for (int i = 0; i < 100; ++i) {
+      Packet pkt = make_packet(10);
+      pkt.hdr.msg_id = std::uint64_t(i);
+      dir.send(pkt);
+    }
+    loop.run();
+    return received;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace smt::sim

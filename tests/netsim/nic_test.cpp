@@ -1,0 +1,182 @@
+#include "netsim/nic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::sim {
+namespace {
+
+class NicTest : public ::testing::Test {
+ protected:
+  NicTest() : link_(loop_, LinkConfig{}), nic_(loop_, NicConfig{}) {
+    nic_.attach_tx(&link_.a2b());
+    link_.a2b().set_receiver([this](Packet pkt) {
+      received_.push_back(std::move(pkt));
+    });
+  }
+
+  SegmentDescriptor make_segment(std::size_t size, Proto proto) {
+    SegmentDescriptor d;
+    d.segment.hdr.flow.proto = proto;
+    d.segment.hdr.msg_id = 42;
+    d.segment.hdr.msg_len = std::uint32_t(size);
+    d.segment.hdr.tso_off = 0;
+    d.segment.hdr.seq = 1000;
+    d.segment.payload.assign(size, 0x5a);
+    return d;
+  }
+
+  EventLoop loop_;
+  Link link_;
+  Nic nic_;
+  std::vector<Packet> received_;
+};
+
+TEST_F(NicTest, SmallSegmentSinglePacket) {
+  nic_.post_segment(0, make_segment(100, Proto::homa));
+  loop_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].payload.size(), 100u);
+}
+
+TEST_F(NicTest, TsoSplitsAtMtu) {
+  nic_.post_segment(0, make_segment(4000, Proto::homa));
+  loop_.run();
+  ASSERT_EQ(received_.size(), 3u);  // 1500 + 1500 + 1000
+  EXPECT_EQ(received_[0].payload.size(), 1500u);
+  EXPECT_EQ(received_[1].payload.size(), 1500u);
+  EXPECT_EQ(received_[2].payload.size(), 1000u);
+}
+
+TEST_F(NicTest, TsoReplicatesOverlayHeader) {
+  auto seg = make_segment(4000, Proto::smt);
+  seg.segment.hdr.tso_off = 65536;
+  nic_.post_segment(0, seg);
+  loop_.run();
+  for (const Packet& pkt : received_) {
+    EXPECT_EQ(pkt.hdr.msg_id, 42u);
+    EXPECT_EQ(pkt.hdr.msg_len, 4000u);
+    EXPECT_EQ(pkt.hdr.tso_off, 65536u);  // same in every packet (§4.3)
+  }
+}
+
+TEST_F(NicTest, TsoIncrementsIpid) {
+  nic_.post_segment(0, make_segment(4000, Proto::smt));
+  loop_.run();
+  ASSERT_EQ(received_.size(), 3u);
+  const std::uint16_t base = received_[0].hdr.ip_id;
+  EXPECT_EQ(received_[1].hdr.ip_id, base + 1);
+  EXPECT_EQ(received_[2].hdr.ip_id, base + 2);
+  for (const Packet& pkt : received_) EXPECT_EQ(pkt.hdr.ipid_base, base);
+}
+
+TEST_F(NicTest, IpidContinuesAcrossSegments) {
+  nic_.post_segment(0, make_segment(3000, Proto::smt));
+  nic_.post_segment(0, make_segment(3000, Proto::smt));
+  loop_.run();
+  ASSERT_EQ(received_.size(), 4u);
+  EXPECT_EQ(received_[2].hdr.ip_id, received_[1].hdr.ip_id + 1);
+}
+
+TEST_F(NicTest, TcpGetsSequenceNumbersAndChecksums) {
+  nic_.post_segment(0, make_segment(4000, Proto::tcp));
+  loop_.run();
+  ASSERT_EQ(received_.size(), 3u);
+  EXPECT_EQ(received_[0].hdr.seq, 1000u);
+  EXPECT_EQ(received_[1].hdr.seq, 2500u);
+  EXPECT_EQ(received_[2].hdr.seq, 4000u);
+  for (const Packet& pkt : received_) EXPECT_TRUE(pkt.hdr.checksum_valid);
+}
+
+TEST_F(NicTest, NonTcpGetsNoSequenceNumbersOrChecksums) {
+  // §2.2 / §7: TSO does not write seqnos or checksums for undefined
+  // transport protocols — the reason Homa/SMT carry explicit offsets.
+  nic_.post_segment(0, make_segment(4000, Proto::homa));
+  loop_.run();
+  for (const Packet& pkt : received_) {
+    EXPECT_EQ(pkt.hdr.seq, 1000u);  // template copied, not advanced
+    EXPECT_FALSE(pkt.hdr.checksum_valid);
+  }
+}
+
+TEST_F(NicTest, EmptyPayloadControlPacket) {
+  SegmentDescriptor d;
+  d.segment.hdr.flow.proto = Proto::homa;
+  d.segment.hdr.type = PacketType::grant;
+  nic_.post_segment(0, d);
+  loop_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_TRUE(received_[0].payload.empty());
+  EXPECT_EQ(received_[0].hdr.type, PacketType::grant);
+}
+
+TEST_F(NicTest, CountersTrackActivity) {
+  nic_.post_segment(0, make_segment(4000, Proto::homa));
+  nic_.post_segment(1, make_segment(100, Proto::homa));
+  loop_.run();
+  EXPECT_EQ(nic_.counters().segments, 2u);
+  EXPECT_EQ(nic_.counters().packets, 4u);
+}
+
+TEST_F(NicTest, PayloadContentPreservedAcrossSplit) {
+  SegmentDescriptor d = make_segment(3500, Proto::smt);
+  for (std::size_t i = 0; i < d.segment.payload.size(); ++i) {
+    d.segment.payload[i] = std::uint8_t(i & 0xff);
+  }
+  nic_.post_segment(0, d);
+  loop_.run();
+  Bytes reassembled;
+  for (const Packet& pkt : received_) append(reassembled, pkt.payload);
+  ASSERT_EQ(reassembled.size(), 3500u);
+  for (std::size_t i = 0; i < reassembled.size(); ++i) {
+    ASSERT_EQ(reassembled[i], std::uint8_t(i & 0xff)) << "at " << i;
+  }
+}
+
+TEST_F(NicTest, RxPathDeliversToHandler) {
+  Packet in;
+  in.hdr.msg_id = 7;
+  std::vector<Packet> rx;
+  nic_.set_rx_handler([&](Packet pkt) { rx.push_back(std::move(pkt)); });
+  nic_.receive(in);
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx[0].hdr.msg_id, 7u);
+}
+
+TEST_F(NicTest, FlowContextLimit) {
+  NicConfig config;
+  config.max_flow_contexts = 2;
+  Nic small(loop_, config);
+  tls::TrafficKeys keys;
+  keys.key = Bytes(16, 1);
+  keys.iv = Bytes(12, 2);
+  const auto c1 = small.create_flow_context(
+      tls::CipherSuite::aes_128_gcm_sha256, keys, 0);
+  const auto c2 = small.create_flow_context(
+      tls::CipherSuite::aes_128_gcm_sha256, keys, 0);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  const auto c3 = small.create_flow_context(
+      tls::CipherSuite::aes_128_gcm_sha256, keys, 0);
+  EXPECT_EQ(c3.code(), Errc::resource_exhausted);
+  EXPECT_EQ(small.counters().context_alloc_failures, 1u);
+  // Releasing one frees capacity for reuse (§4.4.2 context reuse).
+  small.release_flow_context(c1.value());
+  EXPECT_TRUE(small
+                  .create_flow_context(tls::CipherSuite::aes_128_gcm_sha256,
+                                       keys, 5)
+                  .ok());
+}
+
+TEST_F(NicTest, ContextSeqVisibleToDriver) {
+  tls::TrafficKeys keys;
+  keys.key = Bytes(16, 1);
+  keys.iv = Bytes(12, 2);
+  const auto ctx = nic_.create_flow_context(
+      tls::CipherSuite::aes_128_gcm_sha256, keys, 17);
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ(nic_.context_seq(ctx.value()), 17u);
+  EXPECT_FALSE(nic_.context_seq(9999).has_value());
+}
+
+}  // namespace
+}  // namespace smt::sim

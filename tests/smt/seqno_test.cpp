@@ -1,0 +1,79 @@
+#include "smt/seqno.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::proto {
+namespace {
+
+TEST(SeqnoLayout, DefaultSplitMatchesPaper) {
+  // §4.4.1: 48-bit message IDs, 16 bits for the intra-message record index.
+  constexpr SeqnoLayout layout;
+  EXPECT_EQ(layout.msg_id_bits(), 48u);
+  EXPECT_EQ(layout.record_index_bits(), 16u);
+  EXPECT_EQ(layout.max_messages(), 1ULL << 48);
+  EXPECT_EQ(layout.max_records_per_message(), 65536u);
+}
+
+TEST(SeqnoLayout, PaperMessageSizeClaims) {
+  // §4.4.1: "message sizes up to approximately 98 MB even with 1.5 KB
+  // (small) TLS records, and approximately 1 GB with 16 KB".
+  constexpr SeqnoLayout layout;
+  EXPECT_NEAR(double(layout.max_message_bytes(1500)), 98.3e6, 0.2e6);
+  EXPECT_NEAR(double(layout.max_message_bytes(16384)), 1.074e9, 0.01e9);
+}
+
+TEST(SeqnoLayout, ComposeDecomposeRoundTrip) {
+  constexpr SeqnoLayout layout;
+  const std::uint64_t composite = layout.compose(0x123456789abc, 0xdef0);
+  EXPECT_EQ(layout.msg_id_of(composite), 0x123456789abcu);
+  EXPECT_EQ(layout.record_index_of(composite), 0xdef0u);
+}
+
+TEST(SeqnoLayout, LowBitsSelfIncrement) {
+  // The record index occupies the LOW bits, so composite+1 walks to the
+  // next record of the same message — the hardware-counter property.
+  constexpr SeqnoLayout layout;
+  const std::uint64_t base = layout.compose(42, 0);
+  EXPECT_EQ(base + 1, layout.compose(42, 1));
+  EXPECT_EQ(base + 65535, layout.compose(42, 65535));
+}
+
+TEST(SeqnoLayout, AdjacentMessagesNeverCollide) {
+  constexpr SeqnoLayout layout;
+  // Last record of message N != first record of message N+1.
+  EXPECT_EQ(layout.compose(7, 65535) + 1, layout.compose(8, 0));
+  EXPECT_NE(layout.compose(7, 0), layout.compose(8, 0));
+}
+
+TEST(SeqnoLayout, ValidityBounds) {
+  constexpr SeqnoLayout layout;
+  EXPECT_TRUE(layout.valid_msg_id((1ULL << 48) - 1));
+  EXPECT_FALSE(layout.valid_msg_id(1ULL << 48));
+  EXPECT_TRUE(layout.valid_record_index(65535));
+  EXPECT_FALSE(layout.valid_record_index(65536));
+}
+
+// Parameterized sweep over the Figure 5 trade-off space.
+class LayoutSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LayoutSweep, TradeoffIsExact) {
+  const unsigned record_bits = GetParam();
+  const SeqnoLayout layout(64 - record_bits);
+  EXPECT_EQ(layout.record_index_bits(), record_bits);
+  // Total bits always 64; more record bits = fewer message IDs.
+  EXPECT_EQ(layout.max_messages(), 1ULL << (64 - record_bits));
+  // Round-trip at the extremes of both fields.
+  const std::uint64_t max_id = layout.max_messages() - 1;
+  const std::uint64_t max_idx = layout.max_records_per_message() - 1;
+  const std::uint64_t comp = layout.compose(max_id, max_idx);
+  EXPECT_EQ(layout.msg_id_of(comp), max_id);
+  EXPECT_EQ(layout.record_index_of(comp), max_idx);
+  EXPECT_EQ(comp, ~std::uint64_t{0});
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig5Range, LayoutSweep,
+                         ::testing::Values(8u, 9u, 10u, 11u, 12u, 13u, 14u,
+                                           15u, 16u, 17u));
+
+}  // namespace
+}  // namespace smt::proto

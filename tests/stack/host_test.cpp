@@ -1,0 +1,123 @@
+#include "stack/host.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::stack {
+namespace {
+
+HostConfig make_config(std::uint32_t ip) {
+  HostConfig config;
+  config.ip = ip;
+  config.app_cores = 4;
+  config.softirq_cores = 2;
+  return config;
+}
+
+TEST(Host, DemuxesByProtoAndPort) {
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));
+  int homa_hits = 0, tcp_hits = 0;
+  host.register_endpoint(sim::Proto::homa, 100,
+                         [&](sim::Packet) { ++homa_hits; });
+  host.register_endpoint(sim::Proto::tcp, 100,
+                         [&](sim::Packet) { ++tcp_hits; });
+
+  sim::Packet pkt;
+  pkt.hdr.flow.proto = sim::Proto::homa;
+  pkt.hdr.flow.dst_port = 100;
+  host.nic().receive(pkt);
+  pkt.hdr.flow.proto = sim::Proto::tcp;
+  host.nic().receive(pkt);
+  pkt.hdr.flow.dst_port = 999;  // unregistered: dropped
+  host.nic().receive(pkt);
+
+  EXPECT_EQ(homa_hits, 1);
+  EXPECT_EQ(tcp_hits, 1);
+}
+
+TEST(Host, UnregisterStopsDelivery) {
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));
+  int hits = 0;
+  host.register_endpoint(sim::Proto::smt, 7, [&](sim::Packet) { ++hits; });
+  sim::Packet pkt;
+  pkt.hdr.flow.proto = sim::Proto::smt;
+  pkt.hdr.flow.dst_port = 7;
+  host.nic().receive(pkt);
+  host.unregister_endpoint(sim::Proto::smt, 7);
+  host.nic().receive(pkt);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Host, FlowAffinityIsStable) {
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));
+  sim::FiveTuple flow;
+  flow.src_ip = 1;
+  flow.dst_ip = 2;
+  flow.src_port = 1000;
+  flow.dst_port = 2000;
+  const std::size_t idx = host.softirq_index_for_flow(flow);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(host.softirq_index_for_flow(flow), idx);
+  }
+}
+
+TEST(Host, DifferentFlowsSpreadAcrossCores) {
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));
+  std::set<std::size_t> cores;
+  for (std::uint16_t port = 1000; port < 1100; ++port) {
+    sim::FiveTuple flow;
+    flow.src_port = port;
+    flow.dst_port = 80;
+    cores.insert(host.softirq_index_for_flow(flow));
+  }
+  EXPECT_EQ(cores.size(), host.softirq_core_count());
+}
+
+TEST(Host, LeastLoadedSoftirqPicksIdleCore) {
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));
+  host.softirq_core(0).charge(usec(100));
+  EXPECT_EQ(host.least_loaded_softirq_index(), 1u);
+  host.softirq_core(1).charge(usec(200));
+  EXPECT_EQ(host.least_loaded_softirq_index(), 0u);
+}
+
+TEST(Host, BusyAccountingAggregates) {
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));
+  host.app_core(0).charge(usec(10));
+  host.app_core(1).charge(usec(20));
+  host.softirq_core(0).charge(usec(5));
+  EXPECT_EQ(host.total_app_busy_ns(), usec(30));
+  EXPECT_EQ(host.total_softirq_busy_ns(), usec(5));
+}
+
+TEST(Host, ConnectHostsDeliversBothWays) {
+  sim::EventLoop loop;
+  Host a(loop, make_config(1));
+  Host b(loop, make_config(2));
+  sim::Link link(loop, sim::LinkConfig{});
+  connect_hosts(a, b, link);
+
+  int a_rx = 0, b_rx = 0;
+  a.register_endpoint(sim::Proto::homa, 5, [&](sim::Packet) { ++a_rx; });
+  b.register_endpoint(sim::Proto::homa, 5, [&](sim::Packet) { ++b_rx; });
+
+  sim::SegmentDescriptor to_b;
+  to_b.segment.hdr.flow.proto = sim::Proto::homa;
+  to_b.segment.hdr.flow.dst_port = 5;
+  a.nic().post_segment(0, to_b);
+  sim::SegmentDescriptor to_a;
+  to_a.segment.hdr.flow.proto = sim::Proto::homa;
+  to_a.segment.hdr.flow.dst_port = 5;
+  b.nic().post_segment(0, to_a);
+  loop.run();
+  EXPECT_EQ(a_rx, 1);
+  EXPECT_EQ(b_rx, 1);
+}
+
+}  // namespace
+}  // namespace smt::stack

@@ -1,0 +1,175 @@
+#include "tls/cert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/p256.hpp"
+
+namespace smt::tls {
+namespace {
+
+class CertTest : public ::testing::Test {
+ protected:
+  CertTest() : rng_(to_bytes(std::string_view("cert-test-seed"))) {}
+
+  crypto::HmacDrbg rng_;
+};
+
+TEST_F(CertTest, RootSelfSigned) {
+  const auto ca = CertificateAuthority::create("dc-root", rng_);
+  const Certificate& root = ca.certificate();
+  EXPECT_EQ(root.subject, "dc-root");
+  EXPECT_EQ(root.issuer, "dc-root");
+  const auto sig = crypto::EcdsaSignature::decode(root.signature);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(crypto::ecdsa_verify(ca.public_key(), root.tbs(), *sig));
+}
+
+TEST_F(CertTest, IssueAndVerifyLeaf) {
+  const auto ca = CertificateAuthority::create("dc-root", rng_);
+  const auto leaf_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  const Certificate leaf =
+      ca.issue("server.internal", crypto::encode_point(leaf_key.public_key),
+               100, 2000);
+  CertChain chain{{leaf}};
+  EXPECT_TRUE(verify_chain(chain, ca.public_key(), 500).ok());
+  EXPECT_TRUE(verify_chain(chain, ca.public_key(), 500, "server.internal").ok());
+}
+
+TEST_F(CertTest, RejectsWrongSubject) {
+  const auto ca = CertificateAuthority::create("dc-root", rng_);
+  const auto leaf_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  const Certificate leaf =
+      ca.issue("server-a", crypto::encode_point(leaf_key.public_key), 0, 1000);
+  CertChain chain{{leaf}};
+  EXPECT_EQ(verify_chain(chain, ca.public_key(), 10, "server-b").code(),
+            Errc::cert_invalid);
+}
+
+TEST_F(CertTest, RejectsExpired) {
+  const auto ca = CertificateAuthority::create("dc-root", rng_);
+  const auto leaf_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  const Certificate leaf =
+      ca.issue("server", crypto::encode_point(leaf_key.public_key), 100, 200);
+  CertChain chain{{leaf}};
+  EXPECT_EQ(verify_chain(chain, ca.public_key(), 201).code(), Errc::cert_invalid);
+  EXPECT_EQ(verify_chain(chain, ca.public_key(), 99).code(), Errc::cert_invalid);
+  EXPECT_TRUE(verify_chain(chain, ca.public_key(), 150).ok());
+}
+
+TEST_F(CertTest, RejectsWrongCa) {
+  const auto ca1 = CertificateAuthority::create("root-1", rng_);
+  const auto ca2 = CertificateAuthority::create("root-2", rng_);
+  const auto leaf_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  const Certificate leaf =
+      ca1.issue("server", crypto::encode_point(leaf_key.public_key), 0, 1000);
+  CertChain chain{{leaf}};
+  EXPECT_EQ(verify_chain(chain, ca2.public_key(), 10).code(), Errc::cert_invalid);
+}
+
+TEST_F(CertTest, RejectsTamperedCert) {
+  const auto ca = CertificateAuthority::create("dc-root", rng_);
+  const auto leaf_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  Certificate leaf =
+      ca.issue("server", crypto::encode_point(leaf_key.public_key), 0, 1000);
+  leaf.subject = "attacker";  // changes tbs, invalidates signature
+  CertChain chain{{leaf}};
+  EXPECT_EQ(verify_chain(chain, ca.public_key(), 10).code(), Errc::cert_invalid);
+}
+
+TEST_F(CertTest, RejectsEmptyChain) {
+  const auto ca = CertificateAuthority::create("dc-root", rng_);
+  EXPECT_EQ(verify_chain(CertChain{}, ca.public_key(), 10).code(),
+            Errc::cert_invalid);
+}
+
+TEST_F(CertTest, IntermediateChainVerifies) {
+  const auto root = CertificateAuthority::create("dc-root", rng_);
+  const auto inter = root.issue_intermediate("dc-inter", rng_, 0, 10000);
+  const auto leaf_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  const Certificate leaf =
+      inter.issue("server", crypto::encode_point(leaf_key.public_key), 0, 10000);
+  // Chain: leaf (signed by inter), inter's cert (signed by root).
+  CertChain chain{{leaf, inter.certificate()}};
+  EXPECT_TRUE(verify_chain(chain, root.public_key(), 100).ok());
+  // Verifying against the intermediate's key directly must fail (the last
+  // cert in the chain is checked against the trusted root).
+  EXPECT_FALSE(verify_chain(chain, inter.public_key(), 100).ok());
+}
+
+TEST_F(CertTest, LongChainVerifies) {
+  // Deep chains work (used by the short-vs-long chain ablation bench).
+  const auto root = CertificateAuthority::create("root", rng_);
+  auto current = root.issue_intermediate("inter-0", rng_, 0, 10000);
+  CertChain chain;
+  std::vector<Certificate> inters{current.certificate()};
+  for (int i = 1; i < 3; ++i) {
+    current = current.issue_intermediate("inter-" + std::to_string(i), rng_, 0,
+                                         10000);
+    inters.push_back(current.certificate());
+  }
+  const auto leaf_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  const Certificate leaf =
+      current.issue("server", crypto::encode_point(leaf_key.public_key), 0, 10000);
+  chain.certs.push_back(leaf);
+  for (auto it = inters.rbegin(); it != inters.rend(); ++it)
+    chain.certs.push_back(*it);
+  EXPECT_TRUE(verify_chain(chain, root.public_key(), 100).ok());
+}
+
+TEST_F(CertTest, IssuerMismatchInChainRejected) {
+  const auto root = CertificateAuthority::create("root", rng_);
+  const auto inter = root.issue_intermediate("inter", rng_, 0, 10000);
+  const auto leaf_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  Certificate leaf =
+      inter.issue("server", crypto::encode_point(leaf_key.public_key), 0, 10000);
+  // Splice an unrelated CA cert as the issuer.
+  const auto other = CertificateAuthority::create("other", rng_);
+  CertChain chain{{leaf, other.certificate()}};
+  EXPECT_EQ(verify_chain(chain, root.public_key(), 100).code(),
+            Errc::cert_invalid);
+}
+
+TEST_F(CertTest, SerializeParseRoundTrip) {
+  const auto ca = CertificateAuthority::create("dc-root", rng_);
+  const auto leaf_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  const Certificate leaf =
+      ca.issue("server.internal", crypto::encode_point(leaf_key.public_key),
+               123, 456789);
+  const auto parsed = Certificate::parse(leaf.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, leaf);
+}
+
+TEST_F(CertTest, ChainSerializeParseRoundTrip) {
+  const auto root = CertificateAuthority::create("root", rng_);
+  const auto inter = root.issue_intermediate("inter", rng_, 0, 1000);
+  const auto leaf_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+  const Certificate leaf =
+      inter.issue("server", crypto::encode_point(leaf_key.public_key), 0, 1000);
+  const CertChain chain{{leaf, inter.certificate(), root.certificate()}};
+  const auto parsed = CertChain::parse(chain.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->certs.size(), 3u);
+  EXPECT_EQ(parsed->certs[0], leaf);
+  EXPECT_EQ(parsed->certs[2], root.certificate());
+}
+
+TEST_F(CertTest, ParseRejectsTruncation) {
+  const auto ca = CertificateAuthority::create("root", rng_);
+  const Bytes blob = ca.certificate().serialize();
+  for (const std::size_t cut :
+       {std::size_t{1}, std::size_t{10}, blob.size() / 2, blob.size() - 1}) {
+    EXPECT_FALSE(Certificate::parse(ByteView(blob.data(), cut)).has_value())
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(CertTest, ParseRejectsTrailingBytes) {
+  const auto ca = CertificateAuthority::create("root", rng_);
+  Bytes blob = ca.certificate().serialize();
+  blob.push_back(0x00);
+  EXPECT_FALSE(Certificate::parse(blob).has_value());
+}
+
+}  // namespace
+}  // namespace smt::tls

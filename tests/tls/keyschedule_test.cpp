@@ -1,0 +1,123 @@
+#include "tls/keyschedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace smt::tls {
+namespace {
+
+TEST(KeySchedule, TrafficKeyLengths) {
+  const Bytes secret(32, 0x42);
+  const TrafficKeys keys128 =
+      derive_traffic_keys(secret, CipherSuite::aes_128_gcm_sha256);
+  EXPECT_EQ(keys128.key.size(), 16u);
+  EXPECT_EQ(keys128.iv.size(), 12u);
+
+  const TrafficKeys keys256 =
+      derive_traffic_keys(secret, CipherSuite::aes_256_gcm_sha256);
+  EXPECT_EQ(keys256.key.size(), 32u);
+  EXPECT_EQ(keys256.iv.size(), 12u);
+}
+
+TEST(KeySchedule, TrafficKeysDeterministic) {
+  const Bytes secret(32, 0x42);
+  EXPECT_EQ(derive_traffic_keys(secret, CipherSuite::aes_128_gcm_sha256),
+            derive_traffic_keys(secret, CipherSuite::aes_128_gcm_sha256));
+}
+
+TEST(KeySchedule, DistinctSecretsDistinctKeys) {
+  const Bytes s1(32, 0x01);
+  const Bytes s2(32, 0x02);
+  EXPECT_NE(derive_traffic_keys(s1, CipherSuite::aes_128_gcm_sha256).key,
+            derive_traffic_keys(s2, CipherSuite::aes_128_gcm_sha256).key);
+}
+
+TEST(KeySchedule, FullScheduleBothSidesAgree) {
+  // Two independent KeySchedule instances with the same inputs derive
+  // identical secrets at every stage (client/server symmetry).
+  const Bytes psk(32, 0xaa);
+  const Bytes ecdhe(32, 0xbb);
+  const Bytes th1 = crypto::sha256(to_bytes(std::string_view("chlo+shlo")));
+  const Bytes th2 = crypto::sha256(to_bytes(std::string_view("..finished")));
+
+  KeySchedule a(CipherSuite::aes_128_gcm_sha256);
+  KeySchedule b(CipherSuite::aes_128_gcm_sha256);
+  a.early(psk);
+  b.early(psk);
+  EXPECT_EQ(a.client_early_traffic_secret(th1),
+            b.client_early_traffic_secret(th1));
+  EXPECT_EQ(a.binder_key(true), b.binder_key(true));
+  EXPECT_NE(a.binder_key(true), a.binder_key(false));
+
+  a.handshake(ecdhe);
+  b.handshake(ecdhe);
+  EXPECT_EQ(a.client_handshake_traffic_secret(th1),
+            b.client_handshake_traffic_secret(th1));
+  EXPECT_EQ(a.server_handshake_traffic_secret(th1),
+            b.server_handshake_traffic_secret(th1));
+  EXPECT_NE(a.client_handshake_traffic_secret(th1),
+            a.server_handshake_traffic_secret(th1));
+
+  a.master();
+  b.master();
+  EXPECT_EQ(a.client_app_traffic_secret(th2), b.client_app_traffic_secret(th2));
+  EXPECT_EQ(a.server_app_traffic_secret(th2), b.server_app_traffic_secret(th2));
+  EXPECT_EQ(a.resumption_master_secret(th2), b.resumption_master_secret(th2));
+}
+
+TEST(KeySchedule, PskChangesEverything) {
+  const Bytes th = crypto::sha256({});
+  KeySchedule with_psk(CipherSuite::aes_128_gcm_sha256);
+  KeySchedule without(CipherSuite::aes_128_gcm_sha256);
+  with_psk.early(Bytes(32, 0x55));
+  without.early({});
+  with_psk.handshake({});
+  without.handshake({});
+  EXPECT_NE(with_psk.client_handshake_traffic_secret(th),
+            without.client_handshake_traffic_secret(th));
+}
+
+TEST(KeySchedule, EcdheChangesAppSecrets) {
+  const Bytes th = crypto::sha256({});
+  KeySchedule a(CipherSuite::aes_128_gcm_sha256);
+  KeySchedule b(CipherSuite::aes_128_gcm_sha256);
+  a.early({});
+  b.early({});
+  a.handshake(Bytes(32, 0x01));
+  b.handshake(Bytes(32, 0x02));
+  a.master();
+  b.master();
+  EXPECT_NE(a.client_app_traffic_secret(th), b.client_app_traffic_secret(th));
+}
+
+TEST(KeySchedule, TranscriptBindsSecrets) {
+  KeySchedule ks(CipherSuite::aes_128_gcm_sha256);
+  ks.early({});
+  ks.handshake(Bytes(32, 0x03));
+  const Bytes th1 = crypto::sha256(to_bytes(std::string_view("transcript-1")));
+  const Bytes th2 = crypto::sha256(to_bytes(std::string_view("transcript-2")));
+  EXPECT_NE(ks.client_handshake_traffic_secret(th1),
+            ks.client_handshake_traffic_secret(th2));
+}
+
+TEST(KeySchedule, TicketPskDeterministic) {
+  const Bytes master(32, 0x10);
+  const Bytes nonce = {1, 2, 3};
+  EXPECT_EQ(KeySchedule::ticket_psk(master, nonce),
+            KeySchedule::ticket_psk(master, nonce));
+  EXPECT_NE(KeySchedule::ticket_psk(master, nonce),
+            KeySchedule::ticket_psk(master, Bytes{4, 5, 6}));
+}
+
+TEST(KeySchedule, FinishedVerifyDataBindsKeyAndHash) {
+  const Bytes secret(32, 0x20);
+  const Bytes key = derive_finished_key(secret);
+  const Bytes th = crypto::sha256(to_bytes(std::string_view("x")));
+  EXPECT_EQ(finished_verify_data(key, th).size(), 32u);
+  EXPECT_NE(finished_verify_data(key, th),
+            finished_verify_data(key, crypto::sha256(to_bytes(std::string_view("y")))));
+}
+
+}  // namespace
+}  // namespace smt::tls

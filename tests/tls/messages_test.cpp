@@ -1,0 +1,160 @@
+#include "tls/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::tls {
+namespace {
+
+TEST(Messages, ClientHelloRoundTrip) {
+  ClientHello hello;
+  hello.random = Bytes(32, 0xab);
+  hello.suite = CipherSuite::aes_128_gcm_sha256;
+  hello.key_share = Bytes(65, 0x04);
+  hello.psk_identity = {1, 2, 3};
+  hello.psk_binder = Bytes(32, 0x11);
+  hello.smt_ticket_id = {};
+  hello.early_data = true;
+  hello.request_fs = false;
+  hello.psk_ecdhe = true;
+
+  const Bytes framed = hello.serialize();
+  const auto messages = split_flight(framed);
+  ASSERT_TRUE(messages.has_value());
+  ASSERT_EQ(messages->size(), 1u);
+  EXPECT_EQ((*messages)[0].type, HandshakeType::client_hello);
+
+  const auto parsed = ClientHello::parse((*messages)[0].body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->random, hello.random);
+  EXPECT_EQ(parsed->suite, hello.suite);
+  EXPECT_EQ(parsed->key_share, hello.key_share);
+  EXPECT_EQ(parsed->psk_identity, hello.psk_identity);
+  EXPECT_EQ(parsed->psk_binder, hello.psk_binder);
+  EXPECT_TRUE(parsed->smt_ticket_id.empty());
+  EXPECT_TRUE(parsed->early_data);
+  EXPECT_FALSE(parsed->request_fs);
+  EXPECT_TRUE(parsed->psk_ecdhe);
+}
+
+TEST(Messages, ServerHelloRoundTrip) {
+  ServerHello hello;
+  hello.random = Bytes(32, 0xcd);
+  hello.suite = CipherSuite::aes_256_gcm_sha256;
+  hello.key_share = Bytes(65, 0x04);
+  hello.psk_accepted = true;
+  hello.early_data_accepted = true;
+
+  const auto messages = split_flight(hello.serialize());
+  ASSERT_TRUE(messages.has_value());
+  const auto parsed = ServerHello::parse((*messages)[0].body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->random, hello.random);
+  EXPECT_EQ(parsed->suite, hello.suite);
+  EXPECT_TRUE(parsed->psk_accepted);
+  EXPECT_TRUE(parsed->early_data_accepted);
+}
+
+TEST(Messages, EmptyKeyShareAllowed) {
+  // Pure-PSK resumption has no server key share.
+  ServerHello hello;
+  hello.random = Bytes(32, 0x01);
+  hello.key_share = {};
+  const auto messages = split_flight(hello.serialize());
+  const auto parsed = ServerHello::parse((*messages)[0].body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->key_share.empty());
+}
+
+TEST(Messages, EncryptedExtensionsRoundTrip) {
+  for (const bool flag : {false, true}) {
+    EncryptedExtensions ee;
+    ee.client_cert_requested = flag;
+    const auto messages = split_flight(ee.serialize());
+    const auto parsed = EncryptedExtensions::parse((*messages)[0].body);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->client_cert_requested, flag);
+  }
+}
+
+TEST(Messages, FinishedRoundTrip) {
+  Finished fin;
+  fin.verify_data = Bytes(32, 0x3c);
+  const auto messages = split_flight(fin.serialize());
+  const auto parsed = Finished::parse((*messages)[0].body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->verify_data, fin.verify_data);
+}
+
+TEST(Messages, NewSessionTicketRoundTrip) {
+  NewSessionTicket ticket;
+  ticket.lifetime_seconds = 3600;
+  ticket.ticket_id = Bytes(16, 0x88);
+  ticket.nonce = Bytes(8, 0x99);
+  const auto messages = split_flight(ticket.serialize());
+  ASSERT_TRUE(messages.has_value());
+  EXPECT_EQ((*messages)[0].type, HandshakeType::new_session_ticket);
+  const auto parsed = NewSessionTicket::parse((*messages)[0].body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->lifetime_seconds, 3600u);
+  EXPECT_EQ(parsed->ticket_id, ticket.ticket_id);
+  EXPECT_EQ(parsed->nonce, ticket.nonce);
+}
+
+TEST(Messages, FlightConcatenation) {
+  ClientHello chlo;
+  chlo.random = Bytes(32, 0x01);
+  Finished fin;
+  fin.verify_data = Bytes(32, 0x02);
+
+  Bytes flight = chlo.serialize();
+  append(flight, fin.serialize());
+
+  const auto messages = split_flight(flight);
+  ASSERT_TRUE(messages.has_value());
+  ASSERT_EQ(messages->size(), 2u);
+  EXPECT_EQ((*messages)[0].type, HandshakeType::client_hello);
+  EXPECT_EQ((*messages)[1].type, HandshakeType::finished);
+}
+
+TEST(Messages, SplitFlightRejectsTruncation) {
+  ClientHello chlo;
+  chlo.random = Bytes(32, 0x01);
+  Bytes flight = chlo.serialize();
+  flight.resize(flight.size() - 3);
+  EXPECT_FALSE(split_flight(flight).has_value());
+  EXPECT_FALSE(split_flight(Bytes{0x01, 0x00}).has_value());
+}
+
+TEST(Messages, ParseRejectsShortClientHello) {
+  EXPECT_FALSE(ClientHello::parse(Bytes(10, 0)).has_value());
+}
+
+TEST(Messages, ParseRejectsTrailingGarbage) {
+  Finished fin;
+  fin.verify_data = Bytes(32, 0x02);
+  const auto messages = split_flight(fin.serialize());
+  Bytes body = (*messages)[0].body;
+  body.push_back(0xff);
+  EXPECT_FALSE(Finished::parse(body).has_value());
+}
+
+TEST(Messages, CertificateVerifyContentDomainSeparation) {
+  const Bytes th(32, 0x42);
+  const Bytes server_content = certificate_verify_content(true, th);
+  const Bytes client_content = certificate_verify_content(false, th);
+  EXPECT_NE(server_content, client_content);
+  // 64 spaces prefix per RFC 8446.
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(server_content[std::size_t(i)], 0x20);
+}
+
+TEST(Messages, RawFramePreservedForTranscript) {
+  ClientHello chlo;
+  chlo.random = Bytes(32, 0x07);
+  const Bytes flight = chlo.serialize();
+  const auto messages = split_flight(flight);
+  ASSERT_TRUE(messages.has_value());
+  EXPECT_EQ((*messages)[0].raw, flight);
+}
+
+}  // namespace
+}  // namespace smt::tls

@@ -1,0 +1,119 @@
+#include "tls/ticket.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/p256.hpp"
+
+namespace smt::tls {
+namespace {
+
+class TicketTest : public ::testing::Test {
+ protected:
+  TicketTest() : rng_(to_bytes(std::string_view("ticket-test-seed"))) {
+    ca_ = CertificateAuthority::create("dc-root", rng_);
+    longterm_ = crypto::ecdh_keypair_from_seed(rng_.generate(32));
+    const auto sig_key = crypto::ecdsa_keypair_from_seed(rng_.generate(32));
+    chain_.certs.push_back(ca_.issue(
+        "server.internal", crypto::encode_point(sig_key.public_key), 0, 100000));
+  }
+
+  SmtTicket make_ticket(std::uint64_t nb = 1000, std::uint64_t na = 4600) {
+    return issue_smt_ticket(ca_, "server.internal",
+                            crypto::encode_point(longterm_.public_key), chain_,
+                            nb, na);
+  }
+
+  crypto::HmacDrbg rng_{to_bytes(std::string_view("unused"))};
+  CertificateAuthority ca_ = CertificateAuthority::create("tmp", rng_);
+  crypto::EcdhKeyPair longterm_;
+  CertChain chain_;
+};
+
+TEST_F(TicketTest, IssueAndVerify) {
+  const SmtTicket ticket = make_ticket();
+  EXPECT_TRUE(verify_smt_ticket(ticket, ca_.public_key(), 2000).ok());
+}
+
+TEST_F(TicketTest, RejectsOutsideValidity) {
+  const SmtTicket ticket = make_ticket(1000, 4600);
+  EXPECT_EQ(verify_smt_ticket(ticket, ca_.public_key(), 999).code(),
+            Errc::ticket_expired);
+  EXPECT_EQ(verify_smt_ticket(ticket, ca_.public_key(), 4601).code(),
+            Errc::ticket_expired);
+}
+
+TEST_F(TicketTest, RejectsTamperedShare) {
+  SmtTicket ticket = make_ticket();
+  ticket.server_longterm_pub[10] ^= 0x01;
+  EXPECT_FALSE(verify_smt_ticket(ticket, ca_.public_key(), 2000).ok());
+}
+
+TEST_F(TicketTest, RejectsTamperedName) {
+  SmtTicket ticket = make_ticket();
+  ticket.server_name = "evil.internal";
+  EXPECT_FALSE(verify_smt_ticket(ticket, ca_.public_key(), 2000).ok());
+}
+
+TEST_F(TicketTest, RejectsWrongCa) {
+  const SmtTicket ticket = make_ticket();
+  auto other_rng = crypto::HmacDrbg(to_bytes(std::string_view("other")));
+  const auto other_ca = CertificateAuthority::create("other-root", other_rng);
+  EXPECT_FALSE(verify_smt_ticket(ticket, other_ca.public_key(), 2000).ok());
+}
+
+TEST_F(TicketTest, SerializeParseRoundTrip) {
+  const SmtTicket ticket = make_ticket();
+  const auto parsed = SmtTicket::parse(ticket.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->server_name, ticket.server_name);
+  EXPECT_EQ(parsed->server_longterm_pub, ticket.server_longterm_pub);
+  EXPECT_EQ(parsed->not_before, ticket.not_before);
+  EXPECT_EQ(parsed->not_after, ticket.not_after);
+  EXPECT_EQ(parsed->signature, ticket.signature);
+  EXPECT_EQ(parsed->id(), ticket.id());
+}
+
+TEST_F(TicketTest, ParseRejectsTruncation) {
+  const Bytes blob = make_ticket().serialize();
+  EXPECT_FALSE(SmtTicket::parse(ByteView(blob.data(), blob.size() / 2)).has_value());
+  EXPECT_FALSE(SmtTicket::parse(ByteView(blob.data(), 3)).has_value());
+}
+
+TEST_F(TicketTest, IdBindsContent) {
+  const SmtTicket a = make_ticket(1000, 4600);
+  const SmtTicket b = make_ticket(1000, 4601);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST_F(TicketTest, DirectoryServesLatest) {
+  TicketDirectory directory;
+  EXPECT_FALSE(directory.lookup("server.internal").has_value());
+  const SmtTicket t1 = make_ticket(0, 3600);
+  const SmtTicket t2 = make_ticket(3600, 7200);
+  directory.publish(t1);
+  EXPECT_EQ(directory.lookup("server.internal")->not_after, 3600u);
+  directory.publish(t2);  // rotation replaces the entry
+  EXPECT_EQ(directory.lookup("server.internal")->not_after, 7200u);
+  EXPECT_EQ(directory.size(), 1u);
+}
+
+TEST(ZeroRttReplayGuardTest, DetectsReplay) {
+  ZeroRttReplayGuard guard;
+  const Bytes random1(32, 0x01);
+  const Bytes random2(32, 0x02);
+  EXPECT_TRUE(guard.check_and_record(random1));
+  EXPECT_FALSE(guard.check_and_record(random1));  // replay
+  EXPECT_TRUE(guard.check_and_record(random2));
+  EXPECT_EQ(guard.size(), 2u);
+}
+
+TEST(ZeroRttReplayGuardTest, RotationClearsWindow) {
+  ZeroRttReplayGuard guard;
+  const Bytes random(32, 0x01);
+  EXPECT_TRUE(guard.check_and_record(random));
+  guard.rotate();
+  EXPECT_TRUE(guard.check_and_record(random));
+}
+
+}  // namespace
+}  // namespace smt::tls
