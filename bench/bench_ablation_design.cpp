@@ -46,7 +46,7 @@ double smt_echo_rtt_us(proto::SmtConfig config, std::size_t size,
 
   double total = 0;
   int measured = 0;
-  int remaining = 25;
+  int remaining = bench::smoke() ? 6 : 25;
   SimTime sent_at = 0;
   std::function<void()> issue = [&] {
     if (remaining-- == 0) return;
@@ -68,7 +68,8 @@ double smt_echo_rtt_us(proto::SmtConfig config, std::size_t size,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   std::printf("== Ablation 1: TLS record payload size (64 KB messages) ==\n");
   std::printf("%-14s %10s %12s\n", "record bytes", "RTT [us]", "records/msg");
   for (const std::size_t record : {1400u, 4000u, 8000u, 16000u}) {

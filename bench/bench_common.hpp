@@ -8,12 +8,51 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <vector>
 
 #include "apps/rpc.hpp"
 
 namespace smt::bench {
+
+/// --- smoke mode ----------------------------------------------------------
+///
+/// Every bench binary accepts `--smoke` (or BENCH_SMOKE=1 in the
+/// environment): CI runs each bench with a tiny iteration budget so the
+/// binaries are exercised end-to-end on every change and can never silently
+/// rot. Benches call `init(argc, argv)` first and then shrink their sweep
+/// lists / iteration counts when `smoke()` is true.
+
+inline bool& smoke_flag() {
+  static bool flag = false;
+  return flag;
+}
+inline bool smoke() { return smoke_flag(); }
+
+inline void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke_flag() = true;
+  }
+  const char* env = std::getenv("BENCH_SMOKE");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') smoke_flag() = true;
+  if (smoke()) std::printf("[smoke mode: tiny iteration budget]\n");
+}
+
+/// Keeps the first element of each sweep list in smoke mode.
+template <typename T>
+inline std::vector<T> sweep(const std::vector<T>& full) {
+  if (smoke() && !full.empty()) return std::vector<T>(1, full.front());
+  return full;
+}
+
+/// Scales an iteration count down in smoke mode (but never below `floor`,
+/// and never above the full budget).
+inline std::size_t iters(std::size_t full, std::size_t floor = 100) {
+  if (!smoke()) return full;
+  return std::min(full, std::max(floor, full / 50));
+}
 
 using apps::RpcChannel;
 using apps::RpcFabric;
@@ -26,6 +65,10 @@ using apps::transport_name;
 inline double measure_unloaded_rtt_us(RpcFabricConfig config,
                                       std::size_t rpc_bytes, int warmup = 5,
                                       int iters = 40) {
+  if (smoke()) {
+    warmup = 1;
+    iters = std::min(iters, 5);
+  }
   RpcFabric fabric(config);
   auto channel = fabric.make_channel(0);
   double total_us = 0;
@@ -56,6 +99,7 @@ inline double measure_throughput_rps(RpcFabricConfig config,
                                      std::size_t rpc_bytes,
                                      std::size_t concurrency,
                                      std::size_t total_ops) {
+  total_ops = iters(total_ops, std::max<std::size_t>(200, 4 * concurrency));
   RpcFabric fabric(config);
   std::vector<std::unique_ptr<RpcChannel>> channels;
   for (std::size_t i = 0; i < concurrency; ++i) {

@@ -28,7 +28,7 @@ CpuResult run_fixed_rate(TransportKind kind, double rate_rps) {
 
   // Open loop: one request every 1/rate, round-robin over channels.
   const SimDuration interval = SimDuration(1e9 / rate_rps);
-  const SimDuration run_for = msec(30);
+  const SimDuration run_for = smoke() ? msec(2) : msec(30);
   std::size_t issued = 0;
   std::function<void()> tick = [&] {
     channels[issued % kChannels]->call(Bytes(1024, 0x5a), 1024,
@@ -53,7 +53,8 @@ CpuResult run_fixed_rate(TransportKind kind, double rate_rps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   constexpr double kRate = 0.9e6;  // req/s — sustained by every system
   std::printf("== §5.2 CPU usage at a fixed %.1f M req/s, 1 KB RPCs ==\n",
               kRate / 1e6);

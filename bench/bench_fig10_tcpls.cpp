@@ -9,8 +9,10 @@
 using namespace smt;
 using namespace smt::bench;
 
-int main() {
-  const std::vector<std::size_t> sizes = {64, 256, 1024, 4096, 16384};
+int main(int argc, char** argv) {
+  init(argc, argv);
+  const std::vector<std::size_t> sizes =
+      sweep<std::size_t>({64, 256, 1024, 4096, 16384});
   const std::vector<TransportKind> kinds = {
       TransportKind::tcpls, TransportKind::smt_sw, TransportKind::smt_hw};
   std::vector<const char*> names;

@@ -9,8 +9,10 @@
 using namespace smt;
 using namespace smt::bench;
 
-int main() {
-  const std::vector<std::size_t> sizes = {512, 1024, 2048, 4096, 8192};
+int main(int argc, char** argv) {
+  init(argc, argv);
+  const std::vector<std::size_t> sizes =
+      sweep<std::size_t>({512, 1024, 2048, 4096, 8192});
   std::vector<std::vector<double>> rtt;
   for (const std::size_t size : sizes) {
     RpcFabricConfig with_tso;

@@ -140,9 +140,11 @@ std::pair<double, double> run_handshake(Pki& pki, Method method) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   Pki pki;
-  const std::vector<std::size_t> sizes = {64, 128, 256, 1024, 4096, 8192};
+  const std::vector<std::size_t> sizes =
+      sweep<std::size_t>({64, 128, 256, 1024, 4096, 8192});
 
   // Simulated data-exchange RTT per size (SMT-sw fabric).
   std::map<std::size_t, double> rtt_us;
@@ -163,7 +165,7 @@ int main() {
   for (const Method m : methods) {
     // Average the crypto cost over a few runs.
     double crypto = 0, rtts = 0;
-    constexpr int kIters = 5;
+    const int kIters = smoke() ? 1 : 5;
     for (int i = 0; i < kIters; ++i) {
       const auto [c, r] = run_handshake(pki, m);
       crypto += c;

@@ -61,7 +61,8 @@ struct Harness {
 
 }  // namespace
 
-int main() {
+int main(int, char**) {
+  // Accepts (and ignores) --smoke: the semantics demo is already tiny.
   std::printf("== Figure 2: autonomous TLS offload semantics (real AES-GCM) ==\n\n");
 
   {

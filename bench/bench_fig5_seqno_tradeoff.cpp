@@ -22,7 +22,8 @@ const char* human(double value, char* buffer, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int, char**) {
+  // Accepts (and ignores) --smoke: the analytic sweep is already tiny.
   std::printf("== Figure 5: composite seqno bit-allocation trade-off ==\n");
   std::printf("%-12s %-12s %-16s %-18s %-18s\n", "index bits", "ID bits",
               "max messages", "max msg @1.5KB rec", "max msg @16KB rec");

@@ -11,10 +11,10 @@
 using namespace smt;
 using namespace smt::bench;
 
-int main() {
-  const std::vector<std::size_t> sizes = {64,   128,  256,   512,  1024,
-                                          2048, 4096, 8192,  16384, 32768,
-                                          65536};
+int main(int argc, char** argv) {
+  init(argc, argv);
+  const std::vector<std::size_t> sizes = sweep<std::size_t>(
+      {64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536});
   const std::vector<TransportKind> kinds = {
       TransportKind::tcp,    TransportKind::ktls_sw, TransportKind::ktls_hw,
       TransportKind::homa,   TransportKind::smt_sw,  TransportKind::smt_hw};

@@ -41,7 +41,7 @@ double run_cell(TransportKind kind, YcsbWorkload workload,
   }
 
   constexpr std::size_t kClients = 16;
-  constexpr std::size_t kOps = 6000;
+  const std::size_t kOps = iters(6000);
   std::vector<std::unique_ptr<RpcChannel>> channels;
   for (std::size_t i = 0; i < kClients; ++i) {
     channels.push_back(fabric.make_channel(i));
@@ -66,7 +66,8 @@ double run_cell(TransportKind kind, YcsbWorkload workload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   const std::vector<TransportKind> kinds = {
       TransportKind::tcp,     TransportKind::tcpls,  TransportKind::ktls_sw,
       TransportKind::ktls_hw, TransportKind::homa,   TransportKind::smt_sw,
@@ -74,15 +75,16 @@ int main() {
   const char* kind_names[] = {"TCP",  "TLS-usr", "kTLS-sw", "kTLS-hw",
                               "Homa", "SMT-sw",  "SMT-hw"};
 
-  for (const std::size_t value_size : {std::size_t{64}, std::size_t{1024},
-                                       std::size_t{4096}}) {
+  for (const std::size_t value_size :
+       sweep<std::size_t>({64, 1024, 4096})) {
     std::printf("\n== Figure 8: Redis YCSB throughput [K ops/s], %zu B values ==\n",
                 value_size);
     std::printf("%-10s", "workload");
     for (const char* name : kind_names) std::printf("%10s", name);
     std::printf("\n");
-    for (const YcsbWorkload workload :
-         {YcsbWorkload::a, YcsbWorkload::b, YcsbWorkload::c, YcsbWorkload::d}) {
+    for (const YcsbWorkload workload : sweep<YcsbWorkload>(
+             {YcsbWorkload::a, YcsbWorkload::b, YcsbWorkload::c,
+              YcsbWorkload::d})) {
       std::printf("%-10c", char(workload));
       std::vector<double> row;
       for (const TransportKind kind : kinds) {

@@ -21,18 +21,19 @@ LatencyStats run_fio(TransportKind kind, std::size_t iodepth) {
   NvmeTarget target(fabric, device);
   FioConfig fio;
   fio.iodepth = iodepth;
-  fio.total_requests = 3000;
+  fio.total_requests = iters(3000);
   FioClient client(fabric, fio);
   return client.run();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   const std::vector<TransportKind> kinds = {
       TransportKind::tcp,    TransportKind::ktls_sw, TransportKind::ktls_hw,
       TransportKind::homa,   TransportKind::smt_sw,  TransportKind::smt_hw};
-  const std::vector<std::size_t> iodepths = {1, 2, 4, 6, 8};
+  const std::vector<std::size_t> iodepths = sweep<std::size_t>({1, 2, 4, 6, 8});
 
   for (const char* which : {"P50", "P99"}) {
     std::printf("\n== Figure 9: NVMe-oF %s latency [us], 4 KB random reads ==\n",

@@ -6,8 +6,10 @@
 using namespace smt;
 using namespace smt::bench;
 
-int main() {
-  const std::vector<std::size_t> concurrencies = {50, 100, 150};
+int main(int argc, char** argv) {
+  init(argc, argv);
+  const std::vector<std::size_t> concurrencies =
+      sweep<std::size_t>({50, 100, 150});
   const std::vector<TransportKind> kinds = {
       TransportKind::ktls_sw, TransportKind::ktls_hw, TransportKind::smt_sw,
       TransportKind::smt_hw};

@@ -12,13 +12,15 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_common.hpp"
 #include "crypto/drbg.hpp"
 #include "tls/engine.hpp"
 
 using namespace smt;
 using namespace smt::tls;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   crypto::HmacDrbg rng(to_bytes(std::string_view("table2-bench")));
   auto ca = CertificateAuthority::create("dc-root", rng);
   const auto server_key = crypto::ecdsa_keypair_from_seed(rng.generate(32));
@@ -28,7 +30,7 @@ int main() {
 
   std::map<std::string, double> sums;
   std::map<std::string, int> counts;
-  constexpr int kIterations = 20;
+  const int kIterations = bench::smoke() ? 2 : 20;
 
   for (int i = 0; i < kIterations; ++i) {
     ClientConfig cc;

@@ -68,6 +68,11 @@ void RpcFabric::setup_hosts() {
   hc.nic.mtu_payload = config_.mtu_payload;
   hc.nic.tso_enabled = config_.tso_enabled;
   hc.nic.max_tso_bytes = config_.tso_enabled ? 65536 : config_.mtu_payload;
+  hc.nic.tx_burst = config_.tx_burst;
+  hc.nic.max_flow_contexts = config_.max_flow_contexts;
+  if (config_.per_doorbell_cost) {
+    hc.costs.per_doorbell_cost = *config_.per_doorbell_cost;
+  }
 
   hc.ip = 1;
   hc.app_cores = config_.client_app_cores;

@@ -66,6 +66,13 @@ struct RpcFabricConfig {
   std::size_t softirq_cores = 4;
   std::size_t mtu_payload = 1500;
   bool tso_enabled = true;
+  /// NIC TX batching: descriptors drained per doorbell and the fixed cost
+  /// of each drain event (doorbell amortisation, see netsim/nic.hpp).
+  /// per_doorbell_cost unset keeps the cost model's calibrated default.
+  std::size_t tx_burst = 16;
+  std::optional<SimDuration> per_doorbell_cost;
+  /// NIC TLS flow-context table size (finite NIC memory, §4.4.2).
+  std::size_t max_flow_contexts = 1024;
   double bandwidth_gbps = 100.0;
   SimDuration propagation = usec(1);
   double loss_rate = 0.0;

@@ -1,5 +1,6 @@
 #include "netsim/nic.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -9,7 +10,11 @@
 namespace smt::sim {
 
 Nic::Nic(EventLoop& loop, NicConfig config)
-    : loop_(loop), config_(config), queues_(config.num_queues) {}
+    : loop_(loop), config_(std::move(config)), queues_(config_.num_queues) {
+  if (!config_.per_doorbell_cost) {
+    config_.per_doorbell_cost = kDefaultPerDoorbellCost;
+  }
+}
 
 Result<std::uint32_t> Nic::create_flow_context(tls::CipherSuite suite,
                                                const tls::TrafficKeys& keys,
@@ -24,7 +29,34 @@ Result<std::uint32_t> Nic::create_flow_context(tls::CipherSuite suite,
   return id;
 }
 
-void Nic::release_flow_context(std::uint32_t id) { contexts_.erase(id); }
+void Nic::release_flow_context(std::uint32_t id) {
+  const auto it = contexts_.find(id);
+  if (it == contexts_.end()) return;
+  if (it->second.inflight > 0) {
+    it->second.pending_release = true;  // erased when the last user drains
+    return;
+  }
+  contexts_.erase(it);
+}
+
+bool Nic::context_in_flight(std::uint32_t id) const {
+  const auto it = contexts_.find(id);
+  return it != contexts_.end() && it->second.inflight > 0;
+}
+
+void Nic::pin_context(std::uint32_t id) {
+  const auto it = contexts_.find(id);
+  if (it != contexts_.end()) ++it->second.inflight;
+}
+
+void Nic::unpin_context(std::uint32_t id) {
+  const auto it = contexts_.find(id);
+  if (it == contexts_.end()) return;
+  if (it->second.inflight > 0) --it->second.inflight;
+  if (it->second.inflight == 0 && it->second.pending_release) {
+    contexts_.erase(it);
+  }
+}
 
 std::optional<std::uint64_t> Nic::context_seq(std::uint32_t id) const {
   const auto it = contexts_.find(id);
@@ -39,53 +71,86 @@ void Nic::post_resync(std::size_t queue, std::uint32_t context_id,
   d.is_resync = true;
   d.resync_context = context_id;
   d.resync_seq = new_seq;
+  pin_context(context_id);
   queues_[queue].push_back(std::move(d));
+  ++pending_;
   kick();
 }
 
 void Nic::post_segment(std::size_t queue, SegmentDescriptor descriptor) {
   assert(queue < queues_.size());
   assert(descriptor.segment.payload.size() <= config_.max_tso_bytes);
+  for (const TlsRecordDesc& rec : descriptor.records) {
+    pin_context(rec.context_id);
+  }
   Descriptor d;
   d.segment = std::move(descriptor);
   queues_[queue].push_back(std::move(d));
+  ++pending_;
   kick();
 }
 
+std::size_t Nic::pending_descriptors() const { return pending_; }
+
 void Nic::kick() {
   if (processing_) return;
+  if (pending_descriptors() == 0) return;
+  // Ring the doorbell: one fixed cost per drain event. The burst is sized
+  // when the drain BEGINS, so descriptors posted inside the doorbell
+  // window coalesce into the batch (xmit_more-style); descriptors posted
+  // after it wait for the next doorbell, which fires back-to-back from
+  // process_batch() while the rings are non-empty.
   processing_ = true;
-  loop_.schedule(config_.per_descriptor_cost, [this] { process_next(); });
+  ++counters_.doorbells;
+  loop_.schedule(*config_.per_doorbell_cost, [this] {
+    const std::size_t burst = std::min(
+        pending_descriptors(), std::max<std::size_t>(1, config_.tx_burst));
+    if (burst == 0) {  // defensive: queues only drain here
+      processing_ = false;
+      return;
+    }
+    loop_.schedule(config_.per_descriptor_cost * SimDuration(burst),
+                   [this, burst] { process_batch(burst); });
+  });
 }
 
-void Nic::process_next() {
-  // Round-robin scan for the next non-empty queue. This is the ordering
-  // model that makes cross-queue resync+segment pairs non-atomic (§3.2).
-  std::size_t scanned = 0;
-  while (scanned < queues_.size() && queues_[rr_cursor_].empty()) {
+void Nic::process_batch(std::size_t burst) {
+  std::size_t drained = 0;
+  while (drained < burst) {
+    // Round-robin scan for the next non-empty queue. This is the ordering
+    // model that makes cross-queue resync+segment pairs non-atomic (§3.2).
+    std::size_t scanned = 0;
+    while (scanned < queues_.size() && queues_[rr_cursor_].empty()) {
+      rr_cursor_ = (rr_cursor_ + 1) % queues_.size();
+      ++scanned;
+    }
+    if (scanned == queues_.size()) break;
+
+    Descriptor d = std::move(queues_[rr_cursor_].front());
+    queues_[rr_cursor_].pop_front();
+    --pending_;
     rr_cursor_ = (rr_cursor_ + 1) % queues_.size();
-    ++scanned;
-  }
-  if (scanned == queues_.size()) {
-    processing_ = false;
-    return;
-  }
 
-  Descriptor d = std::move(queues_[rr_cursor_].front());
-  queues_[rr_cursor_].pop_front();
-  rr_cursor_ = (rr_cursor_ + 1) % queues_.size();
-
-  if (d.is_resync) {
-    ++counters_.resyncs;
-    const auto it = contexts_.find(d.resync_context);
-    if (it != contexts_.end()) it->second.internal_seq = d.resync_seq;
-  } else {
-    ++counters_.segments;
-    encrypt_records(d.segment);
-    emit_segment(std::move(d.segment));
+    if (d.is_resync) {
+      ++counters_.resyncs;
+      const auto it = contexts_.find(d.resync_context);
+      if (it != contexts_.end()) it->second.internal_seq = d.resync_seq;
+      unpin_context(d.resync_context);
+    } else {
+      ++counters_.segments;
+      encrypt_records(d.segment);
+      for (const TlsRecordDesc& rec : d.segment.records) {
+        unpin_context(rec.context_id);
+      }
+      emit_segment(std::move(d.segment));
+    }
+    ++drained;
   }
 
-  loop_.schedule(config_.per_descriptor_cost, [this] { process_next(); });
+  counters_.max_burst_drained = std::max<std::uint64_t>(
+      counters_.max_burst_drained, drained);
+  processing_ = false;
+  kick();
 }
 
 void Nic::encrypt_records(SegmentDescriptor& descriptor) {
@@ -95,7 +160,14 @@ void Nic::encrypt_records(SegmentDescriptor& descriptor) {
 
   for (const TlsRecordDesc& rec : descriptor.records) {
     const auto it = contexts_.find(rec.context_id);
-    assert(it != contexts_.end() && "segment references released context");
+    if (it == contexts_.end()) {
+      // The driver let a referenced context disappear (should be prevented
+      // by in-flight pinning + the LRU manager). The hardware analogue is
+      // DMA-ing an unencrypted shell: the record fails authentication at
+      // the receiver, so the failure is visible, not silent.
+      ++counters_.context_misses;
+      continue;
+    }
     FlowContext& ctx = it->second;
 
     Bytes& payload = descriptor.segment.payload;

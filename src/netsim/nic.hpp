@@ -22,6 +22,12 @@
 //    but the NIC round-robins *across* queues with no atomicity between a
 //    resync and its segment posted to different queues — exactly the §3.2
 //    hazard that motivates SMT's per-queue flow contexts.
+//
+//  * Doorbell batching — posting arms a doorbell; each drain event pays
+//    per_doorbell_cost once and then consumes up to tx_burst descriptors
+//    (round-robin across queues, FIFO within a queue) at
+//    per_descriptor_cost each, amortising the fixed overhead the same way
+//    xmit_more/doorbell coalescing does on real hardware.
 #pragma once
 
 #include <cstdint>
@@ -48,7 +54,21 @@ struct NicConfig {
   bool tls_offload_enabled = true;
   std::size_t max_flow_contexts = 1024;  // in-NIC memory is finite (§4.4.2)
   SimDuration per_descriptor_cost = nsec(80);  // descriptor fetch/DMA setup
+  // Batched TX datapath: one doorbell drains up to `tx_burst` descriptors
+  // in a single scheduling event, so `per_doorbell_cost` (ring doorbell,
+  // scheduling, DMA engine start-up) is paid once per batch instead of
+  // once per descriptor. tx_burst = 1 degenerates to the unbatched path.
+  // per_doorbell_cost left unset resolves to CostModel::per_doorbell_cost
+  // for Host-owned NICs (stack/cost_model.hpp is the calibration source)
+  // and to kDefaultPerDoorbellCost for raw Nic objects; an explicit
+  // setting always wins.
+  std::size_t tx_burst = 16;
+  std::optional<SimDuration> per_doorbell_cost;
 };
+
+/// Fallback doorbell cost for NICs constructed without a Host/CostModel;
+/// mirrors CostModel::per_doorbell_cost's default.
+inline constexpr SimDuration kDefaultPerDoorbellCost = nsec(350);
 
 /// A TLS record inside a TSO segment that the NIC must encrypt in line.
 /// The segment payload at [record_offset, record_offset + 5) holds the
@@ -76,6 +96,9 @@ struct NicCounters {
   std::uint64_t out_of_sequence_records = 0;  // encrypted with wrong counter
   std::uint64_t context_allocs = 0;
   std::uint64_t context_alloc_failures = 0;
+  std::uint64_t context_misses = 0;   // record referenced a missing context
+  std::uint64_t doorbells = 0;        // TX batch drain events
+  std::uint64_t max_burst_drained = 0;  // largest batch seen
 };
 
 class Nic {
@@ -97,8 +120,16 @@ class Nic {
   Result<std::uint32_t> create_flow_context(tls::CipherSuite suite,
                                             const tls::TrafficKeys& keys,
                                             std::uint64_t initial_seq);
+
+  /// Releases a context. If descriptors referencing it are still queued,
+  /// the release is deferred until the hardware drains them — the driver
+  /// may free a context at any time without corrupting in-flight work.
   void release_flow_context(std::uint32_t id);
   std::size_t active_contexts() const noexcept { return contexts_.size(); }
+
+  /// True while TX descriptors referencing the context are still queued.
+  /// The LRU flow-context manager skips busy contexts when evicting.
+  bool context_in_flight(std::uint32_t id) const;
 
   /// Reads a context's internal record counter (driver shadow state).
   std::optional<std::uint64_t> context_seq(std::uint32_t id) const;
@@ -121,6 +152,8 @@ class Nic {
     tls::CipherSuite suite;
     tls::TrafficKeys keys;
     std::uint64_t internal_seq = 0;  // the self-incrementing counter
+    std::uint32_t inflight = 0;      // queued descriptors referencing it
+    bool pending_release = false;    // freed by the driver; erase on drain
   };
 
   struct Descriptor {
@@ -131,7 +164,10 @@ class Nic {
   };
 
   void kick();
-  void process_next();
+  void process_batch(std::size_t burst);
+  std::size_t pending_descriptors() const;
+  void pin_context(std::uint32_t id);
+  void unpin_context(std::uint32_t id);
   void emit_segment(SegmentDescriptor descriptor);
   void encrypt_records(SegmentDescriptor& descriptor);
 
@@ -141,6 +177,7 @@ class Nic {
   PacketHandler rx_handler_;
 
   std::vector<std::deque<Descriptor>> queues_;
+  std::size_t pending_ = 0;    // descriptors across all queues
   std::size_t rr_cursor_ = 0;  // round-robin scan position
   bool processing_ = false;
 

@@ -21,6 +21,13 @@ SmtEndpoint::SmtEndpoint(stack::Host& host, std::uint16_t port,
       });
 }
 
+SmtEndpoint::~SmtEndpoint() {
+  // Return every leased NIC context to the host-wide pool.
+  for (const auto& [peer, session] : sessions_) {
+    homa_.host().flow_contexts().invalidate_session(session_tag(peer));
+  }
+}
+
 Status SmtEndpoint::register_session(PeerAddr peer, tls::CipherSuite suite,
                                      const tls::TrafficKeys& tx_keys,
                                      const tls::TrafficKeys& rx_keys) {
@@ -44,10 +51,7 @@ Status SmtEndpoint::rekey_session(PeerAddr peer, tls::CipherSuite suite,
   }
   Session& session = it->second;
   // Release stale NIC contexts; new keys need fresh ones.
-  for (const auto& [queue, ctx] : session.queue_contexts) {
-    homa_.host().nic().release_flow_context(ctx.nic_context_id);
-  }
-  session.queue_contexts.clear();
+  homa_.host().flow_contexts().invalidate_session(session_tag(peer));
   session.suite = suite;
   session.tx.emplace(suite, tx_keys);
   session.rx.emplace(suite, rx_keys);
@@ -57,21 +61,6 @@ Status SmtEndpoint::rekey_session(PeerAddr peer, tls::CipherSuite suite,
   session.rx_filter.reset();
   homa_.flush_dedup_state();
   return Status::success();
-}
-
-Result<std::uint32_t> SmtEndpoint::context_for_queue(Session& session,
-                                                     std::size_t queue,
-                                                     std::uint64_t first_seq) {
-  auto it = session.queue_contexts.find(queue);
-  if (it != session.queue_contexts.end()) {
-    return it->second.nic_context_id;
-  }
-  auto ctx = homa_.host().nic().create_flow_context(
-      session.suite, session.tx->keys(), first_seq);
-  if (!ctx.ok()) return ctx;
-  session.queue_contexts[queue] = QueueContext{ctx.value(), first_seq};
-  ++stats_.contexts_created;
-  return ctx;
 }
 
 Result<std::uint64_t> SmtEndpoint::send_message(PeerAddr dst, Bytes plaintext,
@@ -97,10 +86,17 @@ Result<std::uint64_t> SmtEndpoint::send_message(PeerAddr dst, Bytes plaintext,
   seg_config.hardware_crypto = config_.hw_offload;
 
   if (config_.hw_offload) {
+    // Acquire the lease up front so context exhaustion (every NIC context
+    // busy, nothing evictable) surfaces as a synchronous send error. The
+    // pre-post hook re-acquires per descriptor — by post time the LRU
+    // manager may have evicted and re-established the context.
     const std::uint64_t first_seq = config_.layout.compose(msg_id, 0);
-    auto ctx = context_for_queue(session, queue, first_seq);
-    if (!ctx.ok()) return ctx.error();
-    seg_config.nic_context_id = ctx.value();
+    auto lease = homa_.host().flow_contexts().acquire(
+        stack::FlowKey{session_tag(dst), std::uint32_t(queue)}, session.suite,
+        session.tx->keys(), first_seq);
+    if (!lease.ok()) return lease.error();
+    if (lease.value()->fresh) ++stats_.contexts_created;
+    seg_config.nic_context_id = lease.value()->nic_context_id;
   }
 
   auto wire = build_wire_message(seg_config, *session.tx, msg_id, plaintext,
@@ -123,21 +119,37 @@ Result<std::uint64_t> SmtEndpoint::send_message(PeerAddr dst, Bytes plaintext,
     }
   }
 
-  // Hardware mode: the pre-post hook shadow-tracks the per-queue context
-  // and posts a resync whenever the hardware counter would diverge —
-  // context *reuse* across messages (§4.4.2).
+  // Hardware mode: the pre-post hook late-binds the (session, queue) flow
+  // context at post time. It re-acquires the lease from the shared LRU
+  // manager — transparently re-establishing it if it was evicted since the
+  // send was issued — rewrites the records' context ids, and posts a
+  // resync whenever the hardware counter would diverge: context *reuse*
+  // across messages (§4.4.2).
   transport::PrePostHook hook;
   if (config_.hw_offload) {
-    hook = [this, dst](std::size_t q, const sim::SegmentDescriptor& desc) {
+    hook = [this, dst](std::size_t q, sim::SegmentDescriptor& desc) {
+      if (desc.records.empty()) return;
       auto it = sessions_.find(dst);
       if (it == sessions_.end()) return;
-      auto ctx_it = it->second.queue_contexts.find(q);
-      if (ctx_it == it->second.queue_contexts.end()) return;
-      QueueContext& ctx = ctx_it->second;
-      for (const sim::TlsRecordDesc& rec : desc.records) {
+      Session& session2 = it->second;
+      auto lease = homa_.host().flow_contexts().acquire(
+          stack::FlowKey{session_tag(dst), std::uint32_t(q)}, session2.suite,
+          session2.tx->keys(), desc.records.front().record_seq);
+      if (!lease.ok()) {
+        // No capacity and no idle victim: the records keep their stale
+        // context ids, the NIC counts a context miss, and the receiver
+        // rejects the unencrypted shell — a visible, not silent, failure.
+        ++stats_.context_acquire_failures;
+        return;
+      }
+      stack::FlowContextManager::Lease& ctx = *lease.value();
+      if (ctx.fresh) ++stats_.contexts_created;
+      for (sim::TlsRecordDesc& rec : desc.records) {
+        rec.context_id = ctx.nic_context_id;
         if (ctx.shadow_seq != rec.record_seq) {
           homa_.host().nic().post_resync(q, ctx.nic_context_id,
                                          rec.record_seq);
+          ++stats_.resyncs_posted;
         }
         ctx.shadow_seq = rec.record_seq + 1;
       }

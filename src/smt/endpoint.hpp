@@ -11,9 +11,12 @@
 //   * the wire format aligns TLS records to TSO segments with plaintext
 //     message metadata (§4.3), so both TSO and autonomous TLS offload
 //     apply; software encryption is the fallback (SMT-sw vs SMT-hw, §5);
-//   * hardware mode allocates one NIC flow context per (session, NIC
-//     queue), reusing contexts across messages via resync (§4.4.2), which
-//     sidesteps the cross-queue atomicity hazard of §3.2;
+//   * hardware mode leases one NIC flow context per (session, NIC queue)
+//     from the host's shared LRU flow-context manager, reusing contexts
+//     across messages via resync (§4.4.2) — which sidesteps the
+//     cross-queue atomicity hazard of §3.2 — and transparently
+//     re-establishing evicted contexts so sessions can outnumber NIC
+//     context memory;
 //   * receivers enforce message-ID uniqueness (replay defence, §6.1) and
 //     per-message record order via AEAD (order protection, §6.1);
 //   * message integrity is intrinsic — no checksum offload needed (§7).
@@ -49,6 +52,7 @@ class SmtEndpoint {
   using MessageHandler = std::function<void(MessageMeta, Bytes)>;
 
   SmtEndpoint(stack::Host& host, std::uint16_t port, SmtConfig config = {});
+  ~SmtEndpoint();
 
   void set_on_message(MessageHandler handler) { on_message_ = std::move(handler); }
 
@@ -80,31 +84,37 @@ class SmtEndpoint {
     std::uint64_t replays_dropped = 0;
     std::uint64_t decrypt_failures = 0;
     std::uint64_t no_session_drops = 0;
-    std::uint64_t contexts_created = 0;
+    std::uint64_t contexts_created = 0;  // fresh leases (incl. re-established)
+    std::uint64_t resyncs_posted = 0;
+    std::uint64_t context_acquire_failures = 0;  // mid-flight lease loss
   };
   const Stats& stats() const noexcept { return stats_; }
   const transport::HomaEndpoint::Stats& homa_stats() const {
     return homa_.stats();
   }
+  /// Host-wide LRU context-cache stats (hits/misses/evictions are shared
+  /// across every endpoint on the host).
+  const stack::FlowContextManager::Stats& context_stats() const {
+    return homa_.host().flow_contexts().stats();
+  }
 
  private:
-  struct QueueContext {
-    std::uint32_t nic_context_id = 0;
-    std::uint64_t shadow_seq = 0;  // driver's view of the NIC counter
-  };
-
   struct Session {
     tls::CipherSuite suite = tls::CipherSuite::aes_128_gcm_sha256;
     std::optional<tls::RecordProtection> tx;
     std::optional<tls::RecordProtection> rx;
     std::uint64_t next_msg_id = 0;
     MessageIdFilter rx_filter;
-    std::map<std::size_t, QueueContext> queue_contexts;  // hw mode
   };
 
   void on_wire_message(transport::HomaEndpoint::MessageMeta meta, Bytes wire);
-  Result<std::uint32_t> context_for_queue(Session& session, std::size_t queue,
-                                          std::uint64_t first_seq);
+
+  /// The shared manager's session identity for `peer` on this endpoint:
+  /// local port (48..63) | peer ip (16..47) | peer port (0..15).
+  std::uint64_t session_tag(PeerAddr peer) const noexcept {
+    return (std::uint64_t(homa_.port()) << 48) |
+           (std::uint64_t(peer.ip) << 16) | std::uint64_t(peer.port);
+  }
 
   SmtConfig config_;
   transport::HomaEndpoint homa_;

@@ -44,6 +44,14 @@ struct CostModel {
                                            // send call (§3.2: TCP serialises
                                            // all transmissions on the socket)
 
+  // --- NIC TX datapath ---------------------------------------------------
+  // Fixed cost of one TX doorbell/drain event (doorbell MMIO, scheduling,
+  // DMA engine start-up), amortised over up to NicConfig::tx_burst
+  // descriptors by the batched datapath. Host applies this value to its
+  // NIC at construction when NicConfig::per_doorbell_cost is unset (an
+  // explicit NIC setting wins).
+  SimDuration per_doorbell_cost = nsec(350);
+
   // --- per-TSO-segment work ---------------------------------------------
   SimDuration tso_build = nsec(600);       // descriptor construction, DMA map
   SimDuration offload_metadata = nsec(300);  // TLS offload metadata per record

@@ -1,0 +1,104 @@
+// Shared LRU flow-context manager.
+//
+// NIC TLS flow contexts live in finite NIC memory (§4.4.2). The seed code
+// gave every (session, queue) pair a context for life and errored out when
+// the table filled, capping the stack at max_flow_contexts sessions. The
+// manager instead treats NIC memory as a cache shared by every endpoint on
+// the host:
+//
+//   * leases are keyed by (session_tag, queue) and kept in LRU order;
+//   * when the NIC table is full, the least-recently-used *idle* context
+//     (no in-flight descriptors referencing it) is evicted to make room;
+//   * an evicted key is transparently re-established on next use — the
+//     fresh NIC context is seeded with the first record sequence number of
+//     the message about to be sent, so re-establishment needs no wire
+//     resync and produces no out-of-sequence records.
+//
+// This is what lets SMT scale to sessions >> max_flow_contexts: cold
+// sessions cost nothing but a table entry, hot sessions keep their
+// contexts, and the thrash cost shows up as resyncs/evictions in stats
+// instead of as hard send failures.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <set>
+
+#include "common/result.hpp"
+#include "netsim/nic.hpp"
+#include "tls/cipher.hpp"
+#include "tls/keyschedule.hpp"
+
+namespace smt::stack {
+
+/// Identity of one NIC flow context: a caller-defined session tag (the SMT
+/// endpoint packs local port + peer address) plus the NIC queue.
+struct FlowKey {
+  std::uint64_t session_tag = 0;
+  std::uint32_t queue = 0;
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+class FlowContextManager {
+ public:
+  explicit FlowContextManager(sim::Nic& nic) : nic_(nic) {}
+
+  FlowContextManager(const FlowContextManager&) = delete;
+  FlowContextManager& operator=(const FlowContextManager&) = delete;
+
+  /// Driver-side view of one NIC context. `shadow_seq` tracks what the
+  /// hardware counter will be after the descriptors posted so far; the
+  /// endpoint posts a resync whenever the next record diverges from it.
+  struct Lease {
+    std::uint32_t nic_context_id = 0;
+    std::uint64_t shadow_seq = 0;
+    bool fresh = false;  // (re)established by the acquire that returned it
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t reestablished = 0;     // misses for previously-held keys
+    std::uint64_t acquire_failures = 0;  // no capacity and no idle victim
+  };
+
+  /// Returns the lease for `key`, touching it in LRU order. On a miss a
+  /// NIC context is allocated, evicting least-recently-used idle contexts
+  /// as needed; the new context's counter is seeded with `first_seq`.
+  /// Fails only when the table is full of busy (in-flight) contexts.
+  /// The returned pointer is valid until the lease is evicted/invalidated.
+  Result<Lease*> acquire(const FlowKey& key, tls::CipherSuite suite,
+                         const tls::TrafficKeys& keys, std::uint64_t first_seq);
+
+  /// Releases every context belonging to `session_tag` (rekey, teardown).
+  /// Safe while descriptors are in flight — the NIC defers the free.
+  void invalidate_session(std::uint64_t session_tag);
+
+  bool holds(const FlowKey& key) const { return entries_.count(key) != 0; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Fraction of acquires that missed (context had to be [re]established).
+  double miss_rate() const noexcept {
+    const std::uint64_t total = stats_.hits + stats_.misses;
+    return total == 0 ? 0.0 : double(stats_.misses) / double(total);
+  }
+
+ private:
+  struct Entry {
+    Lease lease;
+    std::list<FlowKey>::iterator lru_pos;
+  };
+
+  bool evict_one_idle();
+
+  sim::Nic& nic_;
+  std::list<FlowKey> lru_;  // front = least recently used
+  std::map<FlowKey, Entry> entries_;
+  std::set<FlowKey> ever_held_;  // for the reestablished counter
+  Stats stats_;
+};
+
+}  // namespace smt::stack

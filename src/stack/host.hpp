@@ -19,6 +19,7 @@
 #include "netsim/packet.hpp"
 #include "stack/core.hpp"
 #include "stack/cost_model.hpp"
+#include "stack/flow_context_manager.hpp"
 
 namespace smt::stack {
 
@@ -33,7 +34,7 @@ struct HostConfig {
 class Host {
  public:
   Host(sim::EventLoop& loop, HostConfig config)
-      : loop_(loop), config_(config), nic_(loop, config.nic) {
+      : loop_(loop), config_(config), nic_(loop, nic_config_of(config)) {
     for (std::size_t i = 0; i < config.app_cores; ++i) app_cores_.emplace_back(loop);
     for (std::size_t i = 0; i < config.softirq_cores; ++i)
       softirq_cores_.emplace_back(loop);
@@ -45,6 +46,14 @@ class Host {
 
   sim::EventLoop& loop() noexcept { return loop_; }
   sim::Nic& nic() noexcept { return nic_; }
+
+  /// Host-wide LRU manager for NIC TLS flow contexts — shared by every
+  /// endpoint so all sessions compete for (and recycle) the same finite
+  /// NIC context table.
+  FlowContextManager& flow_contexts() noexcept { return flow_contexts_; }
+  const FlowContextManager& flow_contexts() const noexcept {
+    return flow_contexts_;
+  }
   const HostConfig& config() const noexcept { return config_; }
   const CostModel& costs() const noexcept { return config_.costs; }
   std::uint32_t ip() const noexcept { return config_.ip; }
@@ -102,6 +111,17 @@ class Host {
   }
 
  private:
+  /// The cost model is the calibration source for simulation costs: its
+  /// doorbell knob applies to Host-owned NICs whose NicConfig left the
+  /// value unset (an explicit NicConfig setting wins).
+  static sim::NicConfig nic_config_of(const HostConfig& config) {
+    sim::NicConfig nic = config.nic;
+    if (!nic.per_doorbell_cost) {
+      nic.per_doorbell_cost = config.costs.per_doorbell_cost;
+    }
+    return nic;
+  }
+
   void demux(sim::Packet pkt) {
     const auto key = std::make_pair(pkt.hdr.flow.proto, pkt.hdr.flow.dst_port);
     const auto it = endpoints_.find(key);
@@ -112,6 +132,7 @@ class Host {
   sim::EventLoop& loop_;
   HostConfig config_;
   sim::Nic nic_;
+  FlowContextManager flow_contexts_{nic_};
   std::vector<CpuCore> app_cores_;
   std::vector<CpuCore> softirq_cores_;
   std::map<std::pair<sim::Proto, std::uint16_t>, Endpoint> endpoints_;

@@ -168,6 +168,7 @@ void HomaEndpoint::post_segment_for(TxMessage& tx, std::size_t seg_index,
   const SimDuration cost =
       costs.tso_build + costs.homa_tx_packet * SimDuration(npkts == 0 ? 1 : npkts);
 
+  ++stats_.segments_posted;
   auto post = [this, queue, pre = tx.pre_post, desc = std::move(d)]() mutable {
     if (pre) pre(queue, desc);
     host_.nic().post_segment(queue, std::move(desc));

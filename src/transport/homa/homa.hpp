@@ -53,10 +53,13 @@ struct SegmentSpec {
   std::vector<sim::TlsRecordDesc> records;  // NIC inline-crypto descriptors
 };
 
-/// Hook invoked immediately before a segment is posted to the NIC; SMT
-/// uses it to post resync descriptors for the segment's records.
+/// Hook invoked immediately before a segment is posted to the NIC. SMT
+/// uses it to acquire the (session, queue) flow-context lease, rewrite the
+/// records' context ids, and post resync descriptors — the descriptor is
+/// mutable so the hook can late-bind contexts at post time (the LRU
+/// manager may have evicted the one used for a previous segment).
 using PrePostHook =
-    std::function<void(std::size_t queue, const sim::SegmentDescriptor&)>;
+    std::function<void(std::size_t queue, sim::SegmentDescriptor&)>;
 
 class HomaEndpoint {
  public:
@@ -102,6 +105,7 @@ class HomaEndpoint {
 
   std::uint16_t port() const noexcept { return port_; }
   stack::Host& host() noexcept { return host_; }
+  const stack::Host& host() const noexcept { return host_; }
 
   /// Drops the completed-message dedup state. Called on a session key
   /// update, which resets the message-ID space (§4.5.2) — IDs may repeat.
@@ -118,6 +122,7 @@ class HomaEndpoint {
     std::uint64_t packets_retransmitted = 0;
     std::uint64_t messages_expired = 0;
     std::uint64_t trim_resends = 0;  // RESENDs triggered by trimmed stubs
+    std::uint64_t segments_posted = 0;  // TSO segments handed to the NIC
   };
   const Stats& stats() const noexcept { return stats_; }
 

@@ -51,7 +51,7 @@ TcpEndpoint::ConnId TcpEndpoint::connect(std::uint32_t dst_ip,
   ephemeral_ports_.push_back(flow.src_port);
 
   bool created = false;
-  Connection& conn = ensure_connection(flow, &created);
+  [[maybe_unused]] Connection& conn = ensure_connection(flow, &created);
   assert(created && "ephemeral port collision");
 
   Packet syn;
