@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/rpc.hpp"
@@ -31,12 +33,62 @@ inline bool& smoke_flag() {
 }
 inline bool smoke() { return smoke_flag(); }
 
+/// --- one-line JSON results ----------------------------------------------
+///
+/// When BENCH_JSON_DIR is set (CI does this for the smoke runs), every
+/// bench writes `<dir>/<bench-name>.json` at exit: one line with the bench
+/// name, mode, and whatever headline metrics the bench recorded via
+/// json_metric(). CI collects the files into a workflow artifact so runs
+/// are comparable across commits without parsing stdout tables.
+
+// Intentionally leaked: the atexit writer below must be able to read these
+// after every normally-destructed static is gone, regardless of the order
+// in which translation units first touched them.
+inline std::string& bench_name() {
+  static auto* name = new std::string("bench");
+  return *name;
+}
+
+inline std::vector<std::pair<std::string, double>>& json_metrics() {
+  static auto* metrics = new std::vector<std::pair<std::string, double>>();
+  return *metrics;
+}
+
+/// Records one headline metric for the JSON result line.
+inline void json_metric(const std::string& key, double value) {
+  json_metrics().emplace_back(key, value);
+}
+
+inline void write_json_result() {
+  const char* dir = std::getenv("BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + bench_name() + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\"bench\":\"%s\",\"smoke\":%s", bench_name().c_str(),
+               smoke() ? "true" : "false");
+  for (const auto& [key, value] : json_metrics()) {
+    std::fprintf(out, ",\"%s\":%.6g", key.c_str(), value);
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+}
+
 inline void init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke_flag() = true;
   }
   const char* env = std::getenv("BENCH_SMOKE");
   if (env != nullptr && env[0] != '\0' && env[0] != '0') smoke_flag() = true;
+  if (argc > 0 && argv[0] != nullptr) {
+    std::string name(argv[0]);
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name.erase(0, slash + 1);
+    bench_name() = std::move(name);
+  }
+  // The result line is written even when the bench exits non-zero — a
+  // failing smoke run still leaves a record in the artifact.
+  std::atexit(write_json_result);
   if (smoke()) std::printf("[smoke mode: tiny iteration budget]\n");
 }
 

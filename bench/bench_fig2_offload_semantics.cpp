@@ -4,6 +4,7 @@
 // SMT's per-queue-context remedy (§4.4.2).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "netsim/nic.hpp"
 #include "tls/record.hpp"
 
@@ -61,8 +62,10 @@ struct Harness {
 
 }  // namespace
 
-int main(int, char**) {
-  // Accepts (and ignores) --smoke: the semantics demo is already tiny.
+int main(int argc, char** argv) {
+  // --smoke changes nothing (the semantics demo is already tiny) but
+  // init() still records the JSON result line for the CI artifact.
+  bench::init(argc, argv);
   std::printf("== Figure 2: autonomous TLS offload semantics (real AES-GCM) ==\n\n");
 
   {

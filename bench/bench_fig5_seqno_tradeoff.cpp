@@ -3,6 +3,7 @@
 // mean larger messages but fewer unique message IDs per session.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "smt/seqno.hpp"
 
 using namespace smt::proto;
@@ -22,8 +23,10 @@ const char* human(double value, char* buffer, std::size_t n) {
 
 }  // namespace
 
-int main(int, char**) {
-  // Accepts (and ignores) --smoke: the analytic sweep is already tiny.
+int main(int argc, char** argv) {
+  // --smoke changes nothing (the analytic sweep is already tiny) but
+  // init() still records the JSON result line for the CI artifact.
+  smt::bench::init(argc, argv);
   std::printf("== Figure 5: composite seqno bit-allocation trade-off ==\n");
   std::printf("%-12s %-12s %-16s %-18s %-18s\n", "index bits", "ID bits",
               "max messages", "max msg @1.5KB rec", "max msg @16KB rec");

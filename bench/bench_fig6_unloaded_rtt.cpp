@@ -49,5 +49,26 @@ int main(int argc, char** argv) {
         100.0 * (smt_hw - ktls_hw) / ktls_hw,
         100.0 * (smt_hw - smt_sw) / smt_sw);
   }
+  // One JSON metric per measured size (smoke mode measures only the first).
+  for (std::size_t row = 0; row < sizes.size(); ++row) {
+    json_metric("smt_hw_rtt_us_" + std::to_string(sizes[row]), rtt_us[row][5]);
+  }
+
+  // RX interrupt coalescing is a latency/efficiency trade-off: holding the
+  // interrupt back (rx_coalesce_usecs > 0) coalesces more frames per
+  // interrupt under load but taxes every unloaded round trip by the
+  // hold-off on each direction's data and control packets.
+  std::printf("\n== RX coalescing hold-off vs unloaded RTT: SMT-hw 1 KB "
+              "==\n%-22s%12s\n",
+              "rx_coalesce_usecs", "RTT [us]");
+  const std::vector<std::size_t> holdoffs = sweep<std::size_t>({0, 5, 20});
+  for (const std::size_t holdoff : holdoffs) {
+    RpcFabricConfig config;
+    config.kind = TransportKind::smt_hw;
+    config.rx_coalesce_usecs = double(holdoff);
+    const double rtt = measure_unloaded_rtt_us(config, 1024);
+    std::printf("%-22zu%12.2f\n", holdoff, rtt);
+    json_metric("rtt_us_holdoff" + std::to_string(holdoff), rtt);
+  }
   return 0;
 }

@@ -49,28 +49,44 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  // Doorbell amortisation: the batched NIC datapath pays per_doorbell_cost
-  // once per drained burst instead of once per descriptor. tx_burst = 1
-  // degenerates to the unbatched path; tx_burst = 16 amortises the fixed
-  // cost 16x under load, lifting the NIC's descriptor ceiling well above
-  // the CPU plateau.
-  std::printf("\n== Doorbell amortisation: SMT-hw 1 KB RPCs, tx_burst 16 vs 1 "
-              "==\n%-12s%12s%12s%10s\n",
-              "concurrency", "burst=1", "burst=16", "gain");
+  // Burst-amortisation comparisons: the batched datapaths pay their fixed
+  // per-batch cost (TX doorbell / RX interrupt) once per drained burst
+  // instead of once per descriptor/frame; burst = 1 degenerates to the
+  // unbatched path. One helper runs both so the methodology (1 KB SMT-hw
+  // RPCs, same concurrency sweep, same op budget) cannot drift apart.
   const std::vector<std::size_t> burst_concurrencies =
       sweep<std::size_t>({100, 200});
-  for (const std::size_t concurrency : burst_concurrencies) {
-    RpcFabricConfig config;
-    config.kind = TransportKind::smt_hw;
-    config.tx_burst = 1;
-    const std::size_t ops = 12000;
-    const double unbatched =
-        measure_throughput_rps(config, 1024, concurrency, ops) / 1e6;
-    config.tx_burst = 16;
-    const double batched =
-        measure_throughput_rps(config, 1024, concurrency, ops) / 1e6;
-    std::printf("%-12zu%12.3f%12.3f%+9.1f%%\n", concurrency, unbatched,
-                batched, 100.0 * (batched - unbatched) / unbatched);
-  }
+  const auto burst_comparison =
+      [&](const char* title, const char* knob, const char* json_prefix,
+          const std::function<void(RpcFabricConfig&, std::size_t)>& set_burst) {
+        std::printf("\n== %s: SMT-hw 1 KB RPCs, %s 16 vs 1 ==\n"
+                    "%-12s%12s%12s%10s\n",
+                    title, knob, "concurrency", "burst=1", "burst=16", "gain");
+        for (const std::size_t concurrency : burst_concurrencies) {
+          constexpr std::size_t kOps = 12000;
+          RpcFabricConfig config;
+          config.kind = TransportKind::smt_hw;
+          set_burst(config, 1);
+          const double unbatched =
+              measure_throughput_rps(config, 1024, concurrency, kOps) / 1e6;
+          set_burst(config, 16);
+          const double batched =
+              measure_throughput_rps(config, 1024, concurrency, kOps) / 1e6;
+          std::printf("%-12zu%12.3f%12.3f%+9.1f%%\n", concurrency, unbatched,
+                      batched, 100.0 * (batched - unbatched) / unbatched);
+          json_metric(std::string(json_prefix) + "1_mrps_c" +
+                          std::to_string(concurrency),
+                      unbatched);
+          json_metric(std::string(json_prefix) + "16_mrps_c" +
+                          std::to_string(concurrency),
+                      batched);
+        }
+      };
+  burst_comparison(
+      "Doorbell amortisation", "tx_burst", "tx_burst",
+      [](RpcFabricConfig& config, std::size_t burst) { config.tx_burst = burst; });
+  burst_comparison(
+      "RX interrupt coalescing", "rx_burst", "rx_burst",
+      [](RpcFabricConfig& config, std::size_t burst) { config.rx_burst = burst; });
   return 0;
 }

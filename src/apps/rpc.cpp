@@ -69,9 +69,15 @@ void RpcFabric::setup_hosts() {
   hc.nic.tso_enabled = config_.tso_enabled;
   hc.nic.max_tso_bytes = config_.tso_enabled ? 65536 : config_.mtu_payload;
   hc.nic.tx_burst = config_.tx_burst;
+  hc.nic.rx_burst = config_.rx_burst;
+  hc.nic.rx_coalesce_frames = config_.rx_coalesce_frames;
+  hc.nic.rx_coalesce_usecs = config_.rx_coalesce_usecs;
   hc.nic.max_flow_contexts = config_.max_flow_contexts;
   if (config_.per_doorbell_cost) {
     hc.costs.per_doorbell_cost = *config_.per_doorbell_cost;
+  }
+  if (config_.per_interrupt_cost) {
+    hc.costs.per_interrupt_cost = *config_.per_interrupt_cost;
   }
 
   hc.ip = 1;

@@ -71,6 +71,13 @@ struct RpcFabricConfig {
   /// per_doorbell_cost unset keeps the cost model's calibrated default.
   std::size_t tx_burst = 16;
   std::optional<SimDuration> per_doorbell_cost;
+  /// NIC RX batching: frames delivered per interrupt, the coalescing
+  /// thresholds, and the fixed cost of each interrupt (see netsim/nic.hpp).
+  /// per_interrupt_cost unset keeps the cost model's calibrated default.
+  std::size_t rx_burst = 16;
+  std::size_t rx_coalesce_frames = 16;
+  double rx_coalesce_usecs = 0.0;
+  std::optional<SimDuration> per_interrupt_cost;
   /// NIC TLS flow-context table size (finite NIC memory, §4.4.2).
   std::size_t max_flow_contexts = 1024;
   double bandwidth_gbps = 100.0;

@@ -28,6 +28,17 @@
 //    (round-robin across queues, FIFO within a queue) at
 //    per_descriptor_cost each, amortising the fixed overhead the same way
 //    xmit_more/doorbell coalescing does on real hardware.
+//
+//  * RX rings + interrupt coalescing — inbound frames land in per-queue RX
+//    rings (RSS hash of the five-tuple picks the queue, so one flow's
+//    frames stay FIFO) and are delivered by a simulated interrupt. The
+//    interrupt fires when rx_coalesce_frames frames are pending, or
+//    rx_coalesce_usecs after the first pending frame, whichever is first;
+//    each interrupt pays per_interrupt_cost once and then delivers up to
+//    rx_burst frames, amortising the fixed cost the way NAPI/ethtool
+//    rx-usecs/rx-frames coalescing does. Delivery ALWAYS goes through the
+//    event loop — never inline from receive() — so RX ordering is
+//    deterministic regardless of when frames arrive relative to a drain.
 #pragma once
 
 #include <cstdint>
@@ -64,11 +75,27 @@ struct NicConfig {
   // setting always wins.
   std::size_t tx_burst = 16;
   std::optional<SimDuration> per_doorbell_cost;
+  // Batched RX datapath: one interrupt delivers up to `rx_burst` frames,
+  // amortising `per_interrupt_cost` the same way the doorbell amortises TX.
+  // rx_burst = 1 degenerates to an interrupt per frame. The interrupt is
+  // held off until `rx_coalesce_frames` frames are pending or
+  // `rx_coalesce_usecs` microseconds after the first pending frame arrived
+  // (0 = fire immediately), mirroring ethtool's rx-frames / rx-usecs.
+  // per_interrupt_cost resolves like per_doorbell_cost: CostModel for
+  // Host-owned NICs, kDefaultPerInterruptCost for raw Nic objects.
+  std::size_t rx_burst = 16;
+  std::size_t rx_coalesce_frames = 16;
+  double rx_coalesce_usecs = 0.0;
+  std::optional<SimDuration> per_interrupt_cost;
 };
 
 /// Fallback doorbell cost for NICs constructed without a Host/CostModel;
 /// mirrors CostModel::per_doorbell_cost's default.
 inline constexpr SimDuration kDefaultPerDoorbellCost = nsec(350);
+
+/// Fallback RX interrupt cost for NICs constructed without a Host/CostModel;
+/// mirrors CostModel::per_interrupt_cost's default.
+inline constexpr SimDuration kDefaultPerInterruptCost = nsec(1200);
 
 /// A TLS record inside a TSO segment that the NIC must encrypt in line.
 /// The segment payload at [record_offset, record_offset + 5) holds the
@@ -99,6 +126,11 @@ struct NicCounters {
   std::uint64_t context_misses = 0;   // record referenced a missing context
   std::uint64_t doorbells = 0;        // TX batch drain events
   std::uint64_t max_burst_drained = 0;  // largest batch seen
+  std::uint64_t rx_frames = 0;          // frames accepted into RX rings
+  std::uint64_t rx_delivered = 0;       // frames handed to the RX handler
+  std::uint64_t rx_interrupts = 0;      // RX drain events (each pays
+                                        // per_interrupt_cost once)
+  std::uint64_t max_rx_batch = 0;       // largest RX batch delivered
 };
 
 class Nic {
@@ -109,9 +141,19 @@ class Nic {
   void attach_tx(LinkDirection* tx) { tx_ = tx; }
   void set_rx_handler(PacketHandler handler) { rx_handler_ = std::move(handler); }
 
-  /// Ingress from the wire (no receive-side crypto offload, §7).
-  void receive(Packet packet) {
-    if (rx_handler_) rx_handler_(std::move(packet));
+  /// Ingress from the wire: the frame lands in an RX ring (RSS picks the
+  /// queue) and is delivered by a coalesced interrupt through the event
+  /// loop — NEVER inline, so ordering is deterministic under coalescing.
+  void receive(Packet packet);
+
+  /// Frames sitting in RX rings, not yet delivered.
+  std::size_t rx_pending() const noexcept { return rx_pending_; }
+
+  /// The RX ring a flow's frames hash to (RSS). The single source of the
+  /// ring-selection formula — drivers keying per-ring state (RX flow
+  /// contexts) must use this, not a private copy.
+  std::size_t rx_queue_for(const FiveTuple& flow) const noexcept {
+    return flow.hash() % config_.num_queues;
   }
 
   /// --- TLS offload flow contexts -------------------------------------
@@ -170,6 +212,10 @@ class Nic {
   void unpin_context(std::uint32_t id);
   void emit_segment(SegmentDescriptor descriptor);
   void encrypt_records(SegmentDescriptor& descriptor);
+  void maybe_fire_rx_interrupt();
+  void fire_rx_interrupt();
+  void drain_rx();
+  void deliver(Packet packet);
 
   EventLoop& loop_;
   NicConfig config_;
@@ -180,6 +226,13 @@ class Nic {
   std::size_t pending_ = 0;    // descriptors across all queues
   std::size_t rr_cursor_ = 0;  // round-robin scan position
   bool processing_ = false;
+
+  std::vector<std::deque<Packet>> rx_queues_;
+  std::size_t rx_pending_ = 0;     // frames across all RX rings
+  std::size_t rx_rr_cursor_ = 0;   // round-robin scan position
+  bool rx_draining_ = false;       // interrupt fired, drain event in flight
+  bool rx_timer_armed_ = false;    // rx_coalesce_usecs hold-off pending
+  std::uint64_t rx_timer_gen_ = 0; // invalidates superseded hold-off timers
 
   std::map<std::uint32_t, FlowContext> contexts_;
   std::uint32_t next_context_id_ = 1;

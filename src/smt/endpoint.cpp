@@ -85,6 +85,7 @@ Result<std::uint64_t> SmtEndpoint::send_message(PeerAddr dst, Bytes plaintext,
   seg_config.max_tso_bytes = config_.homa.max_tso_bytes;
   seg_config.hardware_crypto = config_.hw_offload;
 
+  bool fresh_tx_lease = false;
   if (config_.hw_offload) {
     // Acquire the lease up front so context exhaustion (every NIC context
     // busy, nothing evictable) surfaces as a synchronous send error. The
@@ -95,7 +96,10 @@ Result<std::uint64_t> SmtEndpoint::send_message(PeerAddr dst, Bytes plaintext,
         stack::FlowKey{session_tag(dst), std::uint32_t(queue)}, session.suite,
         session.tx->keys(), first_seq);
     if (!lease.ok()) return lease.error();
-    if (lease.value()->fresh) ++stats_.contexts_created;
+    if (lease.value()->fresh) {
+      ++stats_.contexts_created;
+      fresh_tx_lease = true;
+    }
     seg_config.nic_context_id = lease.value()->nic_context_id;
   }
 
@@ -111,6 +115,9 @@ Result<std::uint64_t> SmtEndpoint::send_message(PeerAddr dst, Bytes plaintext,
       // Only descriptor/metadata population; the NIC does the crypto.
       app_core->charge(costs.offload_metadata *
                        SimDuration(message.record_count));
+      // A fresh lease means the driver just programmed the NIC context —
+      // establishment is real work, not a free alloc (§4.4.2).
+      if (fresh_tx_lease) app_core->charge(costs.context_establish);
     } else {
       app_core->charge(costs.aead_sw_cost(message.total_wire_bytes) -
                        costs.aead_sw_per_record +
@@ -127,7 +134,8 @@ Result<std::uint64_t> SmtEndpoint::send_message(PeerAddr dst, Bytes plaintext,
   // across messages (§4.4.2).
   transport::PrePostHook hook;
   if (config_.hw_offload) {
-    hook = [this, dst](std::size_t q, sim::SegmentDescriptor& desc) {
+    hook = [this, dst](std::size_t q, sim::SegmentDescriptor& desc,
+                       stack::CpuCore* post_core) {
       if (desc.records.empty()) return;
       auto it = sessions_.find(dst);
       if (it == sessions_.end()) return;
@@ -143,7 +151,15 @@ Result<std::uint64_t> SmtEndpoint::send_message(PeerAddr dst, Bytes plaintext,
         return;
       }
       stack::FlowContextManager::Lease& ctx = *lease.value();
-      if (ctx.fresh) ++stats_.contexts_created;
+      if (ctx.fresh) {
+        ++stats_.contexts_created;
+        // Evicted-then-reacquired at post time: the driver re-programs the
+        // NIC context on whichever core is posting (app core for first
+        // transmissions, softirq for grant-released/resent segments).
+        if (post_core != nullptr) {
+          post_core->charge(homa_.host().costs().context_establish);
+        }
+      }
       for (sim::TlsRecordDesc& rec : desc.records) {
         rec.context_id = ctx.nic_context_id;
         if (ctx.shadow_seq != rec.record_seq) {
@@ -189,13 +205,52 @@ void SmtEndpoint::on_wire_message(transport::HomaEndpoint::MessageMeta meta,
     return;
   }
 
-  // Receive-side crypto is always software (§7): charge it on the softirq
-  // core the message was reassembled on, then decrypt for real.
+  // Receive-side crypto cost, charged on the softirq core the message was
+  // reassembled on. Software mode pays the full AEAD cost. Hardware mode
+  // leases an RX flow context keyed by the NIC RX ring the flow hashes to
+  // (same finite context table the TX side uses — server-side context
+  // pressure, §4.4.2): with a context held the NIC decrypted in line and
+  // the host pays only per-record metadata (plus establishment when the
+  // lease is fresh); when every context is busy, decryption falls back to
+  // software at software cost. Plaintext recovery below is always done in
+  // software — it is the simulator's byte-fidelity path; the lease decides
+  // only what virtual time is charged.
   stack::Host& host = homa_.host();
   stack::CpuCore& core = host.softirq_core(meta.softirq_core);
+  const auto& costs = host.costs();
+  SimDuration crypto_cost = 0;
+  if (config_.hw_offload) {
+    const std::uint64_t first_seq = config_.layout.compose(meta.msg_id, 0);
+    auto lease = host.flow_contexts().acquire(
+        stack::FlowKey{session_tag(meta.peer), std::uint32_t(meta.rx_queue),
+                       stack::FlowDir::rx},
+        session.suite, session.rx->keys(), first_seq);
+    if (lease.ok()) {
+      const std::size_t records =
+          std::max<std::size_t>(1, count_record_blocks(wire));
+      crypto_cost = costs.offload_metadata * SimDuration(records);
+      stack::FlowContextManager::Lease& ctx = *lease.value();
+      if (ctx.fresh) {
+        ++stats_.rx_contexts_created;
+        crypto_cost += costs.context_establish;
+      } else if (ctx.shadow_seq != first_seq) {
+        // Context reuse across messages: the driver re-programs the RX
+        // context's expected record counter — the receive half of the TX
+        // resync (§4.4.2).
+        crypto_cost += costs.resync_post;
+        ++stats_.rx_resyncs;
+      }
+      ctx.shadow_seq = config_.layout.compose(meta.msg_id, records);
+    } else {
+      ++stats_.rx_context_acquire_failures;
+      crypto_cost = costs.aead_sw_cost(wire.size());
+    }
+  } else {
+    crypto_cost = costs.aead_sw_cost(wire.size());
+  }
   const PeerAddr peer = meta.peer;
   const std::uint64_t msg_id = meta.msg_id;
-  core.run(host.costs().aead_sw_cost(wire.size()),
+  core.run(crypto_cost,
            [this, peer, msg_id, wire = std::move(wire)] {
              auto it = sessions_.find(peer);
              if (it == sessions_.end()) return;

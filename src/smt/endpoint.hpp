@@ -11,12 +11,16 @@
 //   * the wire format aligns TLS records to TSO segments with plaintext
 //     message metadata (§4.3), so both TSO and autonomous TLS offload
 //     apply; software encryption is the fallback (SMT-sw vs SMT-hw, §5);
-//   * hardware mode leases one NIC flow context per (session, NIC queue)
-//     from the host's shared LRU flow-context manager, reusing contexts
-//     across messages via resync (§4.4.2) — which sidesteps the
+//   * hardware mode leases one NIC flow context per (session, NIC queue,
+//     direction) from the host's shared LRU flow-context manager, reusing
+//     contexts across messages via resync (§4.4.2) — which sidesteps the
 //     cross-queue atomicity hazard of §3.2 — and transparently
 //     re-establishing evicted contexts so sessions can outnumber NIC
-//     context memory;
+//     context memory; inbound messages lease RX contexts keyed by the
+//     NIC RX ring their flow hashes to, so receivers (servers) compete
+//     for the same finite context table — when no RX context can be
+//     leased, decryption falls back to software at software cost;
+//     every FRESH lease (TX or RX) is charged CostModel::context_establish;
 //   * receivers enforce message-ID uniqueness (replay defence, §6.1) and
 //     per-message record order via AEAD (order protection, §6.1);
 //   * message integrity is intrinsic — no checksum offload needed (§7).
@@ -84,9 +88,12 @@ class SmtEndpoint {
     std::uint64_t replays_dropped = 0;
     std::uint64_t decrypt_failures = 0;
     std::uint64_t no_session_drops = 0;
-    std::uint64_t contexts_created = 0;  // fresh leases (incl. re-established)
+    std::uint64_t contexts_created = 0;  // fresh TX leases (incl. re-established)
     std::uint64_t resyncs_posted = 0;
     std::uint64_t context_acquire_failures = 0;  // mid-flight lease loss
+    std::uint64_t rx_contexts_created = 0;  // fresh RX leases (incl. re-est.)
+    std::uint64_t rx_resyncs = 0;  // RX context reused across messages
+    std::uint64_t rx_context_acquire_failures = 0;  // fell back to sw decrypt
   };
   const Stats& stats() const noexcept { return stats_; }
   const transport::HomaEndpoint::Stats& homa_stats() const {

@@ -105,19 +105,21 @@ Result<WireMessage> build_wire_message(const SegmenterConfig& config,
   return wire;
 }
 
-Result<Bytes> open_wire_message(const SeqnoLayout& layout,
-                                const tls::RecordProtection& protection,
-                                std::uint64_t msg_id, ByteView wire) {
-  Bytes out;
+namespace {
+
+/// The single implementation of the record-block framing walk. Invokes
+/// `fn(record_offset, record_len)` — the TLS record's span, past the
+/// framing header — for each block; `fn` returns an error Status to stop.
+/// Both the decrypting opener and the cost-model counter parse through
+/// here, so the wire format cannot silently diverge between them.
+template <typename Fn>
+Status walk_record_blocks(ByteView wire, Fn&& fn) {
   std::size_t offset = 0;
-  std::uint64_t record_index = 0;
   while (offset < wire.size()) {
     if (wire.size() - offset < kFramingHeaderSize + tls::kRecordHeaderSize) {
       return make_error(Errc::protocol_violation, "truncated record block");
     }
-    const std::uint32_t framed_len = load_u32be(wire.data() + offset);
     offset += kFramingHeaderSize;
-
     const auto body_len =
         tls::parse_record_length(wire.subspan(offset, tls::kRecordHeaderSize));
     if (!body_len.ok()) return body_len.error();
@@ -125,25 +127,50 @@ Result<Bytes> open_wire_message(const SeqnoLayout& layout,
     if (wire.size() - offset < record_len) {
       return make_error(Errc::protocol_violation, "truncated TLS record");
     }
+    Status status = fn(offset, record_len);
+    if (!status.ok()) return status;
+    offset += record_len;
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Result<Bytes> open_wire_message(const SeqnoLayout& layout,
+                                const tls::RecordProtection& protection,
+                                std::uint64_t msg_id, ByteView wire) {
+  Bytes out;
+  std::uint64_t record_index = 0;
+  Status walked = walk_record_blocks(wire, [&](std::size_t offset,
+                                               std::size_t record_len) {
     if (!layout.valid_record_index(record_index)) {
-      return make_error(Errc::protocol_violation, "record index overflow");
+      return Status(make_error(Errc::protocol_violation,
+                               "record index overflow"));
     }
 
     const std::uint64_t seq = layout.compose(msg_id, record_index);
     auto opened = protection.open(seq, wire.subspan(offset, record_len));
-    if (!opened.ok()) return opened.error();
+    if (!opened.ok()) return Status(opened.error());
 
     // The receiver learns the true length at decryption; padding (zeros
     // beyond the app data) was already stripped by the record layer. The
     // framing header's padded length only guides reassembly.
     Bytes& payload = opened.value().payload;
     out.insert(out.end(), payload.begin(), payload.end());
-    (void)framed_len;
-
-    offset += record_len;
     ++record_index;
-  }
+    return Status::success();
+  });
+  if (!walked.ok()) return walked.error();
   return out;
+}
+
+std::size_t count_record_blocks(ByteView wire) noexcept {
+  std::size_t count = 0;
+  Status walked = walk_record_blocks(wire, [&](std::size_t, std::size_t) {
+    ++count;
+    return Status::success();
+  });
+  return walked.ok() ? count : 0;
 }
 
 }  // namespace smt::proto

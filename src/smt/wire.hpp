@@ -73,4 +73,10 @@ Result<Bytes> open_wire_message(const SeqnoLayout& layout,
                                 const tls::RecordProtection& protection,
                                 std::uint64_t msg_id, ByteView wire);
 
+/// Counts the record blocks of a reassembled wire message by walking the
+/// plaintext framing/record headers — no decryption. Used by the receive
+/// path to charge per-record costs before opening the records. Returns 0
+/// for malformed framing (the subsequent open reports the real error).
+std::size_t count_record_blocks(ByteView wire) noexcept;
+
 }  // namespace smt::proto

@@ -10,7 +10,10 @@
 //   * software AEAD costs ~ns/B; hardware offload replaces it with a
 //     per-segment descriptor/metadata cost (§3, §5.1);
 //   * copies cost ~ns/B and dominate large messages (§5.1);
-//   * receive-side crypto is ALWAYS software (§7 — no rx offload).
+//   * receive-side crypto is software unless an RX flow context is held
+//     (the paper's hardware had no rx offload, §7; this stack models the
+//     symmetric ConnectX-6 Dx-style rx half so server-side context
+//     pressure is real — see stack/flow_context_manager.hpp).
 #pragma once
 
 #include "common/time.hpp"
@@ -51,6 +54,22 @@ struct CostModel {
   // NIC at construction when NicConfig::per_doorbell_cost is unset (an
   // explicit NIC setting wins).
   SimDuration per_doorbell_cost = nsec(350);
+
+  // --- NIC RX datapath ---------------------------------------------------
+  // Fixed cost of one RX interrupt/drain event (IRQ entry/exit, NAPI
+  // scheduling), amortised over up to NicConfig::rx_burst frames by the
+  // coalesced RX datapath. Host applies this value to its NIC at
+  // construction when NicConfig::per_interrupt_cost is unset (an explicit
+  // NIC setting wins).
+  SimDuration per_interrupt_cost = nsec(1200);
+
+  // --- NIC TLS flow contexts --------------------------------------------
+  // Driver work to (re)program one NIC TLS flow context: key expansion,
+  // WQE/ICOSQ posts, MMIO. Charged by the endpoint whenever the LRU
+  // flow-context manager returns a FRESH lease — establishment and
+  // eviction-forced re-establishment are no longer free, so context
+  // thrash has a real CPU price (§4.4.2).
+  SimDuration context_establish = nsec(2000);
 
   // --- per-TSO-segment work ---------------------------------------------
   SimDuration tso_build = nsec(600);       // descriptor construction, DMA map

@@ -6,7 +6,8 @@
 // manager instead treats NIC memory as a cache shared by every endpoint on
 // the host:
 //
-//   * leases are keyed by (session_tag, queue) and kept in LRU order;
+//   * leases are keyed by (session_tag, queue, direction) and kept in LRU
+//     order — TX and RX contexts share one table, as on real hardware;
 //   * when the NIC table is full, the least-recently-used *idle* context
 //     (no in-flight descriptors referencing it) is evicted to make room;
 //   * an evicted key is transparently re-established on next use — the
@@ -32,11 +33,19 @@
 
 namespace smt::stack {
 
+/// Traffic direction of a NIC flow context. TX contexts encrypt outbound
+/// records in line; RX contexts decrypt inbound records (the receive half
+/// of the offload — both directions compete for the same finite NIC
+/// context memory, so servers feel context pressure too).
+enum class FlowDir : std::uint8_t { tx = 0, rx = 1 };
+
 /// Identity of one NIC flow context: a caller-defined session tag (the SMT
-/// endpoint packs local port + peer address) plus the NIC queue.
+/// endpoint packs local port + peer address) plus the NIC queue and the
+/// traffic direction.
 struct FlowKey {
   std::uint64_t session_tag = 0;
   std::uint32_t queue = 0;
+  FlowDir dir = FlowDir::tx;
   friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
 };
 

@@ -112,12 +112,15 @@ class Host {
 
  private:
   /// The cost model is the calibration source for simulation costs: its
-  /// doorbell knob applies to Host-owned NICs whose NicConfig left the
-  /// value unset (an explicit NicConfig setting wins).
+  /// doorbell and interrupt knobs apply to Host-owned NICs whose NicConfig
+  /// left the values unset (an explicit NicConfig setting wins).
   static sim::NicConfig nic_config_of(const HostConfig& config) {
     sim::NicConfig nic = config.nic;
     if (!nic.per_doorbell_cost) {
       nic.per_doorbell_cost = config.costs.per_doorbell_cost;
+    }
+    if (!nic.per_interrupt_cost) {
+      nic.per_interrupt_cost = config.costs.per_interrupt_cost;
     }
     return nic;
   }

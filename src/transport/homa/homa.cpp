@@ -66,7 +66,8 @@ Result<std::uint64_t> HomaEndpoint::send_segments(
   }
   const std::uint64_t msg_id = explicit_id.value_or(next_msg_id_++);
   if (explicit_id && *explicit_id >= next_msg_id_) next_msg_id_ = *explicit_id + 1;
-  if (tx_messages_.count(msg_id)) {
+  const TxKey key{dst, msg_id};
+  if (tx_messages_.count(key)) {
     return make_error(Errc::invalid_argument, "duplicate message id");
   }
 
@@ -85,7 +86,7 @@ Result<std::uint64_t> HomaEndpoint::send_segments(
   }
   assert(offset == total_bytes && "segment sizes must sum to total_bytes");
 
-  auto [it, inserted] = tx_messages_.emplace(msg_id, std::move(tx));
+  auto [it, inserted] = tx_messages_.emplace(key, std::move(tx));
   assert(inserted);
   ++stats_.messages_sent;
 
@@ -95,8 +96,8 @@ Result<std::uint64_t> HomaEndpoint::send_segments(
   if (app_core != nullptr) {
     const auto& costs = host_.costs();
     const SimDuration cost = costs.syscall + costs.copy_cost(total_bytes);
-    app_core->run(cost, [this, msg_id, app_core] {
-      auto it2 = tx_messages_.find(msg_id);
+    app_core->run(cost, [this, key, app_core] {
+      auto it2 = tx_messages_.find(key);
       if (it2 != tx_messages_.end()) pump_tx(it2->second, app_core);
     });
   } else {
@@ -121,30 +122,33 @@ void HomaEndpoint::pump_tx(TxMessage& tx, stack::CpuCore* core) {
 
   if (tx.next_segment >= tx.segments.size() && !tx.gc_armed) {
     tx.gc_armed = true;
-    arm_tx_retry(tx.msg_id);
+    arm_tx_retry(TxKey{tx.dst, tx.msg_id});
   }
 }
 
-void HomaEndpoint::arm_tx_retry(std::uint64_t msg_id) {
+void HomaEndpoint::arm_tx_retry(const TxKey& key) {
   // Sender-side backstop: if the receiver never ACKs (all packets of the
   // message lost, so receiver-driven RESEND cannot trigger — or the ACK
   // itself was lost), retransmit the whole message a few times, then give
   // up. Duplicates are harmless: the receiver's interval merge and, one
   // layer up, SMT's replay filter absorb them.
-  host_.loop().schedule(config_.resend_interval * 5, [this, msg_id] {
-    const auto it = tx_messages_.find(msg_id);
+  host_.loop().schedule(config_.resend_interval * 5, [this, key] {
+    const auto it = tx_messages_.find(key);
     if (it == tx_messages_.end()) return;  // acked and freed
     TxMessage& tx = it->second;
     if (++tx.retries > 4) {
+      const PeerAddr dst = tx.dst;
+      const std::uint64_t msg_id = tx.msg_id;
       tx_messages_.erase(it);
-      if (on_sent_) on_sent_(msg_id);  // gave up; report to unblock callers
+      // Gave up; report to unblock callers.
+      if (on_sent_) on_sent_(dst, msg_id);
       return;
     }
     ++stats_.packets_retransmitted;
     for (std::size_t i = 0; i < tx.segments.size(); ++i) {
       post_segment_for(tx, i, nullptr);
     }
-    arm_tx_retry(msg_id);
+    arm_tx_retry(key);
   });
 }
 
@@ -169,8 +173,9 @@ void HomaEndpoint::post_segment_for(TxMessage& tx, std::size_t seg_index,
       costs.tso_build + costs.homa_tx_packet * SimDuration(npkts == 0 ? 1 : npkts);
 
   ++stats_.segments_posted;
-  auto post = [this, queue, pre = tx.pre_post, desc = std::move(d)]() mutable {
-    if (pre) pre(queue, desc);
+  auto post = [this, queue, core, pre = tx.pre_post,
+               desc = std::move(d)]() mutable {
+    if (pre) pre(queue, desc, core);
     host_.nic().post_segment(queue, std::move(desc));
   };
   if (core != nullptr) {
@@ -248,6 +253,9 @@ void HomaEndpoint::handle_data(Packet pkt) {
     // the pacer/SRPT thread and is skipped when other cores exist.
     rx.softirq_core = host_.least_loaded_softirq_index(
         host_.softirq_core_count() > 1 ? 1 : 0);
+    // The NIC RX ring this flow's frames hash to — the key the layer
+    // above leases RX flow contexts by.
+    rx.rx_queue = host_.nic().rx_queue_for(pkt.hdr.flow);
     ++stats_.messages_received;
   }
   rx.last_activity = host_.loop().now();
@@ -372,7 +380,7 @@ void HomaEndpoint::rx_complete(const RxKey& key) {
 
   // Homa copies the COMPLETE message to the application in one go (§5.1) —
   // the cost lands at completion, after the last packet.
-  MessageMeta meta{rx.peer, rx.msg_id, rx.softirq_core};
+  MessageMeta meta{rx.peer, rx.msg_id, rx.softirq_core, rx.rx_queue};
   Bytes payload = std::move(rx.buffer);
   const std::size_t core_index = rx.softirq_core;
   rx_messages_.erase(it);
@@ -428,7 +436,8 @@ void HomaEndpoint::arm_resend_timer(const RxKey& key) {
 }
 
 void HomaEndpoint::handle_grant(const Packet& pkt) {
-  auto it = tx_messages_.find(pkt.hdr.msg_id);
+  const PeerAddr peer{pkt.hdr.flow.src_ip, pkt.hdr.flow.src_port};
+  auto it = tx_messages_.find(TxKey{peer, pkt.hdr.msg_id});
   if (it == tx_messages_.end()) return;
   TxMessage& tx = it->second;
   tx.granted_bytes = std::max<std::size_t>(tx.granted_bytes, pkt.hdr.grant_off);
@@ -439,7 +448,8 @@ void HomaEndpoint::handle_grant(const Packet& pkt) {
 }
 
 void HomaEndpoint::handle_resend(const Packet& pkt) {
-  auto it = tx_messages_.find(pkt.hdr.msg_id);
+  const PeerAddr peer{pkt.hdr.flow.src_ip, pkt.hdr.flow.src_port};
+  auto it = tx_messages_.find(TxKey{peer, pkt.hdr.msg_id});
   if (it == tx_messages_.end()) return;
   TxMessage& tx = it->second;
   const std::size_t from = pkt.hdr.resend_off - 1;
@@ -489,11 +499,12 @@ void HomaEndpoint::handle_resend(const Packet& pkt) {
 }
 
 void HomaEndpoint::handle_ack(const Packet& pkt) {
-  const auto it = tx_messages_.find(pkt.hdr.msg_id);
+  const PeerAddr peer{pkt.hdr.flow.src_ip, pkt.hdr.flow.src_port};
+  const auto it = tx_messages_.find(TxKey{peer, pkt.hdr.msg_id});
   if (it == tx_messages_.end()) return;
-  const std::uint64_t msg_id = it->first;
+  const std::uint64_t msg_id = it->first.second;
   tx_messages_.erase(it);
-  if (on_sent_) on_sent_(msg_id);
+  if (on_sent_) on_sent_(peer, msg_id);
 }
 
 void HomaEndpoint::send_ctrl(PeerAddr dst, PacketType type,

@@ -58,8 +58,12 @@ struct SegmentSpec {
 /// records' context ids, and post resync descriptors — the descriptor is
 /// mutable so the hook can late-bind contexts at post time (the LRU
 /// manager may have evicted the one used for a previous segment).
-using PrePostHook =
-    std::function<void(std::size_t queue, sim::SegmentDescriptor&)>;
+/// `core` is the CPU core the post runs on (app core for first
+/// transmissions, softirq core for grant-released/resent segments,
+/// nullptr for timer-driven retries) so driver work done in the hook is
+/// billed where it actually executes.
+using PrePostHook = std::function<void(
+    std::size_t queue, sim::SegmentDescriptor&, stack::CpuCore* core)>;
 
 class HomaEndpoint {
  public:
@@ -67,12 +71,18 @@ class HomaEndpoint {
     PeerAddr peer;
     std::uint64_t msg_id = 0;
     std::size_t softirq_core = 0;  // core the message was processed on
+    std::size_t rx_queue = 0;      // NIC RX ring the flow's frames used
+                                   // (RSS hash — what RX flow contexts
+                                   // are keyed by)
   };
   /// Complete-message delivery callback (runs after reassembly, copy cost
   /// and wakeup are charged on the message's softirq core).
   using MessageHandler = std::function<void(MessageMeta, Bytes)>;
-  /// Sender-side completion (message fully acked by the receiver).
-  using SentHandler = std::function<void(std::uint64_t msg_id)>;
+  /// Sender-side completion (message fully acked by the receiver, or
+  /// given up after exhausting retries). Message IDs are only unique per
+  /// peer (TX state is keyed by (destination, msg_id)), so the peer is
+  /// part of the completion identity.
+  using SentHandler = std::function<void(PeerAddr peer, std::uint64_t msg_id)>;
 
   HomaEndpoint(stack::Host& host, std::uint16_t port, HomaConfig config = {});
   ~HomaEndpoint();
@@ -150,12 +160,18 @@ class HomaEndpoint {
     std::size_t received_bytes = 0;
     std::size_t granted_bytes = 0;
     std::size_t softirq_core = 0;  // chosen least-loaded at first packet
+    std::size_t rx_queue = 0;      // NIC RX ring (RSS), set at first packet
     SimTime last_activity = 0;
     int resend_count = 0;
     bool timer_armed = false;
   };
 
   using RxKey = std::pair<PeerAddr, std::uint64_t>;
+  // TX messages are keyed by (destination, msg_id): message IDs are only
+  // unique per session (SMT resets the space per peer, §4.5.2), so one
+  // endpoint sending to many peers — a server replying to its clients —
+  // must not collide IDs across them.
+  using TxKey = std::pair<PeerAddr, std::uint64_t>;
 
   void on_packet(sim::Packet pkt);
   void handle_data(sim::Packet pkt);
@@ -167,7 +183,7 @@ class HomaEndpoint {
   void maybe_grant(RxMessage& rx);
   void arm_resend_timer(const RxKey& key);
   void pump_tx(TxMessage& tx, stack::CpuCore* core);
-  void arm_tx_retry(std::uint64_t msg_id);
+  void arm_tx_retry(const TxKey& key);
   void post_segment_for(TxMessage& tx, std::size_t seg_index,
                         stack::CpuCore* core);
   void send_ctrl(PeerAddr dst, sim::PacketType type, std::uint64_t msg_id,
@@ -179,7 +195,7 @@ class HomaEndpoint {
   HomaConfig config_;
   MessageHandler on_message_;
   SentHandler on_sent_;
-  std::map<std::uint64_t, TxMessage> tx_messages_;
+  std::map<TxKey, TxMessage> tx_messages_;
   std::map<RxKey, RxMessage> rx_messages_;
   // Recently completed messages, kept briefly so spurious retransmissions
   // are recognised and dropped (§4.3) without unbounded memory.

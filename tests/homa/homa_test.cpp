@@ -146,12 +146,14 @@ TEST_F(HomaTest, LossInOneMessageDoesNotBlockAnother) {
 }
 
 TEST_F(HomaTest, SenderNotifiedOnAck) {
-  std::vector<std::uint64_t> sent;
-  client_.set_on_sent([&](std::uint64_t id) { sent.push_back(id); });
+  std::vector<std::pair<PeerAddr, std::uint64_t>> sent;
+  client_.set_on_sent(
+      [&](PeerAddr peer, std::uint64_t id) { sent.emplace_back(peer, id); });
   const auto id = client_.send_message(server_addr(), Bytes(100, 0x01));
   loop_.run();
   ASSERT_EQ(sent.size(), 1u);
-  EXPECT_EQ(sent[0], id.value());
+  EXPECT_EQ(sent[0].first, server_addr());
+  EXPECT_EQ(sent[0].second, id.value());
 }
 
 TEST_F(HomaTest, ExplicitMessageIds) {
@@ -210,7 +212,7 @@ TEST_F(HomaTest, PrePostHookSeesSegments) {
   client_.send_segments(
       server_addr(), std::move(segments), 65536 + 1000, std::uint64_t{3},
       nullptr,
-      [&](std::size_t queue, const sim::SegmentDescriptor&) {
+      [&](std::size_t queue, const sim::SegmentDescriptor&, stack::CpuCore*) {
         queues.push_back(queue);
       });
   loop_.run();

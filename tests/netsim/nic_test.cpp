@@ -138,8 +138,14 @@ TEST_F(NicTest, RxPathDeliversToHandler) {
   std::vector<Packet> rx;
   nic_.set_rx_handler([&](Packet pkt) { rx.push_back(std::move(pkt)); });
   nic_.receive(in);
+  // Delivery is interrupt-driven: nothing is handed over inline.
+  EXPECT_TRUE(rx.empty());
+  EXPECT_EQ(nic_.rx_pending(), 1u);
+  loop_.run();
   ASSERT_EQ(rx.size(), 1u);
   EXPECT_EQ(rx[0].hdr.msg_id, 7u);
+  EXPECT_EQ(nic_.rx_pending(), 0u);
+  EXPECT_EQ(nic_.counters().rx_interrupts, 1u);
 }
 
 TEST_F(NicTest, FlowContextLimit) {

@@ -120,6 +120,65 @@ TEST_F(FlowContextManagerTest, InFlightContextIsNotEvicted) {
                   .ok());
 }
 
+TEST_F(FlowContextManagerTest, DirectionsAreDistinctContexts) {
+  // TX and RX leases for the same (session, queue) are separate NIC
+  // contexts — they hold different keys and different counters — but
+  // compete for the same finite table.
+  const auto* tx = must_acquire(1, 0, 100);
+  auto rx_lease = manager_.acquire(FlowKey{1, 0, stack::FlowDir::rx},
+                                   tls::CipherSuite::aes_128_gcm_sha256,
+                                   test_keys(0x20), 500);
+  ASSERT_TRUE(rx_lease.ok());
+  EXPECT_NE(rx_lease.value()->nic_context_id, tx->nic_context_id);
+  EXPECT_EQ(nic_.active_contexts(), 2u);
+  // Re-acquiring the RX key hits; the TX entry is untouched.
+  auto again = manager_.acquire(FlowKey{1, 0, stack::FlowDir::rx},
+                                tls::CipherSuite::aes_128_gcm_sha256,
+                                test_keys(0x20), 500);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value()->fresh);
+  EXPECT_EQ(manager_.stats().hits, 1u);
+}
+
+TEST_F(FlowContextManagerTest, RxContextEvictionAndReestablishment) {
+  // RX contexts post no descriptors, so they are always idle — the classic
+  // eviction victim. An evicted RX key transparently re-establishes on the
+  // next inbound message for its flow.
+  auto acquire_rx = [this](std::uint64_t session, std::uint64_t first_seq) {
+    return manager_.acquire(FlowKey{session, 0, stack::FlowDir::rx},
+                            tls::CipherSuite::aes_128_gcm_sha256,
+                            test_keys(0x30), first_seq);
+  };
+  ASSERT_TRUE(acquire_rx(1, 100).ok());
+  ASSERT_TRUE(acquire_rx(2, 200).ok());
+  ASSERT_TRUE(acquire_rx(3, 300).ok());  // table of 2: evicts session 1
+  EXPECT_EQ(manager_.stats().evictions, 1u);
+  EXPECT_FALSE(manager_.holds(FlowKey{1, 0, stack::FlowDir::rx}));
+
+  auto back = acquire_rx(1, 150);  // evicts session 2, re-establishes 1
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value()->fresh);
+  EXPECT_EQ(back.value()->shadow_seq, 150u);
+  EXPECT_EQ(manager_.stats().reestablished, 1u);
+  EXPECT_EQ(manager_.stats().evictions, 2u);
+  EXPECT_EQ(nic_.active_contexts(), 2u);
+}
+
+TEST_F(FlowContextManagerTest, InvalidateSessionReleasesBothDirections) {
+  ASSERT_TRUE(manager_.acquire(FlowKey{5, 0, stack::FlowDir::tx},
+                               tls::CipherSuite::aes_128_gcm_sha256,
+                               test_keys(0x40), 0)
+                  .ok());
+  ASSERT_TRUE(manager_.acquire(FlowKey{5, 0, stack::FlowDir::rx},
+                               tls::CipherSuite::aes_128_gcm_sha256,
+                               test_keys(0x41), 0)
+                  .ok());
+  EXPECT_EQ(manager_.size(), 2u);
+  manager_.invalidate_session(5);
+  EXPECT_EQ(manager_.size(), 0u);
+  EXPECT_EQ(nic_.active_contexts(), 0u);
+}
+
 TEST_F(FlowContextManagerTest, InvalidateSessionReleasesAllItsQueues) {
   sim::NicConfig config;
   config.max_flow_contexts = 8;
@@ -280,6 +339,91 @@ TEST(ContextLruEndToEnd, RekeyInvalidatesAndRecovers) {
   EXPECT_EQ(delivered, 12u);
   EXPECT_EQ(client_host.nic().counters().out_of_sequence_records, 0u);
   EXPECT_EQ(server.stats().decrypt_failures, 0u);
+}
+
+TEST(ContextLruEndToEnd, ServerSideRxContextPressure) {
+  // The receive half: a server with a tiny context table decrypting
+  // traffic from many sessions leases RX contexts from the same LRU
+  // manager. The table thrashes (evictions + re-establishments on the
+  // SERVER host) while every message still decrypts; replies create TX
+  // pressure on the same table concurrently.
+  sim::EventLoop loop;
+  stack::HostConfig hc;
+  hc.nic.max_flow_contexts = 4;
+  hc.ip = 1;
+  stack::Host client_host(loop, hc);
+  hc.ip = 2;
+  stack::Host server_host(loop, hc);
+  sim::Link link(loop, sim::LinkConfig{});
+  stack::connect_hosts(client_host, server_host, link);
+
+  SmtConfig config;
+  config.hw_offload = true;
+  const transport::PeerAddr server_addr{2, 80};
+  SmtEndpoint server(server_host, 80, config);
+
+  constexpr std::size_t kSessions = 12;
+  constexpr std::size_t kRounds = 4;
+  std::vector<std::unique_ptr<SmtEndpoint>> clients;
+  std::size_t echoed = 0;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::uint16_t port = std::uint16_t(1000 + s);
+    auto client = std::make_unique<SmtEndpoint>(client_host, port, config);
+    const auto tx = test_keys(std::uint8_t(2 * s));
+    const auto rx = test_keys(std::uint8_t(2 * s + 64));
+    ASSERT_TRUE(client
+                    ->register_session(server_addr,
+                                       tls::CipherSuite::aes_128_gcm_sha256,
+                                       tx, rx)
+                    .ok());
+    ASSERT_TRUE(server
+                    .register_session({1, port},
+                                      tls::CipherSuite::aes_128_gcm_sha256,
+                                      rx, tx)
+                    .ok());
+    client->set_on_message(
+        [&echoed](SmtEndpoint::MessageMeta, Bytes) { ++echoed; });
+    clients.push_back(std::move(client));
+  }
+
+  std::size_t delivered = 0;
+  server.set_on_message([&](SmtEndpoint::MessageMeta meta, Bytes data) {
+    ++delivered;
+    // Echo back: server TX + client RX share the pressure.
+    ASSERT_TRUE(
+        server.send_message({meta.peer.ip, meta.peer.port}, std::move(data))
+            .ok());
+  });
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ASSERT_TRUE(clients[s]
+                      ->send_message(server_addr, Bytes(400, std::uint8_t(s)))
+                      .ok());
+      loop.run();
+    }
+  }
+  loop.run();
+
+  EXPECT_EQ(delivered, kSessions * kRounds);
+  EXPECT_EQ(echoed, kSessions * kRounds);
+  EXPECT_EQ(server.stats().decrypt_failures, 0u);
+
+  // The server really did lease, evict and re-establish RX contexts.
+  EXPECT_GT(server.stats().rx_contexts_created, kSessions);
+  const auto& server_ctx = server_host.flow_contexts().stats();
+  EXPECT_GT(server_ctx.evictions, 0u);
+  EXPECT_GT(server_ctx.reestablished, 0u);
+  EXPECT_LE(server_host.nic().active_contexts(), 4u);
+
+  // Correctness invariants on both NICs.
+  EXPECT_EQ(client_host.nic().counters().out_of_sequence_records, 0u);
+  EXPECT_EQ(server_host.nic().counters().out_of_sequence_records, 0u);
+  EXPECT_EQ(client_host.nic().counters().context_misses, 0u);
+  EXPECT_EQ(server_host.nic().counters().context_misses, 0u);
+  for (const auto& client : clients) {
+    EXPECT_EQ(client->stats().decrypt_failures, 0u);
+  }
 }
 
 }  // namespace

@@ -30,6 +30,7 @@ TEST(Host, DemuxesByProtoAndPort) {
   host.nic().receive(pkt);
   pkt.hdr.flow.dst_port = 999;  // unregistered: dropped
   host.nic().receive(pkt);
+  loop.run();  // RX delivery is interrupt-driven, never inline
 
   EXPECT_EQ(homa_hits, 1);
   EXPECT_EQ(tcp_hits, 1);
@@ -44,8 +45,10 @@ TEST(Host, UnregisterStopsDelivery) {
   pkt.hdr.flow.proto = sim::Proto::smt;
   pkt.hdr.flow.dst_port = 7;
   host.nic().receive(pkt);
+  loop.run();  // deliver the first packet before unregistering
   host.unregister_endpoint(sim::Proto::smt, 7);
   host.nic().receive(pkt);
+  loop.run();
   EXPECT_EQ(hits, 1);
 }
 
