@@ -147,10 +147,10 @@ inline double measure_unloaded_rtt_us(RpcFabricConfig config,
 /// Concurrent closed-loop throughput (Figure 7 methodology, §5.2):
 /// `concurrency` outstanding RPCs across 12 client app threads; reports
 /// completed RPCs per second of virtual time over the measured phase.
-inline double measure_throughput_rps(RpcFabricConfig config,
-                                     std::size_t rpc_bytes,
-                                     std::size_t concurrency,
-                                     std::size_t total_ops) {
+inline double measure_throughput_rps(
+    RpcFabricConfig config, std::size_t rpc_bytes, std::size_t concurrency,
+    std::size_t total_ops,
+    const std::function<void(RpcFabric&)>& inspect = nullptr) {
   total_ops = iters(total_ops, std::max<std::size_t>(200, 4 * concurrency));
   RpcFabric fabric(config);
   std::vector<std::unique_ptr<RpcChannel>> channels;
@@ -185,6 +185,7 @@ inline double measure_throughput_rps(RpcFabricConfig config,
   for (std::size_t i = 0; i < concurrency; ++i) issue(i);
   fabric.loop().run();
 
+  if (inspect) inspect(fabric);
   const double seconds = to_sec(measure_end - measure_start);
   return double(completed - warmup_ops) / seconds;
 }

@@ -13,6 +13,8 @@ namespace {
 struct CpuResult {
   double client_pct;
   double server_pct;
+  double client_irq_pct;  // IRQ-class slice: NIC interrupts + doorbells
+  double server_irq_pct;
 };
 
 CpuResult run_fixed_rate(TransportKind kind, double rate_rps) {
@@ -48,6 +50,14 @@ CpuResult run_fixed_rate(TransportKind kind, double rate_rps) {
   CpuResult result;
   result.client_pct = 100.0 * double(fabric.client_busy_ns()) / total_core_time;
   result.server_pct = 100.0 * double(fabric.server_busy_ns()) / total_core_time;
+  // The interrupt column: CPU the NIC datapath itself eats (RX interrupt
+  // servicing on the IRQ-affinity softirq cores, doorbell MMIO on posting
+  // cores) — work that used to be invisible event-loop delay and now
+  // contends with protocol processing (§5.2's softirq-thread ceiling).
+  result.client_irq_pct =
+      100.0 * double(fabric.client_irq_ns()) / total_core_time;
+  result.server_irq_pct =
+      100.0 * double(fabric.server_irq_ns()) / total_core_time;
   return result;
 }
 
@@ -58,15 +68,19 @@ int main(int argc, char** argv) {
   constexpr double kRate = 0.9e6;  // req/s — sustained by every system
   std::printf("== §5.2 CPU usage at a fixed %.1f M req/s, 1 KB RPCs ==\n",
               kRate / 1e6);
-  std::printf("%-10s %14s %14s\n", "system", "client CPU [%]", "server CPU [%]");
+  std::printf("%-10s %14s %14s %15s %15s\n", "system", "client CPU [%]",
+              "server CPU [%]", "client IRQ [%]", "server IRQ [%]");
 
   std::map<TransportKind, CpuResult> results;
   for (const TransportKind kind :
        {TransportKind::ktls_sw, TransportKind::ktls_hw, TransportKind::smt_sw,
         TransportKind::smt_hw}) {
     results[kind] = run_fixed_rate(kind, kRate);
-    std::printf("%-10s %14.1f %14.1f\n", transport_name(kind),
-                results[kind].client_pct, results[kind].server_pct);
+    std::printf("%-10s %14.1f %14.1f %15.2f %15.2f\n", transport_name(kind),
+                results[kind].client_pct, results[kind].server_pct,
+                results[kind].client_irq_pct, results[kind].server_irq_pct);
+    json_metric(std::string(transport_name(kind)) + "_server_irq_pct",
+                results[kind].server_irq_pct);
   }
 
   const auto rel = [](double smt, double ktls) {

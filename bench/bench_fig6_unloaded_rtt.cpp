@@ -70,5 +70,20 @@ int main(int argc, char** argv) {
     std::printf("%-22zu%12.2f\n", holdoff, rtt);
     json_metric("rtt_us_holdoff" + std::to_string(holdoff), rtt);
   }
+  // The adaptive (DIM-style) controller escapes the trade-off for this
+  // workload: the single-RPC probe stream looks latency-sensitive, so each
+  // ring walks its hold-off down to fire-immediately. One row, not one per
+  // hold-off: in adaptive mode the ladder seed comes from
+  // rx_coalesce_frames (the default 16 -> the {16 frames, 16 us} level)
+  // and the static rx_coalesce_usecs value is not consulted at all.
+  {
+    RpcFabricConfig config;
+    config.kind = TransportKind::smt_hw;
+    config.adaptive_rx_coalesce = true;
+    const double rtt = measure_unloaded_rtt_us(config, 1024);
+    std::printf("%-22s%12.2f  (DIM converges to fire-immediately)\n",
+                "adaptive", rtt);
+    json_metric("rtt_us_adaptive", rtt);
+  }
   return 0;
 }

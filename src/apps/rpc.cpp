@@ -72,6 +72,8 @@ void RpcFabric::setup_hosts() {
   hc.nic.rx_burst = config_.rx_burst;
   hc.nic.rx_coalesce_frames = config_.rx_coalesce_frames;
   hc.nic.rx_coalesce_usecs = config_.rx_coalesce_usecs;
+  hc.nic.adaptive_rx_coalesce = config_.adaptive_rx_coalesce;
+  hc.nic.rx_ring_size = config_.rx_ring_size;
   hc.nic.max_flow_contexts = config_.max_flow_contexts;
   if (config_.per_doorbell_cost) {
     hc.costs.per_doorbell_cost = *config_.per_doorbell_cost;

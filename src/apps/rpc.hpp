@@ -78,6 +78,11 @@ struct RpcFabricConfig {
   std::size_t rx_coalesce_frames = 16;
   double rx_coalesce_usecs = 0.0;
   std::optional<SimDuration> per_interrupt_cost;
+  /// DIM-style adaptive moderation: each RX ring adapts its own hold-off
+  /// from the observed per-interrupt frame rate (see netsim/nic.hpp).
+  bool adaptive_rx_coalesce = false;
+  /// Bounded RX rings (frames per ring, 0 = unbounded): overflow tail-drops.
+  std::size_t rx_ring_size = 0;
   /// NIC TLS flow-context table size (finite NIC memory, §4.4.2).
   std::size_t max_flow_contexts = 1024;
   double bandwidth_gbps = 100.0;
@@ -123,6 +128,14 @@ class RpcFabric {
   std::uint64_t client_busy_ns() const {
     return client_host_->total_app_busy_ns() +
            client_host_->total_softirq_busy_ns();
+  }
+  /// The IRQ-class slice of the busy totals (NIC interrupt servicing +
+  /// doorbell MMIO) — subtract it to compare protocol/crypto CPU alone.
+  std::uint64_t server_irq_ns() const {
+    return server_host_->total_irq_busy_ns();
+  }
+  std::uint64_t client_irq_ns() const {
+    return client_host_->total_irq_busy_ns();
   }
 
  private:

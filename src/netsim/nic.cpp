@@ -9,87 +9,190 @@
 
 namespace smt::sim {
 
+namespace {
+/// The DIM moderation ladder: each ring walks this from the observed
+/// per-interrupt frame rate, net_dim-profile style. Level 0 is
+/// fire-immediately (latency-probe traffic); higher levels hold the
+/// interrupt back for larger batches (flood traffic).
+struct DimLevel {
+  std::size_t frames;
+  double usecs;
+};
+constexpr DimLevel kDimLadder[] = {
+    {1, 0.0}, {2, 2.0}, {4, 4.0}, {8, 8.0}, {16, 16.0}, {32, 32.0},
+};
+constexpr std::size_t kDimLevels = sizeof(kDimLadder) / sizeof(kDimLadder[0]);
+
+/// The starting ladder level for a configured static threshold: the
+/// highest level not exceeding it, so adaptive mode starts close to what
+/// the operator asked for and adapts from there.
+std::size_t dim_seed_level(std::size_t coalesce_frames) {
+  std::size_t level = 0;
+  while (level + 1 < kDimLevels &&
+         kDimLadder[level + 1].frames <= coalesce_frames) {
+    ++level;
+  }
+  return level;
+}
+}  // namespace
+
 Nic::Nic(EventLoop& loop, NicConfig config)
     : loop_(loop),
       config_(std::move(config)),
       queues_(config_.num_queues),
-      rx_queues_(config_.num_queues) {
+      rx_rings_(config_.num_queues) {
   if (!config_.per_doorbell_cost) {
     config_.per_doorbell_cost = kDefaultPerDoorbellCost;
   }
   if (!config_.per_interrupt_cost) {
     config_.per_interrupt_cost = kDefaultPerInterruptCost;
   }
+  if (!config_.per_rx_frame_cost) {
+    config_.per_rx_frame_cost = kDefaultPerRxFrameCost;
+  }
+  for (RxRing& ring : rx_rings_) {
+    if (config_.adaptive_rx_coalesce) {
+      ring.dim_level = dim_seed_level(
+          std::max<std::size_t>(1, config_.rx_coalesce_frames));
+      ring.coalesce_frames = kDimLadder[ring.dim_level].frames;
+      ring.coalesce_usecs = kDimLadder[ring.dim_level].usecs;
+    } else {
+      ring.coalesce_frames =
+          std::max<std::size_t>(1, config_.rx_coalesce_frames);
+      ring.coalesce_usecs = config_.rx_coalesce_usecs;
+    }
+  }
 }
 
 void Nic::receive(Packet packet) {
   // RSS: the five-tuple hash picks the RX ring, so every frame of one flow
   // lands in the same ring and stays FIFO relative to its peers.
-  const std::size_t queue = rx_queue_for(packet.hdr.flow);
-  rx_queues_[queue].push_back(std::move(packet));
-  ++rx_pending_;
-  ++counters_.rx_frames;
-  maybe_fire_rx_interrupt();
-}
-
-void Nic::maybe_fire_rx_interrupt() {
-  if (rx_draining_ || rx_pending_ == 0) return;
-  const std::size_t frame_threshold =
-      std::max<std::size_t>(1, config_.rx_coalesce_frames);
-  if (rx_pending_ >= frame_threshold || config_.rx_coalesce_usecs <= 0.0) {
-    fire_rx_interrupt();
+  const std::size_t index = rx_queue_for(packet.hdr.flow);
+  RxRing& ring = rx_rings_[index];
+  if (config_.rx_ring_size > 0 && ring.frames.size() >= config_.rx_ring_size) {
+    // Descriptor ring overflow: real hardware tail-drops; the loss is
+    // visible to the transport as a gap, never as reordering.
+    ++ring.dropped;
+    ++counters_.rx_dropped;
     return;
   }
-  if (rx_timer_armed_) return;
+  ring.frames.push_back(std::move(packet));
+  ++ring.frames_total;
+  ++counters_.rx_frames;
+  maybe_fire_rx_interrupt(index);
+}
+
+void Nic::maybe_fire_rx_interrupt(std::size_t index) {
+  RxRing& ring = rx_rings_[index];
+  if (ring.draining || ring.frames.empty()) return;
+  // The ethtool rx-frames contract is PER RING: only THIS ring's pending
+  // count fires its threshold, so the interrupt rate scales with active
+  // rings instead of collapsing into a shared host-global budget. A FULL
+  // bounded ring fires regardless of the threshold: real NICs interrupt
+  // on ring pressure rather than tail-dropping through a hold-off window
+  // (a coalesce threshold above rx_ring_size would otherwise be
+  // unreachable — the ring can never hold enough frames to trip it).
+  const bool ring_full = config_.rx_ring_size > 0 &&
+                         ring.frames.size() >= config_.rx_ring_size;
+  if (ring.frames.size() >= ring.coalesce_frames || ring_full ||
+      ring.coalesce_usecs <= 0.0) {
+    fire_rx_interrupt(index);
+    return;
+  }
+  if (ring.timer_armed) return;
   // Hold off, hoping more frames coalesce. The generation counter voids
   // this timer if the frame threshold fires the interrupt first.
-  rx_timer_armed_ = true;
-  const std::uint64_t gen = ++rx_timer_gen_;
-  loop_.schedule(SimDuration(config_.rx_coalesce_usecs * 1e3), [this, gen] {
-    if (gen != rx_timer_gen_) return;  // superseded
-    rx_timer_armed_ = false;
-    if (!rx_draining_ && rx_pending_ > 0) fire_rx_interrupt();
+  ring.timer_armed = true;
+  const std::uint64_t gen = ++ring.timer_gen;
+  loop_.schedule(SimDuration(ring.coalesce_usecs * 1e3), [this, index, gen] {
+    RxRing& r = rx_rings_[index];
+    if (gen != r.timer_gen) return;  // superseded
+    r.timer_armed = false;
+    if (!r.draining && !r.frames.empty()) fire_rx_interrupt(index);
   });
 }
 
-void Nic::fire_rx_interrupt() {
-  rx_draining_ = true;
-  rx_timer_armed_ = false;
-  ++rx_timer_gen_;  // void any pending hold-off timer
+void Nic::fire_rx_interrupt(std::size_t index) {
+  RxRing& ring = rx_rings_[index];
+  ring.draining = true;
+  ring.timer_armed = false;
+  ++ring.timer_gen;  // void any pending hold-off timer
+  ++ring.interrupts;
   ++counters_.rx_interrupts;
   // The fixed interrupt cost (vector dispatch, IRQ entry/exit, NAPI
   // scheduling) is paid once; the burst is sized when the drain RUNS, so
-  // frames arriving inside the interrupt window join the batch.
-  loop_.schedule(*config_.per_interrupt_cost, [this] { drain_rx(); });
+  // frames arriving inside the interrupt window join the batch. With an
+  // IRQ executor installed the cost is charged to the ring's affinity
+  // core — the drain queues behind whatever that core is already doing,
+  // so a backlogged softirq core delays delivery (the paper's §5.2
+  // softirq-thread contention made visible). Without one the cost is pure
+  // event-loop delay (raw Nic objects).
+  const SimDuration cost = *config_.per_interrupt_cost;
+  if (irq_run_) {
+    counters_.irq_cpu_ns += std::uint64_t(cost);
+    irq_run_(index, cost, [this, index] { drain_rx(index); });
+  } else {
+    loop_.schedule(cost, [this, index] { drain_rx(index); });
+  }
 }
 
-void Nic::drain_rx() {
-  const std::size_t burst =
-      std::min(rx_pending_, std::max<std::size_t>(1, config_.rx_burst));
-  std::size_t drained = 0;
-  while (drained < burst) {
-    std::size_t scanned = 0;
-    while (scanned < rx_queues_.size() && rx_queues_[rx_rr_cursor_].empty()) {
-      rx_rr_cursor_ = (rx_rr_cursor_ + 1) % rx_queues_.size();
-      ++scanned;
-    }
-    if (scanned == rx_queues_.size()) break;
-
-    Packet pkt = std::move(rx_queues_[rx_rr_cursor_].front());
-    rx_queues_[rx_rr_cursor_].pop_front();
-    --rx_pending_;
-    rx_rr_cursor_ = (rx_rr_cursor_ + 1) % rx_queues_.size();
-    ++drained;
+void Nic::drain_rx(std::size_t index) {
+  RxRing& ring = rx_rings_[index];
+  const std::size_t budget = std::max<std::size_t>(1, config_.rx_burst);
+  const std::size_t burst = std::min(ring.frames.size(), budget);
+  // Per-frame completion work (descriptor fetch, buffer unmap) billed to
+  // the same IRQ core; delivery order within the ring is the FIFO deque.
+  if (burst > 0 && irq_charge_) {
+    const SimDuration frame_cost =
+        *config_.per_rx_frame_cost * SimDuration(burst);
+    counters_.irq_cpu_ns += std::uint64_t(frame_cost);
+    irq_charge_(index, frame_cost);
+  }
+  for (std::size_t i = 0; i < burst; ++i) {
+    Packet pkt = std::move(ring.frames.front());
+    ring.frames.pop_front();
+    ++ring.delivered;
     deliver(std::move(pkt));
   }
 
   counters_.max_rx_batch =
-      std::max<std::uint64_t>(counters_.max_rx_batch, drained);
-  rx_draining_ = false;
+      std::max<std::uint64_t>(counters_.max_rx_batch, burst);
+  ring.draining = false;
+  if (config_.adaptive_rx_coalesce) dim_update(ring, burst, budget);
   // Back-to-back interrupts while frames remain (NAPI re-poll); each new
   // batch pays its own per_interrupt_cost, but leftover frames — which
   // already waited out a hold-off — are never held for a fresh one.
-  if (rx_pending_ > 0) fire_rx_interrupt();
+  if (!ring.frames.empty()) fire_rx_interrupt(index);
+}
+
+void Nic::dim_update(RxRing& ring, std::size_t drained, std::size_t budget) {
+  // DIM sample: frames this interrupt delivered, smoothed so one odd batch
+  // doesn't move the level.
+  ring.dim_ewma = ring.dim_ewma <= 0.0
+                      ? double(drained)
+                      : (ring.dim_ewma * 7.0 + double(drained)) / 8.0;
+  int direction = 0;
+  if (drained >= budget) {
+    direction = 1;  // NAPI budget exhausted: flood — widen the hold-off
+  } else if (ring.dim_ewma <= 2.0) {
+    direction = -1;  // near-single-frame interrupts: latency probe — narrow
+  }
+  if (direction == 0) {
+    ring.dim_streak = 0;
+    return;
+  }
+  ring.dim_streak = (direction > 0) == (ring.dim_streak > 0)
+                        ? ring.dim_streak + direction
+                        : direction;
+  if (ring.dim_streak >= 2 && ring.dim_level + 1 < kDimLevels) {
+    ++ring.dim_level;
+    ring.dim_streak = 0;
+  } else if (ring.dim_streak <= -2 && ring.dim_level > 0) {
+    --ring.dim_level;
+    ring.dim_streak = 0;
+  }
+  ring.coalesce_frames = kDimLadder[ring.dim_level].frames;
+  ring.coalesce_usecs = kDimLadder[ring.dim_level].usecs;
 }
 
 void Nic::deliver(Packet packet) {
@@ -146,7 +249,7 @@ std::optional<std::uint64_t> Nic::context_seq(std::uint32_t id) const {
 }
 
 void Nic::post_resync(std::size_t queue, std::uint32_t context_id,
-                      std::uint64_t new_seq) {
+                      std::uint64_t new_seq, CpuCharge poster) {
   assert(queue < queues_.size());
   Descriptor d;
   d.is_resync = true;
@@ -155,10 +258,11 @@ void Nic::post_resync(std::size_t queue, std::uint32_t context_id,
   pin_context(context_id);
   queues_[queue].push_back(std::move(d));
   ++pending_;
-  kick();
+  kick(poster);
 }
 
-void Nic::post_segment(std::size_t queue, SegmentDescriptor descriptor) {
+void Nic::post_segment(std::size_t queue, SegmentDescriptor descriptor,
+                       CpuCharge poster) {
   assert(queue < queues_.size());
   assert(descriptor.segment.payload.size() <= config_.max_tso_bytes);
   for (const TlsRecordDesc& rec : descriptor.records) {
@@ -168,21 +272,27 @@ void Nic::post_segment(std::size_t queue, SegmentDescriptor descriptor) {
   d.segment = std::move(descriptor);
   queues_[queue].push_back(std::move(d));
   ++pending_;
-  kick();
+  kick(poster);
 }
 
 std::size_t Nic::pending_descriptors() const { return pending_; }
 
-void Nic::kick() {
+void Nic::kick(const CpuCharge& poster) {
   if (processing_) return;
   if (pending_descriptors() == 0) return;
   // Ring the doorbell: one fixed cost per drain event. The burst is sized
   // when the drain BEGINS, so descriptors posted inside the doorbell
   // window coalesce into the batch (xmit_more-style); descriptors posted
   // after it wait for the next doorbell, which fires back-to-back from
-  // process_batch() while the rings are non-empty.
+  // process_batch() while the rings are non-empty. The core whose post
+  // arms the doorbell pays the MMIO/scheduling cost (posts that coalesce
+  // into an already-armed batch ride for free — xmit_more's entire point).
   processing_ = true;
   ++counters_.doorbells;
+  if (poster) {
+    counters_.doorbell_cpu_ns += std::uint64_t(*config_.per_doorbell_cost);
+    poster(*config_.per_doorbell_cost);
+  }
   loop_.schedule(*config_.per_doorbell_cost, [this] {
     const std::size_t burst = std::min(
         pending_descriptors(), std::max<std::size_t>(1, config_.tx_burst));
@@ -231,7 +341,9 @@ void Nic::process_batch(std::size_t burst) {
   counters_.max_burst_drained = std::max<std::uint64_t>(
       counters_.max_burst_drained, drained);
   processing_ = false;
-  kick();
+  // Back-to-back drain while descriptors remain: the NIC's own engine
+  // re-arms, no CPU rang this doorbell, so nobody is charged for it.
+  kick(nullptr);
 }
 
 void Nic::encrypt_records(SegmentDescriptor& descriptor) {
@@ -292,6 +404,23 @@ void Nic::emit_segment(SegmentDescriptor descriptor) {
 
   if (!config_.tso_enabled && segment.payload.size() > mss) {
     assert(false && "oversized segment posted with TSO disabled");
+  }
+
+  // Empty payload (control packets: grants, acks, SYNs) — one header-only
+  // frame, explicitly guarded so the TSO do-while below cannot run its
+  // zero-byte iteration. Crucially it does NOT consume an IPID: the IPID
+  // sequence numbers DATA packets within a TSO burst (receivers compute
+  // intra-segment offsets as ip_id - ipid_base), and a control packet
+  // burning a slot would shift that arithmetic for no data.
+  if (segment.payload.empty()) {
+    Packet pkt;
+    pkt.hdr = segment.hdr;
+    pkt.hdr.ip_id = next_ip_id_;
+    pkt.hdr.ipid_base = next_ip_id_;
+    pkt.hdr.checksum_valid = is_tcp;
+    ++counters_.packets;
+    if (tx_) tx_->send(std::move(pkt));
+    return;
   }
 
   const std::uint16_t base_ip_id = next_ip_id_;

@@ -31,14 +31,34 @@
 //
 //  * RX rings + interrupt coalescing — inbound frames land in per-queue RX
 //    rings (RSS hash of the five-tuple picks the queue, so one flow's
-//    frames stay FIFO) and are delivered by a simulated interrupt. The
-//    interrupt fires when rx_coalesce_frames frames are pending, or
-//    rx_coalesce_usecs after the first pending frame, whichever is first;
-//    each interrupt pays per_interrupt_cost once and then delivers up to
-//    rx_burst frames, amortising the fixed cost the way NAPI/ethtool
-//    rx-usecs/rx-frames coalescing does. Delivery ALWAYS goes through the
-//    event loop — never inline from receive() — so RX ordering is
-//    deterministic regardless of when frames arrive relative to a drain.
+//    frames stay FIFO) and are delivered by a simulated interrupt. All
+//    coalescing state is PER RING, matching the ethtool rx-frames/rx-usecs
+//    contract: ring i's interrupt fires when ITS pending count reaches
+//    rx_coalesce_frames, or rx_coalesce_usecs after ITS first pending
+//    frame, whichever is first; each interrupt pays per_interrupt_cost
+//    once and then delivers up to rx_burst frames from that ring. (A
+//    host-global threshold would make the interrupt rate collapse into one
+//    shared budget — with 4 active rings, ~4x the configured rate.)
+//    Delivery ALWAYS goes through the event loop — never inline from
+//    receive() — so RX ordering is deterministic regardless of when frames
+//    arrive relative to a drain.
+//
+//  * IRQ→CPU charging — when the owning layer installs an IrqExecutor
+//    (stack::Host maps ring i to softirq core i % softirq_cores via its
+//    IRQ-affinity table), per_interrupt_cost and the per-frame completion
+//    work are charged to that CPU: interrupts contend with protocol
+//    processing and delivery is delayed while the core is backlogged.
+//    Without an executor (raw Nic objects) the costs degrade to pure
+//    event-loop delay, as before. TX symmetrically charges
+//    per_doorbell_cost to the core that posted the doorbell-arming
+//    descriptor, via the CpuCharge callback on post_segment/post_resync.
+//
+//  * Adaptive moderation (DIM-style) — with adaptive_rx_coalesce set, each
+//    ring adjusts its own effective rx_coalesce_frames/rx_coalesce_usecs
+//    from the observed per-interrupt frame rate: sustained full bursts
+//    widen the hold-off (amortise more), sparse interrupts narrow it
+//    toward fire-immediately (latency-sensitive traffic), the way the
+//    kernel's net_dim library steps through its moderation profiles.
 #pragma once
 
 #include <cstdint>
@@ -87,6 +107,20 @@ struct NicConfig {
   std::size_t rx_coalesce_frames = 16;
   double rx_coalesce_usecs = 0.0;
   std::optional<SimDuration> per_interrupt_cost;
+  // Per-frame RX completion work (completion-descriptor fetch, buffer
+  // unmap) charged to the IRQ core alongside per_interrupt_cost when an
+  // IrqExecutor is installed. Resolves like per_interrupt_cost: CostModel
+  // for Host-owned NICs, kDefaultPerRxFrameCost for raw Nic objects.
+  std::optional<SimDuration> per_rx_frame_cost;
+  // Bounded RX rings: a ring holding rx_ring_size frames tail-drops new
+  // arrivals (counted in rx_dropped), like real descriptor rings under
+  // overflow. 0 = unbounded (the historical behavior).
+  std::size_t rx_ring_size = 0;
+  // DIM-style adaptive interrupt moderation: each ring walks a moderation
+  // ladder from the observed per-interrupt frame rate, overriding the
+  // static rx_coalesce_frames/rx_coalesce_usecs pair (which only seeds the
+  // starting level).
+  bool adaptive_rx_coalesce = false;
 };
 
 /// Fallback doorbell cost for NICs constructed without a Host/CostModel;
@@ -96,6 +130,25 @@ inline constexpr SimDuration kDefaultPerDoorbellCost = nsec(350);
 /// Fallback RX interrupt cost for NICs constructed without a Host/CostModel;
 /// mirrors CostModel::per_interrupt_cost's default.
 inline constexpr SimDuration kDefaultPerInterruptCost = nsec(1200);
+
+/// Fallback per-frame RX completion cost for NICs constructed without a
+/// Host/CostModel; mirrors CostModel::per_rx_frame_cost's default.
+inline constexpr SimDuration kDefaultPerRxFrameCost = nsec(80);
+
+/// Runs `done` after charging `cost` of interrupt work to whatever CPU
+/// services ring `ring`'s IRQ vector. Installed by the stack layer (the
+/// Host's IRQ-affinity table routes it to a softirq CpuCore::run), so the
+/// netsim layer stays ignorant of CPU-core types.
+using IrqExecutor =
+    std::function<void(std::size_t ring, SimDuration cost,
+                       std::function<void()> done)>;
+
+/// Charges `cost` of interrupt work to ring `ring`'s IRQ CPU without a
+/// completion callback (per-frame completion processing inside a drain).
+using IrqCharge = std::function<void(std::size_t ring, SimDuration cost)>;
+
+/// Charges CPU time to the core that posted a descriptor (doorbell MMIO).
+using CpuCharge = std::function<void(SimDuration cost)>;
 
 /// A TLS record inside a TSO segment that the NIC must encrypt in line.
 /// The segment payload at [record_offset, record_offset + 5) holds the
@@ -131,6 +184,22 @@ struct NicCounters {
   std::uint64_t rx_interrupts = 0;      // RX drain events (each pays
                                         // per_interrupt_cost once)
   std::uint64_t max_rx_batch = 0;       // largest RX batch delivered
+  std::uint64_t rx_dropped = 0;         // tail-dropped on a full RX ring
+  std::uint64_t irq_cpu_ns = 0;         // interrupt work charged to cores
+                                        // via the IrqExecutor/IrqCharge
+  std::uint64_t doorbell_cpu_ns = 0;    // doorbell work charged to posting
+                                        // cores via CpuCharge
+};
+
+/// Per-ring RX observability: the figures the per-ring ethtool contract is
+/// stated in (interrupt rate must scale with active rings).
+struct RxRingStats {
+  std::uint64_t frames = 0;       // accepted into this ring
+  std::uint64_t delivered = 0;    // handed to the RX handler
+  std::uint64_t interrupts = 0;   // interrupts this ring fired
+  std::uint64_t dropped = 0;      // tail-dropped (bounded ring overflow)
+  std::size_t coalesce_frames = 0;  // effective threshold (DIM may adjust)
+  double coalesce_usecs = 0.0;      // effective hold-off (DIM may adjust)
 };
 
 class Nic {
@@ -141,13 +210,34 @@ class Nic {
   void attach_tx(LinkDirection* tx) { tx_ = tx; }
   void set_rx_handler(PacketHandler handler) { rx_handler_ = std::move(handler); }
 
+  /// Installs the IRQ→CPU charging hooks (stack::Host does this from its
+  /// IRQ-affinity table). `run` gates each ring's drain behind the charged
+  /// core; `charge` bills per-frame completion work. Unset hooks degrade
+  /// to pure event-loop delay (raw Nic objects keep the old timing).
+  void set_irq_executor(IrqExecutor run, IrqCharge charge) {
+    irq_run_ = std::move(run);
+    irq_charge_ = std::move(charge);
+  }
+
   /// Ingress from the wire: the frame lands in an RX ring (RSS picks the
   /// queue) and is delivered by a coalesced interrupt through the event
   /// loop — NEVER inline, so ordering is deterministic under coalescing.
   void receive(Packet packet);
 
   /// Frames sitting in RX rings, not yet delivered.
-  std::size_t rx_pending() const noexcept { return rx_pending_; }
+  std::size_t rx_pending() const noexcept {
+    std::size_t sum = 0;
+    for (const RxRing& ring : rx_rings_) sum += ring.frames.size();
+    return sum;
+  }
+
+  /// Per-ring counters and effective (possibly DIM-adjusted) moderation.
+  RxRingStats rx_ring_stats(std::size_t ring) const {
+    const RxRing& r = rx_rings_.at(ring);
+    return RxRingStats{r.frames_total, r.delivered,   r.interrupts,
+                       r.dropped,      r.coalesce_frames, r.coalesce_usecs};
+  }
+  std::size_t rx_ring_count() const noexcept { return rx_rings_.size(); }
 
   /// The RX ring a flow's frames hash to (RSS). The single source of the
   /// ring-selection formula — drivers keying per-ring state (RX flow
@@ -179,12 +269,15 @@ class Nic {
   /// --- TX descriptor rings --------------------------------------------
 
   /// Posts a resync descriptor: sets the context's internal counter when
-  /// the NIC *processes* it (not when posted!).
+  /// the NIC *processes* it (not when posted!). `poster`, when set, is the
+  /// CPU charge of the core doing the post — it pays per_doorbell_cost if
+  /// this post arms the doorbell (coalesced posts ride the armed batch).
   void post_resync(std::size_t queue, std::uint32_t context_id,
-                   std::uint64_t new_seq);
+                   std::uint64_t new_seq, CpuCharge poster = nullptr);
 
   /// Posts a segment (TSO-split and/or inline-encrypted as flagged).
-  void post_segment(std::size_t queue, SegmentDescriptor descriptor);
+  void post_segment(std::size_t queue, SegmentDescriptor descriptor,
+                    CpuCharge poster = nullptr);
 
   const NicConfig& config() const noexcept { return config_; }
   const NicCounters& counters() const noexcept { return counters_; }
@@ -205,34 +298,61 @@ class Nic {
     SegmentDescriptor segment;
   };
 
-  void kick();
+  /// One RX ring's complete interrupt state: pending frames (the drain
+  /// cursor is the deque head), hold-off timer, effective coalesce
+  /// thresholds, DIM controller state, and counters. Nothing RX-interrupt
+  /// related is host-global — that was the bug the per-ring refactor
+  /// fixed: a global pending count fired against rx_coalesce_frames meant
+  /// N active rings shared one threshold and interrupted ~N times as often
+  /// as the per-ring ethtool contract specifies.
+  struct RxRing {
+    std::deque<Packet> frames;
+    bool draining = false;       // interrupt fired, drain event in flight
+    bool timer_armed = false;    // rx_coalesce_usecs hold-off pending
+    std::uint64_t timer_gen = 0; // invalidates superseded hold-off timers
+    // Effective moderation; seeded from NicConfig, adjusted per ring by
+    // the DIM controller when adaptive_rx_coalesce is on.
+    std::size_t coalesce_frames = 1;
+    double coalesce_usecs = 0.0;
+    // DIM state: EWMA of frames-per-interrupt, ladder position, and the
+    // signal streak that must persist before the level moves (net_dim's
+    // tired-of-flapping hysteresis).
+    double dim_ewma = 0.0;
+    std::size_t dim_level = 0;
+    int dim_streak = 0;
+    // Counters (aggregated copies live in NicCounters).
+    std::uint64_t frames_total = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  void kick(const CpuCharge& poster);
   void process_batch(std::size_t burst);
   std::size_t pending_descriptors() const;
   void pin_context(std::uint32_t id);
   void unpin_context(std::uint32_t id);
   void emit_segment(SegmentDescriptor descriptor);
   void encrypt_records(SegmentDescriptor& descriptor);
-  void maybe_fire_rx_interrupt();
-  void fire_rx_interrupt();
-  void drain_rx();
+  void maybe_fire_rx_interrupt(std::size_t ring);
+  void fire_rx_interrupt(std::size_t ring);
+  void drain_rx(std::size_t ring);
+  void dim_update(RxRing& ring, std::size_t drained, std::size_t budget);
   void deliver(Packet packet);
 
   EventLoop& loop_;
   NicConfig config_;
   LinkDirection* tx_ = nullptr;
   PacketHandler rx_handler_;
+  IrqExecutor irq_run_;
+  IrqCharge irq_charge_;
 
   std::vector<std::deque<Descriptor>> queues_;
   std::size_t pending_ = 0;    // descriptors across all queues
   std::size_t rr_cursor_ = 0;  // round-robin scan position
   bool processing_ = false;
 
-  std::vector<std::deque<Packet>> rx_queues_;
-  std::size_t rx_pending_ = 0;     // frames across all RX rings
-  std::size_t rx_rr_cursor_ = 0;   // round-robin scan position
-  bool rx_draining_ = false;       // interrupt fired, drain event in flight
-  bool rx_timer_armed_ = false;    // rx_coalesce_usecs hold-off pending
-  std::uint64_t rx_timer_gen_ = 0; // invalidates superseded hold-off timers
+  std::vector<RxRing> rx_rings_;
 
   std::map<std::uint32_t, FlowContext> contexts_;
   std::uint32_t next_context_id_ = 1;

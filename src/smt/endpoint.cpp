@@ -164,7 +164,8 @@ Result<std::uint64_t> SmtEndpoint::send_message(PeerAddr dst, Bytes plaintext,
         rec.context_id = ctx.nic_context_id;
         if (ctx.shadow_seq != rec.record_seq) {
           homa_.host().nic().post_resync(q, ctx.nic_context_id,
-                                         rec.record_seq);
+                                         rec.record_seq,
+                                         stack::doorbell_charge(post_core));
           ++stats_.resyncs_posted;
         }
         ctx.shadow_seq = rec.record_seq + 1;

@@ -33,6 +33,19 @@ class CpuCore {
     busy_ns_ += cost;
   }
 
+  /// IRQ-class work (NIC interrupt servicing, doorbell MMIO): identical
+  /// scheduling to run()/charge(), but tallied separately the way
+  /// /proc/stat splits irq/softirq time from everything else — the §5.2
+  /// CPU-usage experiment needs to show how much of a core interrupts eat.
+  void run_irq(SimDuration cost, std::function<void()> fn) {
+    irq_ns_ += cost;
+    run(cost, std::move(fn));
+  }
+  void charge_irq(SimDuration cost) {
+    irq_ns_ += cost;
+    charge(cost);
+  }
+
   /// Time at which currently queued work drains.
   SimTime free_at() const noexcept { return free_at_; }
 
@@ -45,10 +58,14 @@ class CpuCore {
   /// Total busy time accumulated (for CPU-usage accounting, §5.2).
   std::uint64_t busy_ns() const noexcept { return busy_ns_; }
 
+  /// The IRQ-class slice of busy_ns() (NIC interrupts + doorbells).
+  std::uint64_t irq_busy_ns() const noexcept { return irq_ns_; }
+
  private:
   sim::EventLoop* loop_;
   SimTime free_at_ = 0;
   std::uint64_t busy_ns_ = 0;
+  std::uint64_t irq_ns_ = 0;
 };
 
 }  // namespace smt::stack

@@ -60,8 +60,17 @@ struct CostModel {
   // scheduling), amortised over up to NicConfig::rx_burst frames by the
   // coalesced RX datapath. Host applies this value to its NIC at
   // construction when NicConfig::per_interrupt_cost is unset (an explicit
-  // NIC setting wins).
+  // NIC setting wins). Charged to the ring's IRQ-affinity softirq core
+  // (Host's affinity table, default ring i -> core i % softirq_cores), so
+  // interrupt work contends with protocol processing on that core and
+  // shows up in total_softirq_busy_ns / total_irq_busy_ns — the paper's
+  // §5.2 "constrained by the softirq thread" includes exactly this work.
   SimDuration per_interrupt_cost = nsec(1200);
+  // Per-frame RX completion work inside a drain (completion-descriptor
+  // fetch, buffer unmap), charged to the same IRQ-affinity core. Mirrors
+  // per_descriptor_cost on the TX side. Resolution: NicConfig unset ->
+  // this value, for Host-owned NICs.
+  SimDuration per_rx_frame_cost = nsec(80);
 
   // --- NIC TLS flow contexts --------------------------------------------
   // Driver work to (re)program one NIC TLS flow context: key expansion,

@@ -39,6 +39,23 @@ class Host {
     for (std::size_t i = 0; i < config.softirq_cores; ++i)
       softirq_cores_.emplace_back(loop);
     nic_.set_rx_handler([this](sim::Packet pkt) { demux(std::move(pkt)); });
+    // IRQ-affinity table (the /proc/irq/*/smp_affinity analogue): ring i's
+    // interrupt vector is serviced by softirq core i % softirq_cores.
+    // Reprogrammable at runtime via set_irq_affinity(); the executor reads
+    // the table at fire time, so changes take effect immediately.
+    irq_affinity_.resize(nic_.config().num_queues);
+    for (std::size_t i = 0; i < irq_affinity_.size(); ++i) {
+      irq_affinity_[i] = i % softirq_cores_.size();
+    }
+    nic_.set_irq_executor(
+        [this](std::size_t ring, SimDuration cost, std::function<void()> fn) {
+          softirq_cores_[irq_affinity_[ring % irq_affinity_.size()]].run_irq(
+              cost, std::move(fn));
+        },
+        [this](std::size_t ring, SimDuration cost) {
+          softirq_cores_[irq_affinity_[ring % irq_affinity_.size()]]
+              .charge_irq(cost);
+        });
   }
 
   Host(const Host&) = delete;
@@ -74,11 +91,25 @@ class Host {
     return flow.hash() % softirq_cores_.size();
   }
 
+  /// The softirq core servicing RX ring `ring`'s interrupt vector.
+  std::size_t irq_affinity(std::size_t ring) const {
+    return irq_affinity_.at(ring);
+  }
+  /// Re-pins ring `ring`'s IRQ to `core` (irqbalance / smp_affinity).
+  void set_irq_affinity(std::size_t ring, std::size_t core) {
+    irq_affinity_.at(ring) = core % softirq_cores_.size();
+  }
+
   /// Least-loaded softirq core (Homa/SMT per-message distribution).
   /// `start_from` lets the caller reserve low-numbered cores (Homa keeps
-  /// core 0 as its pacer/SRPT thread).
+  /// core 0 as its pacer/SRPT thread). An out-of-range `start_from` clamps
+  /// to the LAST core, never wraps to 0: wrapping would hand work meant
+  /// for "any non-reserved core" straight to the reserved pacer core on
+  /// hosts with a single softirq core.
   std::size_t least_loaded_softirq_index(std::size_t start_from = 0) const {
-    if (start_from >= softirq_cores_.size()) start_from = 0;
+    if (start_from >= softirq_cores_.size()) {
+      start_from = softirq_cores_.size() - 1;
+    }
     std::size_t best = start_from;
     for (std::size_t i = start_from + 1; i < softirq_cores_.size(); ++i) {
       if (softirq_cores_[i].backlog() < softirq_cores_[best].backlog())
@@ -96,6 +127,15 @@ class Host {
   std::uint64_t total_softirq_busy_ns() const {
     std::uint64_t sum = 0;
     for (const auto& core : softirq_cores_) sum += core.busy_ns();
+    return sum;
+  }
+  /// IRQ-class CPU across every core (NIC interrupt servicing on the
+  /// softirq cores + doorbell MMIO on whichever core posted) — the
+  /// interrupt column of the §5.2 CPU-usage experiment.
+  std::uint64_t total_irq_busy_ns() const {
+    std::uint64_t sum = 0;
+    for (const auto& core : app_cores_) sum += core.irq_busy_ns();
+    for (const auto& core : softirq_cores_) sum += core.irq_busy_ns();
     return sum;
   }
 
@@ -122,6 +162,9 @@ class Host {
     if (!nic.per_interrupt_cost) {
       nic.per_interrupt_cost = config.costs.per_interrupt_cost;
     }
+    if (!nic.per_rx_frame_cost) {
+      nic.per_rx_frame_cost = config.costs.per_rx_frame_cost;
+    }
     return nic;
   }
 
@@ -138,8 +181,18 @@ class Host {
   FlowContextManager flow_contexts_{nic_};
   std::vector<CpuCore> app_cores_;
   std::vector<CpuCore> softirq_cores_;
+  std::vector<std::size_t> irq_affinity_;  // RX ring -> softirq core index
   std::map<std::pair<sim::Proto, std::uint16_t>, Endpoint> endpoints_;
 };
+
+/// Adapts a CpuCore into the NIC's doorbell-charging callback for
+/// post_segment/post_resync: the posting core pays per_doorbell_cost when
+/// its post arms the doorbell. nullptr in, nullptr out (posts with no
+/// known posting core — timer retries — stay uncharged, pure delay).
+inline sim::CpuCharge doorbell_charge(CpuCore* core) {
+  if (core == nullptr) return nullptr;
+  return [core](SimDuration cost) { core->charge_irq(cost); };
+}
 
 /// Wires two hosts back-to-back over a link (the paper's topology).
 inline void connect_hosts(Host& a, Host& b, sim::Link& link) {

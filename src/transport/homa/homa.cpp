@@ -176,7 +176,8 @@ void HomaEndpoint::post_segment_for(TxMessage& tx, std::size_t seg_index,
   auto post = [this, queue, core, pre = tx.pre_post,
                desc = std::move(d)]() mutable {
     if (pre) pre(queue, desc, core);
-    host_.nic().post_segment(queue, std::move(desc));
+    host_.nic().post_segment(queue, std::move(desc),
+                             stack::doorbell_charge(core));
   };
   if (core != nullptr) {
     core->run(cost, std::move(post));
@@ -357,7 +358,8 @@ void HomaEndpoint::maybe_grant(RxMessage& rx) {
   ++stats_.grants_sent;
   stack::CpuCore& core = host_.softirq_core(rx.softirq_core);
   core.charge(host_.costs().ctrl_packet);
-  send_ctrl(rx.peer, PacketType::grant, rx.msg_id, 0, std::uint32_t(target));
+  send_ctrl(rx.peer, PacketType::grant, rx.msg_id, 0, std::uint32_t(target),
+            &core);
 }
 
 void HomaEndpoint::rx_complete(const RxKey& key) {
@@ -375,8 +377,10 @@ void HomaEndpoint::rx_complete(const RxKey& key) {
     completed_order_.pop_front();
   }
 
-  // ACK lets the sender free its retransmission state.
-  send_ctrl(rx.peer, PacketType::ack, rx.msg_id, 0, 0);
+  // ACK lets the sender free its retransmission state; the message's
+  // softirq core posts it (and pays the doorbell if it arms one).
+  send_ctrl(rx.peer, PacketType::ack, rx.msg_id, 0, 0,
+            &host_.softirq_core(rx.softirq_core));
 
   // Homa copies the COMPLETE message to the application in one go (§5.1) —
   // the cost lands at completion, after the last packet.
@@ -489,8 +493,9 @@ void HomaEndpoint::handle_resend(const Packet& pkt) {
             tx.segments[i].payload.begin() + std::ptrdiff_t(pkt_end - seg_begin));
         const std::size_t queue = queue_for_message(tx.msg_id);
         core.run(host_.costs().homa_tx_packet,
-                 [this, queue, desc = std::move(d)]() mutable {
-                   host_.nic().post_segment(queue, std::move(desc));
+                 [this, queue, &core, desc = std::move(d)]() mutable {
+                   host_.nic().post_segment(queue, std::move(desc),
+                                            stack::doorbell_charge(&core));
                  });
         ++stats_.packets_retransmitted;
       }
@@ -509,14 +514,15 @@ void HomaEndpoint::handle_ack(const Packet& pkt) {
 
 void HomaEndpoint::send_ctrl(PeerAddr dst, PacketType type,
                              std::uint64_t msg_id, std::uint32_t resend_off,
-                             std::uint32_t grant_off) {
+                             std::uint32_t grant_off, stack::CpuCore* core) {
   sim::SegmentDescriptor d;
   d.segment.hdr.flow = flow_to(dst);
   d.segment.hdr.type = type;
   d.segment.hdr.msg_id = msg_id;
   d.segment.hdr.resend_off = resend_off;
   d.segment.hdr.grant_off = grant_off;
-  host_.nic().post_segment(queue_for_message(msg_id), std::move(d));
+  host_.nic().post_segment(queue_for_message(msg_id), std::move(d),
+                           stack::doorbell_charge(core));
 }
 
 }  // namespace smt::transport

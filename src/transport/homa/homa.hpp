@@ -187,7 +187,8 @@ class HomaEndpoint {
   void post_segment_for(TxMessage& tx, std::size_t seg_index,
                         stack::CpuCore* core);
   void send_ctrl(PeerAddr dst, sim::PacketType type, std::uint64_t msg_id,
-                 std::uint32_t resend_off, std::uint32_t grant_off);
+                 std::uint32_t resend_off, std::uint32_t grant_off,
+                 stack::CpuCore* core = nullptr);
   sim::FiveTuple flow_to(PeerAddr dst) const;
 
   stack::Host& host_;

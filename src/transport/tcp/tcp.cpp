@@ -222,12 +222,13 @@ void TcpEndpoint::transmit_range(Connection& conn, std::uint64_t from,
   const SimDuration cost =
       costs.tso_build + costs.tcp_tx_packet * SimDuration(npkts == 0 ? 1 : npkts);
   stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
-  core.run(cost, [this, queue, resyncs = std::move(resyncs),
+  core.run(cost, [this, queue, &core, resyncs = std::move(resyncs),
                   desc = std::move(d)]() mutable {
     for (const auto& [ctx, seq] : resyncs) {
-      host_.nic().post_resync(queue, ctx, seq);
+      host_.nic().post_resync(queue, ctx, seq, stack::doorbell_charge(&core));
     }
-    host_.nic().post_segment(queue, std::move(desc));
+    host_.nic().post_segment(queue, std::move(desc),
+                             stack::doorbell_charge(&core));
   });
 }
 
@@ -330,10 +331,11 @@ void TcpEndpoint::send_ack(Connection& conn) {
   ack.hdr.ack = static_cast<std::uint32_t>(conn.rcv_nxt);
   stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
   const std::size_t queue = conn.flow.hash() % host_.nic().config().num_queues;
-  core.run(host_.costs().ctrl_packet, [this, queue, ack]() mutable {
+  core.run(host_.costs().ctrl_packet, [this, queue, &core, ack]() mutable {
     sim::SegmentDescriptor d;
     d.segment = std::move(ack);
-    host_.nic().post_segment(queue, std::move(d));
+    host_.nic().post_segment(queue, std::move(d),
+                             stack::doorbell_charge(&core));
   });
 }
 

@@ -206,6 +206,193 @@ TEST_F(NicRxBatchingTest, FramesArrivingDuringInterruptWindowJoinBatch) {
   EXPECT_EQ(arrivals_[0].when, arrivals_[1].when);
 }
 
+// Finds `count` source ports whose flows hash to `count` DISTINCT RX
+// rings on `nic` (RSS), so tests can target rings individually.
+std::vector<std::uint16_t> ports_on_distinct_rings(const Nic& nic,
+                                                   std::size_t count) {
+  std::vector<std::uint16_t> ports;
+  std::vector<bool> used(nic.config().num_queues, false);
+  for (std::uint16_t port = 100; ports.size() < count; ++port) {
+    Packet probe;
+    probe.hdr.flow.src_ip = 1;
+    probe.hdr.flow.dst_ip = 2;
+    probe.hdr.flow.src_port = port;
+    probe.hdr.flow.dst_port = 80;
+    probe.hdr.flow.proto = Proto::smt;
+    const std::size_t ring = nic.rx_queue_for(probe.hdr.flow);
+    if (used[ring]) continue;
+    used[ring] = true;
+    ports.push_back(port);
+  }
+  return ports;
+}
+
+TEST_F(NicRxBatchingTest, CoalesceThresholdIsPerRingNotGlobal) {
+  // Regression for the global-threshold bug: maybe_fire_rx_interrupt used
+  // to compare the HOST-GLOBAL pending count against rx_coalesce_frames,
+  // so 4 rings receiving 8 frames each fired on the 16th global frame —
+  // none of the rings had reached the configured per-ring threshold. The
+  // ethtool rx-frames contract is per ring: with 8 < 16 pending each,
+  // every ring must wait for its hold-off timer instead.
+  NicConfig config;
+  config.num_queues = 4;
+  config.rx_burst = 16;
+  config.rx_coalesce_frames = 16;
+  config.rx_coalesce_usecs = 50.0;
+  Nic nic(loop_, config);
+  std::vector<SimTime> times;
+  nic.set_rx_handler([&](Packet) { times.push_back(loop_.now()); });
+
+  const auto ports = ports_on_distinct_rings(nic, 4);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    for (const std::uint16_t port : ports) {
+      nic.receive(make_packet(i, port));
+    }
+  }
+  // 32 frames pending host-wide, 8 per ring: the buggy global comparison
+  // would have fired two interrupts by now. Per-ring, nothing fires until
+  // the hold-off expires.
+  loop_.run_until(usec(49));
+  EXPECT_EQ(times.size(), 0u);
+  EXPECT_EQ(nic.counters().rx_interrupts, 0u);
+
+  loop_.run();
+  EXPECT_EQ(times.size(), 32u);
+  // One timer-driven interrupt per ring — the rate scales with active
+  // rings under the per-ring contract.
+  EXPECT_EQ(nic.counters().rx_interrupts, 4u);
+  for (std::size_t ring = 0; ring < 4; ++ring) {
+    const RxRingStats stats = nic.rx_ring_stats(ring);
+    EXPECT_EQ(stats.interrupts, 1u) << "ring " << ring;
+    EXPECT_EQ(stats.frames, 8u) << "ring " << ring;
+    EXPECT_EQ(stats.delivered, 8u) << "ring " << ring;
+  }
+}
+
+TEST_F(NicRxBatchingTest, RingReachingItsOwnThresholdFiresImmediately) {
+  // The flip side of the per-ring contract: 16 frames into ONE ring fire
+  // that ring's interrupt at the threshold, not at the timer — and the
+  // other rings stay silent.
+  NicConfig config;
+  config.num_queues = 4;
+  config.rx_burst = 16;
+  config.rx_coalesce_frames = 16;
+  config.rx_coalesce_usecs = 50.0;
+  Nic nic(loop_, config);
+  std::vector<SimTime> times;
+  nic.set_rx_handler([&](Packet) { times.push_back(loop_.now()); });
+
+  const auto ports = ports_on_distinct_rings(nic, 2);
+  for (std::uint64_t i = 0; i < 16; ++i) nic.receive(make_packet(i, ports[0]));
+  nic.receive(make_packet(99, ports[1]));  // 1 frame: waits for its timer
+
+  loop_.run_until(usec(10));
+  EXPECT_EQ(times.size(), 16u);  // threshold ring drained at t=0+cost
+  EXPECT_EQ(nic.counters().rx_interrupts, 1u);
+  loop_.run();
+  EXPECT_EQ(times.size(), 17u);  // timer ring followed at 50 us
+  EXPECT_EQ(nic.counters().rx_interrupts, 2u);
+}
+
+TEST_F(NicRxBatchingTest, BoundedRingTailDropsOnOverflow) {
+  NicConfig config = make_config();
+  config.rx_coalesce_usecs = 0.0;  // fire immediately; drain at 1200 ns
+  config.rx_ring_size = 2;
+  Nic nic(loop_, config);
+  std::size_t delivered = 0;
+  nic.set_rx_handler([&](Packet) { ++delivered; });
+  // All four arrive before the drain at 1200 ns: the ring holds 2, the
+  // rest tail-drop like a real descriptor ring under overflow.
+  for (std::uint64_t i = 0; i < 4; ++i) nic.receive(make_packet(i));
+  loop_.run();
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(nic.counters().rx_frames, 2u);
+  EXPECT_EQ(nic.counters().rx_dropped, 2u);
+  const std::size_t ring = nic.rx_queue_for(make_packet(0).hdr.flow);
+  EXPECT_EQ(nic.rx_ring_stats(ring).dropped, 2u);
+}
+
+TEST_F(NicRxBatchingTest, FullBoundedRingFiresBeforeHoldOffExpires) {
+  // Ring pressure beats the hold-off: a bounded ring whose coalesce
+  // threshold exceeds its capacity would otherwise NEVER trip the frame
+  // threshold and would tail-drop through the entire hold-off window.
+  NicConfig config = make_config();
+  config.rx_ring_size = 2;
+  config.rx_coalesce_frames = 16;  // unreachable: > rx_ring_size
+  config.rx_coalesce_usecs = 50.0;
+  Nic nic(loop_, config);
+  std::vector<SimTime> times;
+  nic.set_rx_handler([&](Packet) { times.push_back(loop_.now()); });
+  nic.receive(make_packet(0));
+  nic.receive(make_packet(1));  // ring full -> interrupt fires NOW
+  loop_.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times.back(), nsec(1200));  // interrupt cost only, not 50 us
+  EXPECT_EQ(nic.counters().rx_dropped, 0u);
+}
+
+TEST_F(NicRxBatchingTest, AdaptiveModerationNarrowsUnderLatencyProbes) {
+  // DIM: sparse single-frame interrupts are a latency probe — the ring
+  // walks its hold-off down to fire-immediately.
+  NicConfig config;
+  config.num_queues = 2;
+  config.rx_burst = 16;
+  config.rx_coalesce_frames = 16;  // seeds the ladder at {16 frames, 16 us}
+  config.rx_coalesce_usecs = 16.0;
+  config.adaptive_rx_coalesce = true;
+  Nic nic(loop_, config);
+  std::vector<SimTime> times;
+  nic.set_rx_handler([&](Packet) { times.push_back(loop_.now()); });
+
+  const std::size_t ring = nic.rx_queue_for(make_packet(0).hdr.flow);
+  EXPECT_GT(nic.rx_ring_stats(ring).coalesce_usecs, 0.0);
+
+  std::vector<SimTime> sent_at;
+  for (int i = 0; i < 16; ++i) {
+    loop_.schedule(usec(100) * SimDuration(i), [&nic, &sent_at, this] {
+      sent_at.push_back(loop_.now());
+      nic.receive(make_packet(std::uint64_t(sent_at.size())));
+    });
+  }
+  loop_.run();
+  ASSERT_EQ(times.size(), 16u);
+
+  const RxRingStats stats = nic.rx_ring_stats(ring);
+  EXPECT_EQ(stats.coalesce_frames, 1u);
+  EXPECT_EQ(stats.coalesce_usecs, 0.0);
+  // Early probes paid the 16 us hold-off; once narrowed, an interrupt
+  // fires on arrival and the probe only pays the interrupt cost.
+  EXPECT_EQ(times.front() - sent_at.front(), usec(16) + nsec(1200));
+  EXPECT_EQ(times.back() - sent_at.back(), nsec(1200));
+}
+
+TEST_F(NicRxBatchingTest, AdaptiveModerationWidensUnderFlood) {
+  // DIM: sustained budget-exhausted batches are a flood — the ring widens
+  // its hold-off to amortise more frames per interrupt.
+  NicConfig config;
+  config.num_queues = 2;
+  config.rx_burst = 16;
+  config.rx_coalesce_frames = 1;  // seeds the ladder at fire-immediately
+  config.rx_coalesce_usecs = 0.0;
+  config.adaptive_rx_coalesce = true;
+  Nic nic(loop_, config);
+  std::size_t delivered = 0;
+  nic.set_rx_handler([&](Packet) { ++delivered; });
+
+  const std::size_t ring = nic.rx_queue_for(make_packet(0).hdr.flow);
+  EXPECT_EQ(nic.rx_ring_stats(ring).coalesce_frames, 1u);
+
+  for (std::uint64_t i = 0; i < 128; ++i) nic.receive(make_packet(i));
+  loop_.run();
+  EXPECT_EQ(delivered, 128u);
+
+  const RxRingStats stats = nic.rx_ring_stats(ring);
+  EXPECT_GE(stats.coalesce_frames, 4u);
+  EXPECT_GT(stats.coalesce_usecs, 0.0);
+  // 8 budget-exhausted drains of 16; far fewer interrupts than frames.
+  EXPECT_LE(nic.counters().rx_interrupts, 9u);
+}
+
 TEST_F(NicRxBatchingTest, FramesAfterDrainWaitForNextInterrupt) {
   nic_.receive(make_packet(0));
   // Arrives after the drain completed (at 1200 ns): a second interrupt.

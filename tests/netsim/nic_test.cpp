@@ -77,6 +77,32 @@ TEST_F(NicTest, IpidContinuesAcrossSegments) {
   EXPECT_EQ(received_[2].hdr.ip_id, received_[1].hdr.ip_id + 1);
 }
 
+TEST_F(NicTest, EmptySegmentEmitsOnePacketWithoutConsumingIpid) {
+  // Regression: the TSO do-while ran its zero-byte iteration for empty
+  // payloads (control packets), emitting the frame but ALSO consuming an
+  // IPID slot. The IPID sequences data packets within a TSO burst
+  // (receivers compute offsets as ip_id - ipid_base); a control packet
+  // burning a slot shifted nothing today but broke the invariant that the
+  // data-packet IPID stream is dense.
+  nic_.post_segment(0, make_segment(0, Proto::homa));   // control (empty)
+  nic_.post_segment(0, make_segment(3000, Proto::smt)); // 2 data packets
+  nic_.post_segment(0, make_segment(0, Proto::homa));   // control (empty)
+  nic_.post_segment(0, make_segment(1000, Proto::smt)); // 1 data packet
+  loop_.run();
+  ASSERT_EQ(received_.size(), 5u);
+  // The empty segment is a single header-only frame...
+  EXPECT_TRUE(received_[0].payload.empty());
+  EXPECT_EQ(received_[0].hdr.ip_id, received_[0].hdr.ipid_base);
+  // ...and the data packets' IPIDs run dense across it: 2-packet segment
+  // at (base, base+1), control consumed nothing, next data at base+2.
+  const std::uint16_t base = received_[1].hdr.ip_id;
+  EXPECT_EQ(received_[2].hdr.ip_id, static_cast<std::uint16_t>(base + 1));
+  EXPECT_TRUE(received_[3].payload.empty());
+  EXPECT_EQ(received_[4].hdr.ip_id, static_cast<std::uint16_t>(base + 2));
+  // Non-TCP control frames carry no checksum, like any non-TCP packet.
+  EXPECT_FALSE(received_[0].hdr.checksum_valid);
+}
+
 TEST_F(NicTest, TcpGetsSequenceNumbersAndChecksums) {
   nic_.post_segment(0, make_segment(4000, Proto::tcp));
   loop_.run();

@@ -88,6 +88,137 @@ TEST(Host, LeastLoadedSoftirqPicksIdleCore) {
   EXPECT_EQ(host.least_loaded_softirq_index(), 0u);
 }
 
+TEST(Host, LeastLoadedClampsOutOfRangeStartToLastCore) {
+  // Regression: an out-of-range start_from used to silently wrap to core 0
+  // — the reserved Homa pacer core — handing it per-message work it must
+  // never see. The clamp goes to the LAST valid core instead.
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));  // 2 softirq cores
+  // Core 1 is busier than core 0, but a clamped start_from=5 must still
+  // land on core 1: core 0 is outside the allowed range.
+  host.softirq_core(1).charge(usec(100));
+  EXPECT_EQ(host.least_loaded_softirq_index(5), 1u);
+
+  HostConfig single = make_config(2);
+  single.softirq_cores = 1;
+  Host one_core(loop, single);
+  EXPECT_EQ(one_core.least_loaded_softirq_index(1), 0u);
+  EXPECT_EQ(one_core.least_loaded_softirq_index(7), 0u);
+}
+
+TEST(Host, RxInterruptChargedToAffinityCore) {
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));
+  host.register_endpoint(sim::Proto::smt, 7, [](sim::Packet) {});
+
+  sim::Packet pkt;
+  pkt.hdr.flow.src_ip = 9;
+  pkt.hdr.flow.dst_ip = 1;
+  pkt.hdr.flow.src_port = 1234;
+  pkt.hdr.flow.dst_port = 7;
+  pkt.hdr.flow.proto = sim::Proto::smt;
+  const std::size_t ring = host.nic().rx_queue_for(pkt.hdr.flow);
+  const std::size_t core = host.irq_affinity(ring);
+  EXPECT_EQ(core, ring % host.softirq_core_count());
+
+  host.nic().receive(pkt);
+  loop.run();
+
+  // per_interrupt_cost + one frame's completion work, all on the affinity
+  // core, all tagged as IRQ-class time.
+  const auto& costs = host.costs();
+  const std::uint64_t expected =
+      std::uint64_t(costs.per_interrupt_cost + costs.per_rx_frame_cost);
+  EXPECT_EQ(host.softirq_core(core).irq_busy_ns(), expected);
+  EXPECT_EQ(host.total_irq_busy_ns(), expected);
+  EXPECT_EQ(host.total_softirq_busy_ns(), expected);  // included in busy
+  for (std::size_t i = 0; i < host.softirq_core_count(); ++i) {
+    if (i != core) {
+      EXPECT_EQ(host.softirq_core(i).irq_busy_ns(), 0u);
+    }
+  }
+  EXPECT_EQ(host.nic().counters().irq_cpu_ns, expected);
+}
+
+TEST(Host, RxDeliveryDelayedBehindBackloggedAffinityCore) {
+  // The §5.2 story: interrupt servicing CONTENDS with protocol work. A
+  // backlogged affinity core postpones the ring's drain — delivery waits
+  // for the backlog plus the interrupt cost, deterministically.
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));
+  std::vector<SimTime> delivered_at;
+  std::vector<std::uint64_t> order;
+  host.register_endpoint(sim::Proto::smt, 7, [&](sim::Packet p) {
+    delivered_at.push_back(loop.now());
+    order.push_back(p.hdr.msg_id);
+  });
+
+  sim::Packet pkt;
+  pkt.hdr.flow.src_ip = 9;
+  pkt.hdr.flow.dst_ip = 1;
+  pkt.hdr.flow.src_port = 1234;
+  pkt.hdr.flow.dst_port = 7;
+  pkt.hdr.flow.proto = sim::Proto::smt;
+  const std::size_t core = host.irq_affinity(host.nic().rx_queue_for(pkt.hdr.flow));
+
+  host.softirq_core(core).charge(usec(100));  // protocol backlog
+  pkt.hdr.msg_id = 1;
+  host.nic().receive(pkt);
+  pkt.hdr.msg_id = 2;
+  host.nic().receive(pkt);
+  loop.run();
+
+  ASSERT_EQ(delivered_at.size(), 2u);
+  // Drain ran only after the backlog cleared + per_interrupt_cost; both
+  // frames of the batch delivered then, in arrival order.
+  EXPECT_EQ(delivered_at[0], usec(100) + host.costs().per_interrupt_cost);
+  EXPECT_EQ(delivered_at[1], delivered_at[0]);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(Host, SetIrqAffinityRedirectsInterruptCharging) {
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));
+  host.register_endpoint(sim::Proto::smt, 7, [](sim::Packet) {});
+
+  sim::Packet pkt;
+  pkt.hdr.flow.src_ip = 9;
+  pkt.hdr.flow.dst_ip = 1;
+  pkt.hdr.flow.src_port = 1234;
+  pkt.hdr.flow.dst_port = 7;
+  pkt.hdr.flow.proto = sim::Proto::smt;
+  const std::size_t ring = host.nic().rx_queue_for(pkt.hdr.flow);
+  const std::size_t other = (host.irq_affinity(ring) + 1) % host.softirq_core_count();
+
+  host.set_irq_affinity(ring, other);  // irqbalance-style repin
+  host.nic().receive(pkt);
+  loop.run();
+
+  EXPECT_GT(host.softirq_core(other).irq_busy_ns(), 0u);
+  for (std::size_t i = 0; i < host.softirq_core_count(); ++i) {
+    if (i != other) {
+      EXPECT_EQ(host.softirq_core(i).irq_busy_ns(), 0u);
+    }
+  }
+}
+
+TEST(Host, DoorbellChargedToPostingCore) {
+  sim::EventLoop loop;
+  Host host(loop, make_config(1));
+  sim::SegmentDescriptor d;
+  d.segment.hdr.flow.proto = sim::Proto::homa;
+  d.segment.hdr.flow.dst_port = 5;
+  CpuCore& poster = host.app_core(0);
+  host.nic().post_segment(0, std::move(d), doorbell_charge(&poster));
+  loop.run();
+  EXPECT_EQ(poster.irq_busy_ns(),
+            std::uint64_t(host.costs().per_doorbell_cost));
+  EXPECT_EQ(host.nic().counters().doorbell_cpu_ns,
+            std::uint64_t(host.costs().per_doorbell_cost));
+  EXPECT_EQ(host.total_irq_busy_ns(),
+            std::uint64_t(host.costs().per_doorbell_cost));
+}
+
 TEST(Host, BusyAccountingAggregates) {
   sim::EventLoop loop;
   Host host(loop, make_config(1));
