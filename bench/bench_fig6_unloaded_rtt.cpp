@@ -85,5 +85,19 @@ int main(int argc, char** argv) {
                 "adaptive", rtt);
     json_metric("rtt_us_adaptive", rtt);
   }
+  // Receive steering (RSS indirection + irqbalance rebalancer) must be
+  // latency-neutral when unloaded: the single-RPC probe generates a
+  // balanced, tiny IRQ load, the hysteresis holds, and zero migrations
+  // means zero flush/reprogram work on the critical path.
+  {
+    RpcFabricConfig config;
+    config.kind = TransportKind::smt_hw;
+    config.irq_rebalance_period = usec(100);
+    const double rtt = measure_unloaded_rtt_us(config, 1024);
+    std::printf("%-22s%12.2f  (rebalancer on: hysteresis holds, no "
+                "migrations)\n",
+                "steered", rtt);
+    json_metric("rtt_us_steered", rtt);
+  }
   return 0;
 }

@@ -138,5 +138,66 @@ int main(int argc, char** argv) {
                            double(server.softirq_core_count())));
         });
   }
+
+  // Steered vs static receive steering. The fabric's SMT traffic is ONE
+  // five-tuple, so static RSS lands every server frame on one ring and its
+  // affinity core absorbs the whole interrupt load — the PR 3 throughput
+  // drop (the paper's §5.2 softirq-thread ceiling). Steering = the
+  // irqbalance-style rebalancer (hot-vector migration + single-flow
+  // indirection spread) on top of the default indirection table; per-ring
+  // frame counts show the flow rotating rings instead of soaking one. The
+  // recovery is largest at 64 B, where the per-RPC interrupt rate is
+  // highest and the hot vector's queueing tax dominates the RPC latency.
+  {
+    constexpr std::size_t kConcurrency = 200;
+    constexpr std::size_t kOps = 12000;
+    const std::vector<std::size_t> steer_sizes = sweep<std::size_t>({64, 1024});
+    const auto run_mode = [&](const char* mode, std::size_t size,
+                              SimDuration period) {
+      RpcFabricConfig config;
+      config.kind = TransportKind::smt_hw;
+      config.irq_rebalance_period = period;
+      std::size_t active_rings = 0;
+      std::uint64_t migrations = 0;
+      std::vector<std::uint64_t> ring_frames;
+      const double mrps =
+          measure_throughput_rps(
+              config, size, kConcurrency, kOps,
+              [&](RpcFabric& fabric) {
+                const sim::Nic& nic = fabric.server_host().nic();
+                for (std::size_t r = 0; r < nic.rx_ring_count(); ++r) {
+                  const std::uint64_t frames = nic.rx_ring_stats(r).frames;
+                  ring_frames.push_back(frames);
+                  if (frames > 0) ++active_rings;
+                }
+                migrations =
+                    fabric.server_host().irq_rebalance_stats().migrations;
+              }) /
+          1e6;
+      std::printf("%-10s%14.3f%16zu%18llu\n", mode, mrps, active_rings,
+                  static_cast<unsigned long long>(migrations));
+      std::printf("  per-ring server frames:");
+      for (std::size_t r = 0; r < ring_frames.size(); ++r) {
+        std::printf(" ring%zu=%llu", r,
+                    static_cast<unsigned long long>(ring_frames[r]));
+      }
+      std::printf("\n");
+      const std::string prefix =
+          std::string(mode) + "_" + std::to_string(size) + "B";
+      json_metric(prefix + "_mrps", mrps);
+      json_metric(prefix + "_active_rings", double(active_rings));
+      return mrps;
+    };
+    for (const std::size_t size : steer_sizes) {
+      std::printf("\n== Receive steering: SMT-hw %zu B RPCs, c=%zu, "
+                  "single flow ==\n%-10s%14s%16s%18s\n",
+                  size, kConcurrency, "mode", "M RPC/s", "active rings",
+                  "migrations");
+      const double static_mrps = run_mode("static", size, 0);
+      const double steered_mrps = run_mode("steered", size, usec(100));
+      std::printf("steering gain at %zu B: %+.1f%%\n", size,
+                  100.0 * (steered_mrps - static_mrps) / static_mrps);
+    }
+  }
   return 0;
 }

@@ -74,6 +74,7 @@ void RpcFabric::setup_hosts() {
   hc.nic.rx_coalesce_usecs = config_.rx_coalesce_usecs;
   hc.nic.adaptive_rx_coalesce = config_.adaptive_rx_coalesce;
   hc.nic.rx_ring_size = config_.rx_ring_size;
+  hc.nic.rss_indirection_size = config_.rss_indirection_size;
   hc.nic.max_flow_contexts = config_.max_flow_contexts;
   if (config_.per_doorbell_cost) {
     hc.costs.per_doorbell_cost = *config_.per_doorbell_cost;
@@ -88,6 +89,10 @@ void RpcFabric::setup_hosts() {
   hc.ip = 2;
   hc.app_cores = config_.server_app_cores;
   server_host_ = std::make_unique<stack::Host>(loop_, hc);
+  if (config_.irq_rebalance_period > 0) {
+    client_host_->enable_irq_rebalance(config_.irq_rebalance_period);
+    server_host_->enable_irq_rebalance(config_.irq_rebalance_period);
+  }
 
   sim::LinkConfig lc;
   lc.bandwidth_gbps = config_.bandwidth_gbps;

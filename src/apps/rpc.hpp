@@ -83,6 +83,13 @@ struct RpcFabricConfig {
   bool adaptive_rx_coalesce = false;
   /// Bounded RX rings (frames per ring, 0 = unbounded): overflow tail-drops.
   std::size_t rx_ring_size = 0;
+  /// RSS indirection table entries (ethtool -X; see netsim/nic.hpp).
+  std::size_t rss_indirection_size = 128;
+  /// irqbalance-style periodic IRQ rebalancing on BOTH hosts (0 = off):
+  /// every period the hottest ring's vector migrates to the coldest
+  /// softirq core, and a majority-load ring's indirection entries are
+  /// spread — the single-flow steering fix (see stack/host.hpp).
+  SimDuration irq_rebalance_period = 0;
   /// NIC TLS flow-context table size (finite NIC memory, §4.4.2).
   std::size_t max_flow_contexts = 1024;
   double bandwidth_gbps = 100.0;

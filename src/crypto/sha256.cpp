@@ -80,6 +80,7 @@ void Sha256::compress(const std::uint8_t* block) noexcept {
 }
 
 void Sha256::update(ByteView data) noexcept {
+  if (data.empty()) return;  // memcpy from a null span pointer is UB
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -50,6 +50,15 @@ Nic::Nic(EventLoop& loop, NicConfig config)
   if (!config_.per_rx_frame_cost) {
     config_.per_rx_frame_cost = kDefaultPerRxFrameCost;
   }
+  if (!config_.rss_reprogram_cost) {
+    config_.rss_reprogram_cost = kDefaultRssReprogramCost;
+  }
+  // Default indirection table: uniform round-robin over the active rings,
+  // the same spread `ethtool -X ... equal N` programs.
+  rss_table_.resize(std::max<std::size_t>(1, config_.rss_indirection_size));
+  for (std::size_t entry = 0; entry < rss_table_.size(); ++entry) {
+    rss_table_[entry] = entry % config_.num_queues;
+  }
   for (RxRing& ring : rx_rings_) {
     if (config_.adaptive_rx_coalesce) {
       ring.dim_level = dim_seed_level(
@@ -64,9 +73,71 @@ Nic::Nic(EventLoop& loop, NicConfig config)
   }
 }
 
+Status Nic::set_rss_indirection(const std::vector<std::size_t>& table,
+                                CpuCharge poster) {
+  if (table.size() != rss_table_.size()) {
+    return make_error(Errc::invalid_argument,
+                      "RSS indirection table size mismatch (ethtool -X "
+                      "writes the whole table)");
+  }
+  for (const std::size_t ring : table) {
+    if (ring >= config_.num_queues) {
+      return make_error(Errc::invalid_argument,
+                        "RSS indirection entry names a ring >= num_queues");
+    }
+  }
+  ++counters_.rss_reprograms;
+  if (poster) poster(*config_.rss_reprogram_cost);
+  for (std::size_t entry = 0; entry < table.size(); ++entry) {
+    if (rss_table_[entry] == table[entry]) {
+      // Already routing there (or a pending flip was reverted).
+      rss_pending_.erase(entry);
+      continue;
+    }
+    const std::size_t old_ring = rss_table_[entry];
+    RxRing& ring = rx_rings_[old_ring];
+    if (ring.frames.empty() && !ring.draining) {
+      rss_table_[entry] = table[entry];
+      rss_pending_.erase(entry);
+      continue;
+    }
+    // Order guard: keep routing to the old ring until it drains. Flush its
+    // interrupt now so a hold-off timer cannot stall the flip. Re-writing
+    // an already-pending flip with the same target is idempotent — one
+    // held flip, counted once.
+    const auto pending = rss_pending_.find(entry);
+    if (pending != rss_pending_.end() && pending->second == table[entry]) {
+      continue;
+    }
+    rss_pending_[entry] = table[entry];
+    ++counters_.rss_deferred_entries;
+    flush_rx_ring(old_ring);
+  }
+  return Status::success();
+}
+
+void Nic::resolve_rss_pending(std::size_t drained_ring) {
+  for (auto it = rss_pending_.begin(); it != rss_pending_.end();) {
+    if (rss_table_[it->first] == drained_ring) {
+      rss_table_[it->first] = it->second;
+      it = rss_pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Nic::flush_rx_ring(std::size_t ring) {
+  RxRing& r = rx_rings_.at(ring);
+  if (r.draining || r.frames.empty()) return;
+  fire_rx_interrupt(ring);
+}
+
 void Nic::receive(Packet packet) {
-  // RSS: the five-tuple hash picks the RX ring, so every frame of one flow
-  // lands in the same ring and stays FIFO relative to its peers.
+  // RSS: the five-tuple hash indexes the indirection table, which picks
+  // the RX ring — every frame of one flow lands in the same ring (even
+  // mid-reprogram, thanks to the deferred-flip order guard) and stays
+  // FIFO relative to its peers.
   const std::size_t index = rx_queue_for(packet.hdr.flow);
   RxRing& ring = rx_rings_[index];
   if (config_.rx_ring_size > 0 && ring.frames.size() >= config_.rx_ring_size) {
@@ -162,7 +233,14 @@ void Nic::drain_rx(std::size_t index) {
   // Back-to-back interrupts while frames remain (NAPI re-poll); each new
   // batch pays its own per_interrupt_cost, but leftover frames — which
   // already waited out a hold-off — are never held for a fresh one.
-  if (!ring.frames.empty()) fire_rx_interrupt(index);
+  if (!ring.frames.empty()) {
+    fire_rx_interrupt(index);
+  } else if (!rss_pending_.empty()) {
+    // The ring is empty: indirection entries that were held routing here
+    // flip to their new ring now — no frame of a remapped flow can still
+    // be in flight, so the flip cannot reorder.
+    resolve_rss_pending(index);
+  }
 }
 
 void Nic::dim_update(RxRing& ring, std::size_t drained, std::size_t budget) {

@@ -29,8 +29,18 @@
 //    per_descriptor_cost each, amortising the fixed overhead the same way
 //    xmit_more/doorbell coalescing does on real hardware.
 //
+//  * RSS indirection table — RX ring selection is NOT a direct
+//    hash→ring mapping: the five-tuple hash indexes an ethtool-style
+//    indirection table (`ethtool -X`) whose entries name rings, so the
+//    operator (or an irqbalance-style rebalancer) can resteer traffic by
+//    reprogramming entries at runtime. Reprograms are ORDER-PRESERVING:
+//    an entry whose old ring still holds pending frames keeps routing to
+//    the old ring until that ring drains, then flips — one flow's frames
+//    land on exactly one ring at any instant and are never reordered
+//    across a reprogram (the rps_dev_flow_table OOO-avoidance discipline).
+//
 //  * RX rings + interrupt coalescing — inbound frames land in per-queue RX
-//    rings (RSS hash of the five-tuple picks the queue, so one flow's
+//    rings (the indirection table picks the queue, so one flow's
 //    frames stay FIFO) and are delivered by a simulated interrupt. All
 //    coalescing state is PER RING, matching the ethtool rx-frames/rx-usecs
 //    contract: ring i's interrupt fires when ITS pending count reaches
@@ -121,6 +131,17 @@ struct NicConfig {
   // static rx_coalesce_frames/rx_coalesce_usecs pair (which only seeds the
   // starting level).
   bool adaptive_rx_coalesce = false;
+  // RSS indirection table entries (ethtool -X). The five-tuple hash
+  // indexes this table; each entry names an RX ring. The default table is
+  // a uniform round-robin over the active rings (entry i -> ring i %
+  // num_queues), reprogrammable via Nic::set_rss_indirection.
+  std::size_t rss_indirection_size = 128;
+  // Driver/firmware work to reprogram the indirection table (the ethtool
+  // -X ioctl path: table write, hash-key MMIO). Charged to the CpuCharge
+  // passed to set_rss_indirection, when one is provided. Resolves like
+  // per_doorbell_cost: CostModel for Host-owned NICs, the kDefault
+  // constant for raw Nic objects.
+  std::optional<SimDuration> rss_reprogram_cost;
 };
 
 /// Fallback doorbell cost for NICs constructed without a Host/CostModel;
@@ -134,6 +155,10 @@ inline constexpr SimDuration kDefaultPerInterruptCost = nsec(1200);
 /// Fallback per-frame RX completion cost for NICs constructed without a
 /// Host/CostModel; mirrors CostModel::per_rx_frame_cost's default.
 inline constexpr SimDuration kDefaultPerRxFrameCost = nsec(80);
+
+/// Fallback RSS indirection-table reprogram cost for NICs constructed
+/// without a Host/CostModel; mirrors CostModel::rss_reprogram_cost.
+inline constexpr SimDuration kDefaultRssReprogramCost = nsec(1500);
 
 /// Runs `done` after charging `cost` of interrupt work to whatever CPU
 /// services ring `ring`'s IRQ vector. Installed by the stack layer (the
@@ -189,6 +214,11 @@ struct NicCounters {
                                         // via the IrqExecutor/IrqCharge
   std::uint64_t doorbell_cpu_ns = 0;    // doorbell work charged to posting
                                         // cores via CpuCharge
+  std::uint64_t rss_reprograms = 0;     // accepted set_rss_indirection calls
+  std::uint64_t rss_deferred_entries = 0;  // entry flips held for the old
+                                           // ring to drain (order guard)
+
+  friend bool operator==(const NicCounters&, const NicCounters&) = default;
 };
 
 /// Per-ring RX observability: the figures the per-ring ethtool contract is
@@ -200,6 +230,8 @@ struct RxRingStats {
   std::uint64_t dropped = 0;      // tail-dropped (bounded ring overflow)
   std::size_t coalesce_frames = 0;  // effective threshold (DIM may adjust)
   double coalesce_usecs = 0.0;      // effective hold-off (DIM may adjust)
+
+  friend bool operator==(const RxRingStats&, const RxRingStats&) = default;
 };
 
 class Nic {
@@ -239,12 +271,59 @@ class Nic {
   }
   std::size_t rx_ring_count() const noexcept { return rx_rings_.size(); }
 
-  /// The RX ring a flow's frames hash to (RSS). The single source of the
+  /// The RX ring a flow's frames CURRENTLY steer to: the five-tuple hash
+  /// indexes the live RSS indirection table. The single source of the
   /// ring-selection formula — drivers keying per-ring state (RX flow
-  /// contexts) must use this, not a private copy.
+  /// contexts) must use this, not a private copy. Note the result can
+  /// change across a set_rss_indirection reprogram (never while the old
+  /// ring still holds the flow's frames — see rss_pending_entries).
   std::size_t rx_queue_for(const FiveTuple& flow) const noexcept {
+    return rss_table_[flow.hash() % rss_table_.size()];
+  }
+
+  /// The TX queue a flow's posts default to (XPS-style static spread). TX
+  /// has no indirection table: this is the plain hash→queue mapping, and
+  /// it deliberately does NOT follow RSS reprograms — transmit queue
+  /// choice is a host decision (XPS), receive steering a NIC one.
+  std::size_t tx_queue_for(const FiveTuple& flow) const noexcept {
     return flow.hash() % config_.num_queues;
   }
+
+  /// --- RSS indirection table (ethtool -X) ------------------------------
+
+  /// Reprograms the whole indirection table (the ethtool -X contract: the
+  /// full table is written in one ioctl). Rejects a size mismatch or any
+  /// entry naming a ring >= num_queues. `poster`, when set, is charged
+  /// rss_reprogram_cost (the driver's table-write/MMIO work).
+  ///
+  /// Order guarantee: an entry whose old ring still holds pending frames
+  /// keeps steering to the old ring until that ring fully drains (its
+  /// interrupt is flushed immediately to expedite this), THEN flips. One
+  /// flow's frames therefore land on exactly one ring at any instant and
+  /// are never reordered across a reprogram.
+  Status set_rss_indirection(const std::vector<std::size_t>& table,
+                             CpuCharge poster = nullptr);
+
+  /// The PROGRAMMED table (what ethtool -x would show): pending entries
+  /// report their target ring even while the live lookup still routes to
+  /// the draining old ring.
+  std::vector<std::size_t> rss_indirection() const {
+    std::vector<std::size_t> table = rss_table_;
+    for (const auto& [entry, target] : rss_pending_) table[entry] = target;
+    return table;
+  }
+
+  /// Entries whose flip is still held back by a draining old ring.
+  std::size_t rss_pending_entries() const noexcept {
+    return rss_pending_.size();
+  }
+
+  /// Fires `ring`'s interrupt NOW if frames are pending and no drain is in
+  /// flight (voiding any hold-off timer). The irqbalance-style rebalancer
+  /// uses this before repinning a vector, so held-off frames are delivered
+  /// under the OLD affinity — interrupts are neither lost nor duplicated
+  /// across a migration.
+  void flush_rx_ring(std::size_t ring);
 
   /// --- TLS offload flow contexts -------------------------------------
 
@@ -337,6 +416,7 @@ class Nic {
   void maybe_fire_rx_interrupt(std::size_t ring);
   void fire_rx_interrupt(std::size_t ring);
   void drain_rx(std::size_t ring);
+  void resolve_rss_pending(std::size_t drained_ring);
   void dim_update(RxRing& ring, std::size_t drained, std::size_t budget);
   void deliver(Packet packet);
 
@@ -353,6 +433,11 @@ class Nic {
   bool processing_ = false;
 
   std::vector<RxRing> rx_rings_;
+
+  // RSS indirection: the LIVE lookup table plus entries whose flip to a
+  // new ring is deferred until the old ring drains (the order guard).
+  std::vector<std::size_t> rss_table_;
+  std::map<std::size_t, std::size_t> rss_pending_;  // entry -> target ring
 
   std::map<std::uint32_t, FlowContext> contexts_;
   std::uint32_t next_context_id_ = 1;

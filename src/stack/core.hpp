@@ -39,11 +39,23 @@ class CpuCore {
   /// CPU-usage experiment needs to show how much of a core interrupts eat.
   void run_irq(SimDuration cost, std::function<void()> fn) {
     irq_ns_ += cost;
+    note_irq_load(cost);
     run(cost, std::move(fn));
   }
   void charge_irq(SimDuration cost) {
     irq_ns_ += cost;
+    note_irq_load(cost);
     charge(cost);
+  }
+
+  /// Recent IRQ pressure: a decaying accumulator of IRQ-class charges that
+  /// halves every kIrqLoadHalfLife of virtual time. Between interrupts the
+  /// soaked core's instantaneous backlog() reads zero, but the next
+  /// interrupt will land there — IRQ-aware placement (Host's
+  /// least_loaded_softirq_index) weighs this in so SRPT work skips the
+  /// interrupt-soaked core. Pure integer arithmetic: deterministic.
+  std::uint64_t irq_load() const noexcept {
+    return decay_load(irq_load_, load_epoch(loop_->now()) - irq_load_epoch_);
   }
 
   /// Time at which currently queued work drains.
@@ -61,11 +73,30 @@ class CpuCore {
   /// The IRQ-class slice of busy_ns() (NIC interrupts + doorbells).
   std::uint64_t irq_busy_ns() const noexcept { return irq_ns_; }
 
+  /// Half-life of the irq_load() accumulator.
+  static constexpr SimDuration kIrqLoadHalfLife = usec(100);
+
  private:
+  static std::uint64_t load_epoch(SimTime now) noexcept {
+    return std::uint64_t(now) / std::uint64_t(kIrqLoadHalfLife);
+  }
+  static std::uint64_t decay_load(std::uint64_t load,
+                                  std::uint64_t epochs) noexcept {
+    return epochs >= 64 ? 0 : load >> epochs;
+  }
+  void note_irq_load(SimDuration cost) noexcept {
+    const std::uint64_t epoch = load_epoch(loop_->now());
+    irq_load_ = decay_load(irq_load_, epoch - irq_load_epoch_);
+    irq_load_epoch_ = epoch;
+    irq_load_ += std::uint64_t(cost);
+  }
+
   sim::EventLoop* loop_;
   SimTime free_at_ = 0;
   std::uint64_t busy_ns_ = 0;
   std::uint64_t irq_ns_ = 0;
+  std::uint64_t irq_load_ = 0;        // decaying recent-IRQ accumulator
+  std::uint64_t irq_load_epoch_ = 0;  // last decay epoch applied
 };
 
 }  // namespace smt::stack

@@ -71,6 +71,12 @@ struct CostModel {
   // per_descriptor_cost on the TX side. Resolution: NicConfig unset ->
   // this value, for Host-owned NICs.
   SimDuration per_rx_frame_cost = nsec(80);
+  // Reprogramming the RSS indirection table (the ethtool -X ioctl path:
+  // table write, hash-key MMIO). Charged to whatever core drives the
+  // reprogram — the irqbalance-style rebalancer bills it to the softirq
+  // core it is spreading load onto. Resolution: NicConfig unset -> this
+  // value, for Host-owned NICs.
+  SimDuration rss_reprogram_cost = nsec(1500);
 
   // --- NIC TLS flow contexts --------------------------------------------
   // Driver work to (re)program one NIC TLS flow context: key expansion,

@@ -10,6 +10,7 @@
 //     dynamic distribution, §2.2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -31,6 +32,39 @@ struct HostConfig {
   CostModel costs;
 };
 
+/// Policy knobs for the irqbalance-style periodic rebalancer.
+struct IrqRebalanceConfig {
+  /// Sampling period (irqbalance's --interval, scaled to sim time).
+  SimDuration period = usec(100);
+  /// Hysteresis: a migration needs the hottest core's IRQ delta to exceed
+  /// the coldest core's by BOTH this ratio and an absolute floor — a
+  /// balanced load must produce zero migrations, not ping-pong. The floor
+  /// is max(min_imbalance, period / 10): like irqbalance's load deviation
+  /// threshold it scales with the sampling window, so a latency probe
+  /// trickling a few interrupts per period never triggers a migration.
+  double imbalance_ratio = 2.0;
+  SimDuration min_imbalance = usec(5);
+  /// A migration also requires the hottest core to have spent at least
+  /// this fraction of the period on IRQ work. A mostly-idle system is
+  /// trivially "imbalanced" (a lone flow's interrupts all hit one core
+  /// while the others read zero), but migrating it buys nothing and taxes
+  /// the latency path with flushes and context re-leases — irqbalance's
+  /// refusal to balance at trivial load.
+  double min_hot_fraction = 0.20;
+  /// Single-flow escape hatch: when ONE ring carries the majority of the
+  /// IRQ load (RSS cannot spread a single flow by hashing), also reprogram
+  /// the indirection-table entries feeding that ring onto the rings whose
+  /// affinity cores are coldest. Over successive periods the flow rotates
+  /// rings/cores instead of soaking one softirq core.
+  bool spread_indirection = true;
+};
+
+struct IrqRebalanceStats {
+  std::uint64_t ticks = 0;        // sampling periods evaluated
+  std::uint64_t migrations = 0;   // ring affinity repins
+  std::uint64_t rss_spreads = 0;  // indirection-table spreads issued
+};
+
 class Host {
  public:
   Host(sim::EventLoop& loop, HostConfig config)
@@ -47,14 +81,27 @@ class Host {
     for (std::size_t i = 0; i < irq_affinity_.size(); ++i) {
       irq_affinity_[i] = i % softirq_cores_.size();
     }
+    last_fired_core_ = irq_affinity_;
+    ring_irq_ns_.assign(irq_affinity_.size(), 0);
+    last_ring_irq_ns_.assign(irq_affinity_.size(), 0);
+    last_core_irq_ns_.assign(softirq_cores_.size(), 0);
     nic_.set_irq_executor(
         [this](std::size_t ring, SimDuration cost, std::function<void()> fn) {
-          softirq_cores_[irq_affinity_[ring % irq_affinity_.size()]].run_irq(
-              cost, std::move(fn));
+          ring %= irq_affinity_.size();
+          // The affinity table is read at FIRE time; the drain's per-frame
+          // charge below reuses this core even if a repin lands in between
+          // (a vector migration takes effect at the next interrupt, like
+          // /proc/irq/*/smp_affinity).
+          const std::size_t core = irq_affinity_[ring];
+          last_fired_core_[ring] = core;
+          ring_irq_ns_[ring] += std::uint64_t(cost);
+          softirq_cores_[core].run_irq(cost, std::move(fn));
+          note_irq_activity();
         },
         [this](std::size_t ring, SimDuration cost) {
-          softirq_cores_[irq_affinity_[ring % irq_affinity_.size()]]
-              .charge_irq(cost);
+          ring %= irq_affinity_.size();
+          ring_irq_ns_[ring] += std::uint64_t(cost);
+          softirq_cores_[last_fired_core_[ring]].charge_irq(cost);
         });
   }
 
@@ -96,26 +143,90 @@ class Host {
     return irq_affinity_.at(ring);
   }
   /// Re-pins ring `ring`'s IRQ to `core` (irqbalance / smp_affinity).
+  /// Takes effect at the next interrupt: a drain already in flight keeps
+  /// charging the core its interrupt fired on.
   void set_irq_affinity(std::size_t ring, std::size_t core) {
     irq_affinity_.at(ring) = core % softirq_cores_.size();
   }
 
-  /// Least-loaded softirq core (Homa/SMT per-message distribution).
+  /// IRQ time charged through ring `ring`'s vector so far (interrupt entry
+  /// plus per-frame completion work) — the per-ring figure the rebalancer
+  /// samples to find the hottest ring on the hottest core.
+  std::uint64_t ring_irq_busy_ns(std::size_t ring) const {
+    return ring_irq_ns_.at(ring);
+  }
+
+  /// --- irqbalance-style periodic re-affinity ----------------------------
+
+  /// Enables the rebalancer: every `period`, per-core irq_busy_ns deltas
+  /// are sampled; when the hottest core exceeds the coldest by the
+  /// hysteresis bounds, the hottest ring affined to it is flushed (pending
+  /// frames drain under the OLD vector) and repinned to the coldest core.
+  /// With spread_indirection (default), a ring carrying the majority of
+  /// the IRQ load also gets its indirection-table entries spread across
+  /// the coldest rings — the single-flow escape hatch.
+  /// The timer goes dormant while the NIC is idle (and re-arms from the
+  /// next interrupt), so EventLoop::run() still terminates.
+  void enable_irq_rebalance(SimDuration period) {
+    IrqRebalanceConfig config;
+    config.period = period;
+    enable_irq_rebalance(config);
+  }
+  void enable_irq_rebalance(IrqRebalanceConfig config) {
+    rebalance_config_ = config;
+    rebalance_on_ = true;
+    ++rebalance_gen_;
+    // Baseline the deltas at enable time: load charged before enabling
+    // must not count as this period's imbalance.
+    for (std::size_t i = 0; i < softirq_cores_.size(); ++i) {
+      last_core_irq_ns_[i] = softirq_cores_[i].irq_busy_ns();
+    }
+    last_ring_irq_ns_ = ring_irq_ns_;
+    arm_rebalance();
+  }
+  void disable_irq_rebalance() {
+    rebalance_on_ = false;
+    rebalance_armed_ = false;
+    ++rebalance_gen_;  // invalidates any in-flight tick
+  }
+  const IrqRebalanceStats& irq_rebalance_stats() const noexcept {
+    return rebalance_stats_;
+  }
+
+  /// Least-loaded softirq core (Homa/SMT per-message distribution),
+  /// IRQ-aware: the score is the core's queued backlog PLUS its recent
+  /// IRQ pressure (CpuCore::irq_load), so SRPT placement skips the
+  /// interrupt-soaked core even when its instantaneous backlog reads zero
+  /// between interrupts. Ties break round-robin from `start_from` — a
+  /// fixed lowest-index rule would hand every message to the same core on
+  /// an idle host.
   /// `start_from` lets the caller reserve low-numbered cores (Homa keeps
   /// core 0 as its pacer/SRPT thread). An out-of-range `start_from` clamps
   /// to the LAST core, never wraps to 0: wrapping would hand work meant
   /// for "any non-reserved core" straight to the reserved pacer core on
   /// hosts with a single softirq core.
   std::size_t least_loaded_softirq_index(std::size_t start_from = 0) const {
-    if (start_from >= softirq_cores_.size()) {
-      start_from = softirq_cores_.size() - 1;
+    const std::size_t n = softirq_cores_.size();
+    if (start_from >= n) start_from = n - 1;
+    const auto score = [this](std::size_t i) {
+      return std::uint64_t(softirq_cores_[i].backlog()) +
+             softirq_cores_[i].irq_load();
+    };
+    std::uint64_t best = score(start_from);
+    for (std::size_t i = start_from + 1; i < n; ++i) {
+      best = std::min(best, score(i));
     }
-    std::size_t best = start_from;
-    for (std::size_t i = start_from + 1; i < softirq_cores_.size(); ++i) {
-      if (softirq_cores_[i].backlog() < softirq_cores_[best].backlog())
-        best = i;
+    const std::size_t span = n - start_from;
+    std::size_t pick = start_from;
+    for (std::size_t k = 0; k < span; ++k) {
+      const std::size_t i = start_from + (least_loaded_rr_ + k) % span;
+      if (score(i) == best) {
+        pick = i;
+        break;
+      }
     }
-    return best;
+    least_loaded_rr_ = (pick - start_from + 1) % span;
+    return pick;
   }
 
   /// Aggregate CPU accounting (for the §5.2 CPU-usage experiment).
@@ -165,6 +276,9 @@ class Host {
     if (!nic.per_rx_frame_cost) {
       nic.per_rx_frame_cost = config.costs.per_rx_frame_cost;
     }
+    if (!nic.rss_reprogram_cost) {
+      nic.rss_reprogram_cost = config.costs.rss_reprogram_cost;
+    }
     return nic;
   }
 
@@ -175,6 +289,119 @@ class Host {
     // Unmatched packets are dropped, as a real host would.
   }
 
+  /// Called from the IRQ executor on every interrupt: a dormant rebalancer
+  /// wakes up. Keeping the timer armed only while interrupts flow is what
+  /// lets EventLoop::run() drain to completion with the rebalancer on.
+  void note_irq_activity() {
+    if (rebalance_on_ && !rebalance_armed_) arm_rebalance();
+  }
+
+  void arm_rebalance() {
+    rebalance_armed_ = true;
+    const std::uint64_t gen = rebalance_gen_;
+    loop_.schedule(rebalance_config_.period, [this, gen] {
+      if (!rebalance_on_ || gen != rebalance_gen_) return;
+      rebalance_armed_ = false;
+      rebalance_tick();
+    });
+  }
+
+  void rebalance_tick() {
+    ++rebalance_stats_.ticks;
+    const std::size_t cores = softirq_cores_.size();
+    const std::size_t rings = irq_affinity_.size();
+    // Per-core and per-ring IRQ deltas over the elapsed period.
+    std::vector<std::uint64_t> core_delta(cores);
+    bool active = nic_.rx_pending() > 0;
+    for (std::size_t i = 0; i < cores; ++i) {
+      const std::uint64_t cur = softirq_cores_[i].irq_busy_ns();
+      core_delta[i] = cur - last_core_irq_ns_[i];
+      last_core_irq_ns_[i] = cur;
+      active = active || core_delta[i] > 0;
+    }
+    std::vector<std::uint64_t> ring_delta(rings);
+    for (std::size_t r = 0; r < rings; ++r) {
+      ring_delta[r] = ring_irq_ns_[r] - last_ring_irq_ns_[r];
+      last_ring_irq_ns_[r] = ring_irq_ns_[r];
+    }
+    std::size_t hot = 0, cold = 0;
+    for (std::size_t i = 1; i < cores; ++i) {
+      if (core_delta[i] > core_delta[hot]) hot = i;
+      if (core_delta[i] < core_delta[cold]) cold = i;
+    }
+    const std::uint64_t floor =
+        std::max(std::uint64_t(rebalance_config_.min_imbalance),
+                 std::uint64_t(rebalance_config_.period / 10));
+    const bool imbalanced =
+        cores > 1 && core_delta[hot] - core_delta[cold] > floor &&
+        double(core_delta[hot]) >
+            rebalance_config_.imbalance_ratio * double(core_delta[cold]) &&
+        double(core_delta[hot]) > rebalance_config_.min_hot_fraction *
+                                      double(rebalance_config_.period);
+    if (imbalanced) {
+      // The hottest ring whose vector points at the hot core.
+      std::size_t victim = rings;
+      std::uint64_t victim_delta = 0;
+      std::uint64_t total_delta = 0;
+      for (std::size_t r = 0; r < rings; ++r) {
+        total_delta += ring_delta[r];
+        if (irq_affinity_[r] == hot && ring_delta[r] > victim_delta) {
+          victim_delta = ring_delta[r];
+          victim = r;
+        }
+      }
+      if (victim < rings) {
+        // Flush BEFORE the repin: held-off frames fire under the old
+        // vector, so the migration neither loses nor duplicates an
+        // interrupt and pending frames are delivered on the OLD core.
+        nic_.flush_rx_ring(victim);
+        set_irq_affinity(victim, cold);
+        ++rebalance_stats_.migrations;
+        if (rebalance_config_.spread_indirection && rings > 1 &&
+            victim_delta * 2 > total_delta) {
+          spread_ring_entries(victim, core_delta, cold);
+        }
+      }
+    }
+    if (active) {
+      arm_rebalance();
+    } else {
+      rebalance_armed_ = false;  // dormant until the next interrupt
+    }
+  }
+
+  /// Reprograms every indirection entry feeding `victim` onto the other
+  /// rings, coldest affinity cores first (the single-flow spread: one
+  /// flow's entry lands on the ring whose core has the most headroom).
+  void spread_ring_entries(std::size_t victim,
+                           const std::vector<std::uint64_t>& core_delta,
+                           std::size_t charge_core) {
+    std::vector<std::size_t> targets;
+    for (std::size_t r = 0; r < irq_affinity_.size(); ++r) {
+      if (r != victim) targets.push_back(r);
+    }
+    std::stable_sort(targets.begin(), targets.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return core_delta[irq_affinity_[a]] <
+                              core_delta[irq_affinity_[b]];
+                     });
+    std::vector<std::size_t> table = nic_.rss_indirection();
+    std::size_t next = 0;
+    for (std::size_t& entry : table) {
+      if (entry == victim) entry = targets[next++ % targets.size()];
+    }
+    // While a previous spread's entry flips are still held behind the
+    // draining victim ring, rss_indirection() already reports the pending
+    // targets — re-submitting the identical table would charge the
+    // reprogram cost every period for zero steering change.
+    if (next == 0) return;
+    CpuCore& core = softirq_cores_[charge_core];
+    const Status st = nic_.set_rss_indirection(
+        table, [&core](SimDuration cost) { core.charge_irq(cost); });
+    (void)st;  // table built from rss_indirection(): always valid
+    ++rebalance_stats_.rss_spreads;
+  }
+
   sim::EventLoop& loop_;
   HostConfig config_;
   sim::Nic nic_;
@@ -182,6 +409,24 @@ class Host {
   std::vector<CpuCore> app_cores_;
   std::vector<CpuCore> softirq_cores_;
   std::vector<std::size_t> irq_affinity_;  // RX ring -> softirq core index
+  // The core each ring's LAST interrupt fired on: the drain's per-frame
+  // charge follows the fire-time vector even across a mid-drain repin.
+  std::vector<std::size_t> last_fired_core_;
+  std::vector<std::uint64_t> ring_irq_ns_;  // per-ring IRQ time, cumulative
+
+  // irqbalance-style rebalancer state.
+  IrqRebalanceConfig rebalance_config_;
+  IrqRebalanceStats rebalance_stats_;
+  bool rebalance_on_ = false;
+  bool rebalance_armed_ = false;
+  std::uint64_t rebalance_gen_ = 0;  // invalidates stale scheduled ticks
+  std::vector<std::uint64_t> last_core_irq_ns_;  // delta baselines
+  std::vector<std::uint64_t> last_ring_irq_ns_;
+
+  // Round-robin cursor for least_loaded tie-breaking (mutable: placement
+  // is logically a query, but fair tie-breaking needs rotation state).
+  mutable std::size_t least_loaded_rr_ = 0;
+
   std::map<std::pair<sim::Proto, std::uint16_t>, Endpoint> endpoints_;
 };
 

@@ -59,8 +59,7 @@ TcpEndpoint::ConnId TcpEndpoint::connect(std::uint32_t dst_ip,
   syn.hdr.type = PacketType::ctrl;
   sim::SegmentDescriptor d;
   d.segment = std::move(syn);
-  host_.nic().post_segment(flow.hash() % host_.nic().config().num_queues,
-                           std::move(d));
+  host_.nic().post_segment(host_.nic().tx_queue_for(flow), std::move(d));
   return conn_id(flow);
 }
 
@@ -159,8 +158,10 @@ void TcpEndpoint::transmit_range(Connection& conn, std::uint64_t from,
       conn.send_buffer.begin() + std::ptrdiff_t(buf_off),
       conn.send_buffer.begin() + std::ptrdiff_t(buf_off + (to - from)));
 
-  const std::size_t queue =
-      conn.flow.hash() % host_.nic().config().num_queues;
+  // XPS-style static queue choice (the NIC owns RX steering; TX queue
+  // selection is the host's, and must stay stable per flow for the §3.2
+  // resync/segment same-queue guarantee below).
+  const std::size_t queue = host_.nic().tx_queue_for(conn.flow);
 
   // Resyncs must be posted to the NIC queue immediately before their
   // segment, in the same serialised step — posting them early would let
@@ -330,7 +331,7 @@ void TcpEndpoint::send_ack(Connection& conn) {
   ack.hdr.msg_id = conn.rcv_nxt;  // 64-bit cumulative ack
   ack.hdr.ack = static_cast<std::uint32_t>(conn.rcv_nxt);
   stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
-  const std::size_t queue = conn.flow.hash() % host_.nic().config().num_queues;
+  const std::size_t queue = host_.nic().tx_queue_for(conn.flow);
   core.run(host_.costs().ctrl_packet, [this, queue, &core, ack]() mutable {
     sim::SegmentDescriptor d;
     d.segment = std::move(ack);

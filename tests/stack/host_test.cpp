@@ -88,6 +88,48 @@ TEST(Host, LeastLoadedSoftirqPicksIdleCore) {
   EXPECT_EQ(host.least_loaded_softirq_index(), 0u);
 }
 
+TEST(Host, LeastLoadedBreaksTiesRoundRobin) {
+  // Regression: ties used to resolve by lowest index, permanently handing
+  // every message on an idle host to the first non-reserved core. With all
+  // cores idle the picks must rotate through [start_from, n).
+  sim::EventLoop loop;
+  HostConfig config = make_config(1);
+  config.softirq_cores = 4;
+  Host host(loop, config);
+  EXPECT_EQ(host.least_loaded_softirq_index(1), 1u);
+  EXPECT_EQ(host.least_loaded_softirq_index(1), 2u);
+  EXPECT_EQ(host.least_loaded_softirq_index(1), 3u);
+  EXPECT_EQ(host.least_loaded_softirq_index(1), 1u);  // wraps, skips core 0
+  // A loaded core drops out of the rotation; the remaining ties still
+  // rotate.
+  host.softirq_core(2).charge(usec(100));
+  EXPECT_EQ(host.least_loaded_softirq_index(1), 3u);
+  EXPECT_EQ(host.least_loaded_softirq_index(1), 1u);
+  EXPECT_EQ(host.least_loaded_softirq_index(1), 3u);
+}
+
+TEST(Host, LeastLoadedSkipsInterruptSoakedCore) {
+  // IRQ-aware SRPT placement: between interrupts the soaked core's
+  // instantaneous backlog reads zero, but its decaying irq_load() keeps
+  // the next message off it.
+  sim::EventLoop loop;
+  HostConfig config = make_config(1);
+  config.softirq_cores = 4;
+  Host host(loop, config);
+  host.softirq_core(1).charge_irq(usec(50));
+  // Drain the backlog: only the decayed IRQ pressure remains.
+  loop.run_until(usec(60));
+  EXPECT_EQ(host.softirq_core(1).backlog(), 0);
+  EXPECT_GT(host.softirq_core(1).irq_load(), 0u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NE(host.least_loaded_softirq_index(1), 1u);
+  }
+  // The pressure decays: several half-lives later the core is placeable
+  // again (score ties back to zero at >= 64 half-lives).
+  loop.run_until(usec(60) + 64 * CpuCore::kIrqLoadHalfLife);
+  EXPECT_EQ(host.softirq_core(1).irq_load(), 0u);
+}
+
 TEST(Host, LeastLoadedClampsOutOfRangeStartToLastCore) {
   // Regression: an out-of-range start_from used to silently wrap to core 0
   // — the reserved Homa pacer core — handing it per-message work it must
