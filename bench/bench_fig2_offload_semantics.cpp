@@ -37,7 +37,7 @@ struct Harness {
                                    const char* text) {
     SegmentDescriptor d;
     d.segment.hdr.flow.proto = Proto::smt;
-    Bytes& payload = d.segment.payload;
+    Bytes payload;
     const std::size_t inner = std::string_view(text).size() + 1;
     append_u8(payload, 23);
     append_u16be(payload, 0x0303);
@@ -45,6 +45,7 @@ struct Harness {
     append(payload, to_bytes(std::string_view(text)));
     append_u8(payload, 23);
     payload.resize(payload.size() + 16, 0);
+    d.segment.payload = std::move(payload);
     TlsRecordDesc rec;
     rec.context_id = ctx;
     rec.plaintext_len = inner;

@@ -1,0 +1,171 @@
+// Simulator self-performance harness: how fast does the SIMULATOR run,
+// in wall-clock terms, on the fig7-shaped closed-loop RPC scenario?
+//
+// Every other bench reports virtual-time results (RTTs, RPC/s of simulated
+// time) that are bit-identical across machines. This bench instead measures
+// the real-time cost of producing them: events/sec and packets/sec of wall
+// clock, wall-milliseconds per simulated second, heap allocations per RPC,
+// and peak RSS. It is the regression baseline for datapath-memory and
+// event-engine work (PayloadSlice slabs, the pooled callback engine): those
+// PRs must move THESE numbers while leaving every virtual-time bench
+// byte-identical.
+//
+// The headline scenario is fig7's 1 KB c=200 SMT-hw row — the workload the
+// paper's throughput ceiling discussion (§5.2) is stated in.
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+
+#include "bench_common.hpp"
+
+// --- allocation counting ---------------------------------------------------
+//
+// Global operator new/delete overrides count every heap allocation in the
+// process. This is what verifies the reserve()/slab/small-buffer work: the
+// wire-encode hot paths and the event engine are supposed to stop paying
+// malloc per record/event, and allocs-per-RPC is the observable.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace smt::bench {
+namespace {
+
+struct SimPerfResult {
+  double wall_sec = 0;          // real time spent inside loop().run()
+  double virtual_sec = 0;       // simulated time covered by the run
+  std::uint64_t events = 0;     // event-loop callbacks executed
+  std::uint64_t packets = 0;    // NIC packets emitted (client + server)
+  std::uint64_t allocs = 0;     // operator new calls during the run
+  std::uint64_t completed = 0;  // RPCs completed
+  double rpcs_per_vsec = 0;     // virtual-time throughput (must not change)
+};
+
+/// Closed-loop fig7-style run: `concurrency` outstanding RPCs over 12
+/// client app cores, wall-clock instrumented around the event loop.
+SimPerfResult run_scenario(RpcFabricConfig config, std::size_t rpc_bytes,
+                           std::size_t concurrency, std::size_t total_ops) {
+  RpcFabric fabric(config);
+  std::vector<std::unique_ptr<RpcChannel>> channels;
+  for (std::size_t i = 0; i < concurrency; ++i) {
+    channels.push_back(fabric.make_channel(i));
+  }
+
+  std::size_t issued = 0, completed = 0;
+  SimTime first_completion = 0;
+  SimTime last_completion = 0;
+  std::function<void(std::size_t)> issue = [&](std::size_t slot) {
+    if (issued >= total_ops) return;
+    ++issued;
+    channels[slot]->call(Bytes(rpc_bytes, 0x5a), std::uint32_t(rpc_bytes),
+                         [&, slot](SimDuration, Bytes) {
+                           ++completed;
+                           if (completed == 1) {
+                             first_completion = fabric.loop().now();
+                           }
+                           if (completed == total_ops) {
+                             last_completion = fabric.loop().now();
+                           }
+                           issue(slot);
+                         });
+  };
+  for (std::size_t i = 0; i < concurrency; ++i) issue(i);
+
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t events = fabric.loop().run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  SimPerfResult r;
+  r.wall_sec = std::chrono::duration<double>(wall_end - wall_start).count();
+  r.virtual_sec = to_sec(fabric.loop().now());
+  r.events = events;
+  r.packets = fabric.client_host().nic().counters().packets +
+              fabric.server_host().nic().counters().packets;
+  r.allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  r.completed = completed;
+  const double window = to_sec(last_completion - first_completion);
+  r.rpcs_per_vsec = window > 0 ? double(completed - 1) / window : 0;
+  return r;
+}
+
+double peak_rss_mib() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return double(usage.ru_maxrss) / 1024.0;  // Linux: ru_maxrss is in KiB
+}
+
+}  // namespace
+}  // namespace smt::bench
+
+int main(int argc, char** argv) {
+  using namespace smt;
+  using namespace smt::bench;
+  init(argc, argv);
+
+  // fig7-shaped closed loop: SMT-hw, c=200 outstanding RPCs.
+  const std::size_t concurrency = 200;
+  const std::size_t total_ops = smoke() ? 6000 : 50000;
+
+  std::printf("Simulator wall-clock performance (fig7 scenario, c=%zu, "
+              "%zu ops)\n",
+              concurrency, total_ops);
+  std::printf("%-14s %12s %12s %14s %12s %12s %12s\n", "scenario",
+              "wall_ms", "events/s", "packets/s", "ms/vsec", "allocs/rpc",
+              "MRPC/vs");
+
+  const std::vector<std::size_t> sizes = smoke()
+                                             ? std::vector<std::size_t>{1024}
+                                             : std::vector<std::size_t>{1024,
+                                                                        64};
+  for (const std::size_t rpc_bytes : sizes) {
+    RpcFabricConfig config;
+    config.kind = TransportKind::smt_hw;
+    const SimPerfResult r =
+        run_scenario(config, rpc_bytes, concurrency, total_ops);
+    const double events_per_sec = double(r.events) / r.wall_sec;
+    const double packets_per_sec = double(r.packets) / r.wall_sec;
+    const double ms_per_vsec = r.wall_sec * 1e3 / r.virtual_sec;
+    const double allocs_per_rpc = double(r.allocs) / double(r.completed);
+    std::printf("smt-hw %5zuB %12.1f %12.0f %14.0f %12.1f %12.1f %12.3f\n",
+                rpc_bytes, r.wall_sec * 1e3, events_per_sec, packets_per_sec,
+                ms_per_vsec, allocs_per_rpc, r.rpcs_per_vsec / 1e6);
+    if (rpc_bytes == 1024) {
+      json_metric("events_per_sec", events_per_sec);
+      json_metric("packets_per_sec", packets_per_sec);
+      json_metric("wall_ms_per_virtual_sec", ms_per_vsec);
+      json_metric("allocs_per_rpc", allocs_per_rpc);
+      json_metric("virtual_mrpc_per_sec", r.rpcs_per_vsec / 1e6);
+      json_metric("events", double(r.events));
+      json_metric("completed", double(r.completed));
+    }
+  }
+  json_metric("peak_rss_mib", peak_rss_mib());
+  std::printf("peak RSS: %.1f MiB\n", peak_rss_mib());
+  return 0;
+}

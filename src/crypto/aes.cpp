@@ -1,10 +1,44 @@
 #include "crypto/aes.hpp"
 
 #include <cassert>
+#include <cstdlib>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SMT_AES_NI 1
+#include <immintrin.h>
+#endif
 
 namespace smt::crypto {
 
 namespace {
+
+#ifdef SMT_AES_NI
+/// Runtime CPU dispatch: resolved once, then a perfectly predicted branch.
+bool cpu_has_aesni() noexcept {
+  // SMT_DISABLE_HW_CRYPTO forces the portable T-table engine (see the
+  // matching predicate in gcm.cpp; CI covers the fallback through it).
+  static const bool supported =
+      __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2") &&
+      std::getenv("SMT_DISABLE_HW_CRYPTO") == nullptr;
+  return supported;
+}
+
+/// Hardware block transform. The round keys are the SAME expanded schedule
+/// the portable path uses, just in FIPS byte order — both engines compute
+/// the identical function, so dispatch can never change simulated bytes.
+__attribute__((target("aes,sse2"))) void encrypt_block_aesni(
+    const std::uint8_t* rk, int rounds, const std::uint8_t* in,
+    std::uint8_t* out) noexcept {
+  const __m128i* keys = reinterpret_cast<const __m128i*>(rk);
+  __m128i state = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  state = _mm_xor_si128(state, _mm_loadu_si128(keys));
+  for (int round = 1; round < rounds; ++round) {
+    state = _mm_aesenc_si128(state, _mm_loadu_si128(keys + round));
+  }
+  state = _mm_aesenclast_si128(state, _mm_loadu_si128(keys + rounds));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), state);
+}
+#endif  // SMT_AES_NI
 
 constexpr std::uint8_t kSbox[256] = {
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
@@ -91,10 +125,20 @@ Aes::Aes(ByteView key) {
     }
     round_keys_[i] = round_keys_[i - nk] ^ temp;
   }
+  // FIPS byte order for the hardware path (and a cheap no-op otherwise).
+  for (int i = 0; i < total_words; ++i) {
+    store_u32be(round_key_bytes_.data() + 4 * std::size_t(i), round_keys_[i]);
+  }
 }
 
 void Aes::encrypt_block(const std::uint8_t in[kBlockSize],
                         std::uint8_t out[kBlockSize]) const noexcept {
+#ifdef SMT_AES_NI
+  if (cpu_has_aesni()) {
+    encrypt_block_aesni(round_key_bytes_.data(), rounds_, in, out);
+    return;
+  }
+#endif
   const Tables& t = tables();
   const std::uint32_t* rk = round_keys_.data();
 

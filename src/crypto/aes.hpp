@@ -1,9 +1,14 @@
 // AES block cipher (FIPS 197), 128- and 256-bit keys.
 //
-// Table-based implementation: fast enough for a software datapath in the
-// simulator, validated against FIPS test vectors. Only encryption is
-// implemented — every mode used here (CTR inside GCM) needs just the
-// forward transform.
+// Two interchangeable engines behind one interface, selected at runtime:
+//   * AES-NI (x86-64 `aes` extension, function-multiversioned so the
+//     binary still runs on CPUs without it) — the simulator does real
+//     crypto for byte fidelity, so the block transform is squarely on the
+//     wall-clock hot path;
+//   * portable T-table implementation, validated against FIPS vectors.
+// Both produce identical bytes; the dispatch only changes wall-clock cost.
+// Only encryption is implemented — every mode used here (CTR inside GCM)
+// needs just the forward transform.
 #pragma once
 
 #include <array>
@@ -25,8 +30,18 @@ class Aes {
 
   std::size_t key_bits() const noexcept { return key_bits_; }
 
+  /// Expanded schedule in FIPS byte order + round count: the AES-NI bulk
+  /// paths (pipelined CTR in the GCM layer) consume these directly.
+  const std::uint8_t* round_key_bytes() const noexcept {
+    return round_key_bytes_.data();
+  }
+  int rounds() const noexcept { return rounds_; }
+
  private:
   std::array<std::uint32_t, 60> round_keys_{};
+  // Round keys in FIPS byte order (the layout AES-NI consumes directly);
+  // derived from round_keys_ once at key setup.
+  alignas(16) std::array<std::uint8_t, 240> round_key_bytes_{};
   int rounds_ = 0;
   std::size_t key_bits_ = 0;
 };

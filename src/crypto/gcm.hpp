@@ -36,8 +36,15 @@ class AesGcm {
                     ByteView ciphertext) const noexcept;
 
   Aes aes_;
-  // GHASH key H = E_K(0^128), pre-expanded into a 4-bit multiplication
-  // table (Shoup's method) for speed.
+  // GHASH key H = E_K(0^128), raw (consumed by the runtime-dispatched
+  // PCLMUL path) and pre-expanded into a 4-bit multiplication table
+  // (Shoup's method) for the portable path. The table is only built when
+  // the CPU lacks carry-less multiply — both engines compute the identical
+  // GF(2^128) product, so dispatch never changes bytes.
+  alignas(16) std::array<std::uint8_t, 16> h_bytes_{};
+  // H^1..H^4 in the PCLMUL path's reflected form, for the 4-way
+  // aggregated GHASH stride (unused when the table path runs).
+  alignas(16) std::array<std::uint8_t, 64> h_pows_{};
   std::array<std::array<std::uint64_t, 2>, 16> h_table_{};
 };
 

@@ -3,20 +3,146 @@
 // Single-threaded by design: determinism is what lets every bench and test
 // reproduce bit-for-bit (DESIGN.md "Determinism"). Ties are broken by
 // insertion order, so identical schedules replay identically.
+//
+// The engine is built for wall-clock speed — the simulator schedules one
+// event per packet hop, CPU charge, and timer, so the per-event constant
+// is the simulator's own throughput ceiling:
+//
+//   * EventCallback is a move-only callable with a 48-byte small-buffer
+//     store: the common capture sets (this + a key + a couple of scalars,
+//     or a wrapped std::function) run with ZERO heap allocations per
+//     scheduled event. Larger captures fall back to one heap cell.
+//   * Events live in a free-listed pool; the priority queue is an indexed
+//     4-ary min-heap of 24-byte (when, seq, index) slots, so sift
+//     operations move small PODs instead of whole closures, and draining
+//     pops by MOVE — the old std::priority_queue engine *copied*
+//     queue_.top() (a full std::function deep-copy, including any captured
+//     packet payload) for every event executed.
+//
+// The (when, seq) FIFO tie-break contract is bit-identical to the previous
+// engine: virtual-time results cannot change, only the wall-clock cost of
+// producing them.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
 
 namespace smt::sim {
 
+/// Move-only type-erased void() callable with small-buffer optimisation.
+/// Captures up to kInlineCapacity bytes (and max_align_t alignment, and a
+/// noexcept move) are stored in line — no allocation per scheduled event.
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    if constexpr (fits_inline<Decayed>()) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+      ops_ = &inline_ops<Decayed>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Decayed*(new Decayed(std::forward<F>(fn)));
+      ops_ = &heap_ops<Decayed>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty EventCallback");
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct into `dst` from `src`, then destroy `src`'s value.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= kInlineCapacity &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  static constexpr Ops inline_ops = {
+      [](void* storage) { (*static_cast<F*>(storage))(); },
+      [](void* src, void* dst) noexcept {
+        F* from = static_cast<F*>(src);
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* storage) noexcept { static_cast<F*>(storage)->~F(); },
+  };
+
+  template <typename F>
+  static constexpr Ops heap_ops = {
+      [](void* storage) { (**static_cast<F**>(storage))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) F*(*static_cast<F**>(src));
+      },
+      [](void* storage) noexcept { delete *static_cast<F**>(storage); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   SimTime now() const noexcept { return now_; }
 
@@ -28,18 +154,25 @@ class EventLoop {
   /// Schedules `fn` at an absolute virtual time (clamped to now).
   void schedule_at(SimTime when, Callback fn) {
     if (when < now_) when = now_;
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
+    std::uint32_t index;
+    if (free_head_ != kNone) {
+      index = free_head_;
+      free_head_ = pool_[index].next_free;
+      pool_[index].fn = std::move(fn);
+    } else {
+      index = std::uint32_t(pool_.size());
+      pool_.emplace_back(PooledEvent{std::move(fn), kNone});
+    }
+    heap_.push_back(HeapSlot{when, next_seq_++, index});
+    sift_up(heap_.size() - 1);
   }
 
   /// Runs events until the queue drains or `deadline` passes.
   /// Returns the number of events executed.
   std::size_t run_until(SimTime deadline) {
     std::size_t executed = 0;
-    while (!queue_.empty() && queue_.top().when <= deadline && !stopped_) {
-      Event ev = queue_.top();
-      queue_.pop();
-      now_ = ev.when;
-      ev.fn();
+    while (!heap_.empty() && heap_.front().when <= deadline && !stopped_) {
+      run_top();
       ++executed;
     }
     if (now_ < deadline && !stopped_) now_ = deadline;
@@ -49,11 +182,8 @@ class EventLoop {
   /// Runs until the queue is empty (or stop() is called).
   std::size_t run() {
     std::size_t executed = 0;
-    while (!queue_.empty() && !stopped_) {
-      Event ev = queue_.top();
-      queue_.pop();
-      now_ = ev.when;
-      ev.fn();
+    while (!heap_.empty() && !stopped_) {
+      run_top();
       ++executed;
     }
     return executed;
@@ -64,26 +194,79 @@ class EventLoop {
   bool stopped() const noexcept { return stopped_; }
   void reset_stop() noexcept { stopped_ = false; }
 
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Sift keys: 24-byte PODs ordered by (when, seq); the closure stays put
+  /// in the pool while the heap rearranges.
+  struct HeapSlot {
     SimTime when;
     std::uint64_t seq;
+    std::uint32_t index;
+  };
+  struct PooledEvent {
     Callback fn;
+    std::uint32_t next_free = kNone;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;  // FIFO among same-time events
+
+  static bool earlier(const HeapSlot& a, const HeapSlot& b) noexcept {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;  // FIFO among same-time events
+  }
+
+  /// Pops and runs the earliest event. The callback is moved out (never
+  /// copied) and its pool slot is recycled before it runs, so a callback
+  /// that schedules new events reuses the hottest slot.
+  void run_top() {
+    const HeapSlot top = heap_.front();
+    Callback fn = std::move(pool_[top.index].fn);
+    pool_[top.index].next_free = free_head_;
+    free_head_ = top.index;
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    now_ = top.when;
+    fn();
+  }
+
+  void sift_up(std::size_t pos) {
+    HeapSlot moving = heap_[pos];
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 4;
+      if (!earlier(moving, heap_[parent])) break;
+      heap_[pos] = heap_[parent];
+      pos = parent;
     }
-  };
+    heap_[pos] = moving;
+  }
+
+  void sift_down(std::size_t pos) {
+    const std::size_t size = heap_.size();
+    HeapSlot moving = heap_[pos];
+    for (;;) {
+      const std::size_t first_child = 4 * pos + 1;
+      if (first_child >= size) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + 4, size);
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], moving)) break;
+      heap_[pos] = heap_[best];
+      pos = best;
+    }
+    heap_[pos] = moving;
+  }
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<HeapSlot> heap_;
+  std::vector<PooledEvent> pool_;  // free-listed closure storage
+  std::uint32_t free_head_ = kNone;
 };
 
 }  // namespace smt::sim

@@ -137,8 +137,9 @@ void Nic::receive(Packet packet) {
   // RSS: the five-tuple hash indexes the indirection table, which picks
   // the RX ring — every frame of one flow lands in the same ring (even
   // mid-reprogram, thanks to the deferred-flip order guard) and stays
-  // FIFO relative to its peers.
-  const std::size_t index = rx_queue_for(packet.hdr.flow);
+  // FIFO relative to its peers. The hash is the header's memoized copy
+  // (stamped once per segment by the TX NIC), never recomputed here.
+  const std::size_t index = rx_queue_for(packet.hdr);
   RxRing& ring = rx_rings_[index];
   if (config_.rx_ring_size > 0 && ring.frames.size() >= config_.rx_ring_size) {
     // Descriptor ring overflow: real hardware tail-drops; the loss is
@@ -286,7 +287,9 @@ Result<std::uint32_t> Nic::create_flow_context(tls::CipherSuite suite,
     return make_error(Errc::resource_exhausted, "NIC flow contexts exhausted");
   }
   const std::uint32_t id = next_context_id_++;
-  contexts_.emplace(id, FlowContext{suite, keys, initial_seq});
+  contexts_.emplace(id,
+                    FlowContext{suite, keys, crypto::AesGcm(keys.key),
+                                initial_seq});
   ++counters_.context_allocs;
   return id;
 }
@@ -429,6 +432,13 @@ void Nic::encrypt_records(SegmentDescriptor& descriptor) {
   assert(config_.tls_offload_enabled &&
          "inline-TLS segment posted with offload disabled");
 
+  // Copy-on-write: the transport retains slices of this slab (plaintext
+  // for retransmission), so the in-place encryption below must land in a
+  // NIC-private slab when the payload is shared. This is the datapath's
+  // one TX-side copy, and only on the inline-crypto path — the hardware
+  // analogue of DMA-ing the segment into the NIC before encrypting.
+  MutByteView payload = descriptor.segment.payload.mutate();
+
   for (const TlsRecordDesc& rec : descriptor.records) {
     const auto it = contexts_.find(rec.context_id);
     if (it == contexts_.end()) {
@@ -441,7 +451,6 @@ void Nic::encrypt_records(SegmentDescriptor& descriptor) {
     }
     FlowContext& ctx = it->second;
 
-    Bytes& payload = descriptor.segment.payload;
     assert(rec.record_offset + tls::kRecordHeaderSize + rec.plaintext_len +
                tls::tag_length(ctx.suite) <=
            payload.size());
@@ -465,8 +474,7 @@ void Nic::encrypt_records(SegmentDescriptor& descriptor) {
         payload.data() + rec.record_offset + tls::kRecordHeaderSize;
     const ByteView plaintext(body, rec.plaintext_len);
 
-    crypto::AesGcm aead(ctx.keys.key);
-    const Bytes sealed = aead.seal(nonce, aad, plaintext);
+    const Bytes sealed = ctx.aead.seal(nonce, aad, plaintext);
     // ciphertext || tag overwrite the plaintext body + reserved tag space.
     std::memcpy(body, sealed.data(), sealed.size());
 
@@ -483,6 +491,11 @@ void Nic::emit_segment(SegmentDescriptor descriptor) {
   if (!config_.tso_enabled && segment.payload.size() > mss) {
     assert(false && "oversized segment posted with TSO disabled");
   }
+
+  // RSS hash: computed ONCE per segment here (memoized into the header)
+  // and replicated by TSO into every packet below — the receive path
+  // steers on this cached value without rehashing.
+  segment.hdr.flow_hash();
 
   // Empty payload (control packets: grants, acks, SYNs) — one header-only
   // frame, explicitly guarded so the TSO do-while below cannot run its
@@ -518,8 +531,11 @@ void Nic::emit_segment(SegmentDescriptor descriptor) {
       // ...but NOT for undefined transport protocols (§2.2, §7).
       pkt.hdr.checksum_valid = false;
     }
-    pkt.payload.assign(segment.payload.begin() + std::ptrdiff_t(offset),
-                       segment.payload.begin() + std::ptrdiff_t(offset + take));
+    // The TSO cut is an O(1) slice of the segment's slab — the copy this
+    // datapath used to pay per MTU packet is gone; the slab stays pinned
+    // until the last packet (ring entry, hold-off buffer, in-flight
+    // closure) releases its slice.
+    pkt.payload = segment.payload.subslice(offset, take);
     offset += take;
     ++index;
     ++counters_.packets;

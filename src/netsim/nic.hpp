@@ -82,6 +82,7 @@
 #include "netsim/event.hpp"
 #include "netsim/link.hpp"
 #include "netsim/packet.hpp"
+#include "crypto/gcm.hpp"
 #include "tls/cipher.hpp"
 #include "tls/keyschedule.hpp"
 
@@ -280,6 +281,11 @@ class Nic {
   std::size_t rx_queue_for(const FiveTuple& flow) const noexcept {
     return rss_table_[flow.hash() % rss_table_.size()];
   }
+  /// Same lookup through the header's memoized hash: the steering decision
+  /// for a packet in flight never rehashes the five tuple.
+  std::size_t rx_queue_for(const PacketHeader& hdr) const noexcept {
+    return rss_table_[hdr.flow_hash() % rss_table_.size()];
+  }
 
   /// The TX queue a flow's posts default to (XPS-style static spread). TX
   /// has no indirection table: this is the plain hash→queue mapping, and
@@ -287,6 +293,11 @@ class Nic {
   /// choice is a host decision (XPS), receive steering a NIC one.
   std::size_t tx_queue_for(const FiveTuple& flow) const noexcept {
     return flow.hash() % config_.num_queues;
+  }
+  /// Hash-memoized variant: callers that hold a flow's cached hash (a TCP
+  /// connection, a header in flight) pick the queue without rehashing.
+  std::size_t tx_queue_for_hash(std::size_t flow_hash) const noexcept {
+    return flow_hash % config_.num_queues;
   }
 
   /// --- RSS indirection table (ethtool -X) ------------------------------
@@ -365,6 +376,11 @@ class Nic {
   struct FlowContext {
     tls::CipherSuite suite;
     tls::TrafficKeys keys;
+    // AEAD state (AES key schedule + GHASH tables) is expanded ONCE when
+    // the driver programs the context — exactly what context_establish
+    // models — and reused for every record. Rebuilding it per record was
+    // the simulator's single hottest wall-clock cost.
+    crypto::AesGcm aead;
     std::uint64_t internal_seq = 0;  // the self-incrementing counter
     std::uint32_t inflight = 0;      // queued descriptors referencing it
     bool pending_release = false;    // freed by the driver; erase on drain

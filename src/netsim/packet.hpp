@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/payload_slice.hpp"
 
 namespace smt::sim {
 
@@ -90,11 +91,36 @@ struct PacketHeader {
   std::uint8_t priority = 0;     // network priority (SRPT)
   bool trimmed = false;          // NDP-style trimmed stub (payload cut)
   std::uint32_t trimmed_len = 0; // original payload length of the stub
+
+  /// Memoized RSS hash of `flow`. The hash is a pure function of the five
+  /// tuple, but it used to be recomputed on EVERY queue/core decision —
+  /// per-packet ring selection, TX queue choice, softirq pinning. The TX
+  /// NIC computes it once per segment (emit_segment) and TSO replicates it
+  /// into every packet, the way real NICs carry the RSS hash in the
+  /// completion descriptor; the receive side then steers on the cached
+  /// value without rehashing.
+  ///
+  /// 0 means "not yet computed" (flow_hash() falls back to hashing, so a
+  /// flow whose hash is genuinely 0 is merely never memoized, not wrong).
+  /// Rewriting `flow` on an existing header MUST go through set_flow() so
+  /// the cache can never desync from the tuple — the reply path builds
+  /// fresh headers from reversed(), which start uncached.
+  mutable std::size_t flow_hash_cache = 0;
+
+  std::size_t flow_hash() const noexcept {
+    if (flow_hash_cache == 0) flow_hash_cache = flow.hash();
+    return flow_hash_cache;
+  }
+
+  void set_flow(const FiveTuple& new_flow) noexcept {
+    flow = new_flow;
+    flow_hash_cache = 0;
+  }
 };
 
 struct Packet {
   PacketHeader hdr;
-  Bytes payload;
+  PayloadSlice payload;  // O(1) view of a shared immutable slab
 
   std::size_t wire_size() const noexcept {
     return payload.size() + kWireHeaderBytes;

@@ -96,6 +96,13 @@ Result<WireMessage> build_wire_message(const SegmenterConfig& config,
       desc.record_offset = current.payload.size() + framing.size();
       current.records.push_back(desc);
     }
+    // Reserve the segment's final size up front: all remaining record
+    // blocks are at most this one's size, so one reservation replaces the
+    // doubling-growth reallocations the append loop used to pay.
+    if (current.payload.empty()) {
+      current.payload.reserve(std::min(
+          config.max_tso_bytes, block_len * (n_records - rec)));
+    }
     append(current.payload, framing);
     append(current.payload, record_bytes);
   }

@@ -19,7 +19,10 @@ class CpuCore {
   explicit CpuCore(sim::EventLoop& loop) : loop_(&loop) {}
 
   /// Enqueues `cost` nanoseconds of work; `fn` runs at completion.
-  void run(SimDuration cost, std::function<void()> fn) {
+  /// Takes the event loop's move-only small-buffer callback directly, so
+  /// a lambda passed here lands in the loop's inline storage without an
+  /// intermediate std::function heap cell.
+  void run(SimDuration cost, sim::EventLoop::Callback fn) {
     const SimTime start = std::max(loop_->now(), free_at_);
     free_at_ = start + cost;
     busy_ns_ += cost;
@@ -37,7 +40,7 @@ class CpuCore {
   /// scheduling to run()/charge(), but tallied separately the way
   /// /proc/stat splits irq/softirq time from everything else — the §5.2
   /// CPU-usage experiment needs to show how much of a core interrupts eat.
-  void run_irq(SimDuration cost, std::function<void()> fn) {
+  void run_irq(SimDuration cost, sim::EventLoop::Callback fn) {
     irq_ns_ += cost;
     note_irq_load(cost);
     run(cost, std::move(fn));

@@ -137,6 +137,15 @@ class Host {
   std::size_t softirq_index_for_flow(const sim::FiveTuple& flow) const {
     return flow.hash() % softirq_cores_.size();
   }
+  /// Hash-memoized variants: per-packet pinning decisions reuse the flow's
+  /// cached RSS hash (a TCP connection's, or a header's in-flight stamp)
+  /// instead of rehashing the five tuple on every packet.
+  CpuCore& softirq_for_hash(std::size_t flow_hash) {
+    return softirq_cores_[flow_hash % softirq_cores_.size()];
+  }
+  std::size_t softirq_index_for_hash(std::size_t flow_hash) const {
+    return flow_hash % softirq_cores_.size();
+  }
 
   /// The softirq core servicing RX ring `ring`'s interrupt vector.
   std::size_t irq_affinity(std::size_t ring) const {

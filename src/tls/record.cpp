@@ -38,13 +38,17 @@ Bytes RecordProtection::seal(std::uint64_t seq, ContentType type,
 
   // Record header doubles as AAD (opaque_type=23, legacy_version=0x0303).
   Bytes header;
+  header.reserve(kRecordHeaderSize);
   append_u8(header, static_cast<std::uint8_t>(ContentType::application_data));
   append_u16be(header, 0x0303);
   append_u16be(header, static_cast<std::uint16_t>(ct_len));
 
   const Bytes sealed = aead_.seal(nonce_for(seq), header, inner);
 
-  Bytes record = header;
+  // The final wire size is known exactly: reserve once, no append growth.
+  Bytes record;
+  record.reserve(kRecordHeaderSize + sealed.size());
+  append(record, header);
   append(record, sealed);
   return record;
 }

@@ -39,19 +39,19 @@ Result<std::uint64_t> HomaEndpoint::send_message(PeerAddr dst, Bytes payload,
     return make_error(Errc::message_too_large,
                       "message exceeds max_message_bytes");
   }
-  // Cut into TSO-sized segments.
+  // Cut into TSO-sized segments: the message body becomes ONE shared slab
+  // and each segment an O(1) slice of it — no per-segment copy.
+  const std::size_t total = payload.size();
+  PayloadSlice slab(std::move(payload));
   std::vector<SegmentSpec> segments;
   std::size_t off = 0;
-  const std::size_t total = payload.size();
   do {
-    const std::size_t take =
-        std::min(config_.max_tso_bytes, payload.size() - off);
+    const std::size_t take = std::min(config_.max_tso_bytes, total - off);
     SegmentSpec seg;
-    seg.payload.assign(payload.begin() + std::ptrdiff_t(off),
-                       payload.begin() + std::ptrdiff_t(off + take));
+    seg.payload = slab.subslice(off, take);
     segments.push_back(std::move(seg));
     off += take;
-  } while (off < payload.size());
+  } while (off < total);
   return send_segments(dst, std::move(segments), total, std::nullopt,
                        app_core, nullptr);
 }
@@ -74,6 +74,7 @@ Result<std::uint64_t> HomaEndpoint::send_segments(
   TxMessage tx;
   tx.dst = dst;
   tx.msg_id = msg_id;
+  tx.flow_hash = flow_to(dst).hash();  // hashed once per message
   tx.total_bytes = total_bytes;
   tx.granted_bytes = std::min(total_bytes, config_.unscheduled_bytes);
   if (tx.granted_bytes == 0 && total_bytes == 0) tx.granted_bytes = 0;
@@ -162,7 +163,7 @@ void HomaEndpoint::post_segment_for(TxMessage& tx, std::size_t seg_index,
   d.segment.hdr.msg_id = tx.msg_id;
   d.segment.hdr.msg_len = std::uint32_t(tx.total_bytes);
   d.segment.hdr.tso_off = std::uint32_t(tx.segment_offsets[seg_index]);
-  d.segment.payload = seg.payload;
+  d.segment.payload = seg.payload;  // slice copy: refcount bump, no bytes
   d.records = seg.records;
 
   const std::size_t queue = queue_for_message(tx.msg_id);
@@ -256,7 +257,7 @@ void HomaEndpoint::handle_data(Packet pkt) {
         host_.softirq_core_count() > 1 ? 1 : 0);
     // The NIC RX ring this flow's frames hash to — the key the layer
     // above leases RX flow contexts by.
-    rx.rx_queue = host_.nic().rx_queue_for(pkt.hdr.flow);
+    rx.rx_queue = host_.nic().rx_queue_for(pkt.hdr);
     ++stats_.messages_received;
   }
   rx.last_activity = host_.loop().now();
@@ -317,7 +318,7 @@ void HomaEndpoint::handle_data(Packet pkt) {
 }
 
 void HomaEndpoint::rx_insert(RxMessage& rx, std::size_t offset,
-                             const Bytes& data) {
+                             ByteView data) {
   if (data.empty() && rx.total_bytes == 0) return;
   if (offset + data.size() > rx.total_bytes) return;  // malformed; drop
 
@@ -446,7 +447,7 @@ void HomaEndpoint::handle_grant(const Packet& pkt) {
   TxMessage& tx = it->second;
   tx.granted_bytes = std::max<std::size_t>(tx.granted_bytes, pkt.hdr.grant_off);
   // Grant processing runs in the softirq context (§3.2).
-  stack::CpuCore& core = host_.softirq_for_flow(flow_to(tx.dst));
+  stack::CpuCore& core = host_.softirq_for_hash(tx.flow_hash);
   core.charge(host_.costs().ctrl_packet);
   pump_tx(tx, &core);
 }
@@ -459,7 +460,7 @@ void HomaEndpoint::handle_resend(const Packet& pkt) {
   const std::size_t from = pkt.hdr.resend_off - 1;
   const std::size_t to = pkt.hdr.grant_off;
 
-  stack::CpuCore& core = host_.softirq_for_flow(flow_to(tx.dst));
+  stack::CpuCore& core = host_.softirq_for_hash(tx.flow_hash);
 
   // Resend every segment overlapping [from, to). Segments with inline
   // crypto are reposted whole (the NIC must re-encrypt the records, with
@@ -488,9 +489,8 @@ void HomaEndpoint::handle_resend(const Packet& pkt) {
         d.segment.hdr.msg_len = std::uint32_t(tx.total_bytes);
         d.segment.hdr.tso_off = std::uint32_t(seg_begin);
         d.segment.hdr.resend_off = std::uint32_t(off) + 1;  // explicit offset
-        d.segment.payload.assign(
-            tx.segments[i].payload.begin() + std::ptrdiff_t(off - seg_begin),
-            tx.segments[i].payload.begin() + std::ptrdiff_t(pkt_end - seg_begin));
+        d.segment.payload = tx.segments[i].payload.subslice(
+            off - seg_begin, pkt_end - off);
         const std::size_t queue = queue_for_message(tx.msg_id);
         core.run(host_.costs().homa_tx_packet,
                  [this, queue, &core, desc = std::move(d)]() mutable {

@@ -47,9 +47,11 @@ struct PeerAddr {
 };
 
 /// A pre-built TSO segment of an outgoing message (SMT supplies these;
-/// plain Homa builds them internally).
+/// plain Homa builds them internally). The payload is a slice of a shared
+/// immutable slab: posting it to the NIC, retransmitting a byte range, and
+/// TSO-cutting it into packets are all O(1) views, never copies.
 struct SegmentSpec {
-  Bytes payload;
+  PayloadSlice payload;
   std::vector<sim::TlsRecordDesc> records;  // NIC inline-crypto descriptors
 };
 
@@ -140,6 +142,8 @@ class HomaEndpoint {
   struct TxMessage {
     PeerAddr dst;
     std::uint64_t msg_id = 0;
+    std::size_t flow_hash = 0;  // memoized hash of flow_to(dst): grant and
+                                // resend handling never rehash per packet
     std::vector<SegmentSpec> segments;
     std::vector<std::size_t> segment_offsets;  // tso_off per segment
     std::size_t total_bytes = 0;
@@ -178,7 +182,7 @@ class HomaEndpoint {
   void handle_grant(const sim::Packet& pkt);
   void handle_resend(const sim::Packet& pkt);
   void handle_ack(const sim::Packet& pkt);
-  void rx_insert(RxMessage& rx, std::size_t offset, const Bytes& data);
+  void rx_insert(RxMessage& rx, std::size_t offset, ByteView data);
   void rx_complete(const RxKey& key);
   void maybe_grant(RxMessage& rx);
   void arm_resend_timer(const RxKey& key);

@@ -67,7 +67,12 @@ TcpEndpoint::Connection& TcpEndpoint::ensure_connection(
     const sim::FiveTuple& local_flow, bool* created) {
   const ConnId id = conn_id(local_flow);
   auto [it, inserted] = connections_.try_emplace(id);
-  if (inserted) it->second.flow = local_flow;
+  if (inserted) {
+    it->second.flow = local_flow;
+    // Hash once per connection: every subsequent queue/core decision for
+    // this flow consumes the memoized value.
+    it->second.flow_hash = local_flow.hash();
+  }
   if (created) *created = inserted;
   return it->second;
 }
@@ -153,15 +158,18 @@ void TcpEndpoint::transmit_range(Connection& conn, std::uint64_t from,
   d.segment.hdr.type = PacketType::data;
   d.segment.hdr.msg_id = from;  // 64-bit stream offset (see header note)
   d.segment.hdr.seq = static_cast<std::uint32_t>(from);
+  // One copy out of the elastic send buffer into a fresh slab (the buffer
+  // erases from the front on ACKs, so it cannot be sliced in place); the
+  // slab then rides copy-free through TSO, the wire, and the RX rings.
   const std::size_t buf_off = std::size_t(from - conn.snd_una);
-  d.segment.payload.assign(
-      conn.send_buffer.begin() + std::ptrdiff_t(buf_off),
-      conn.send_buffer.begin() + std::ptrdiff_t(buf_off + (to - from)));
+  Bytes range(conn.send_buffer.begin() + std::ptrdiff_t(buf_off),
+              conn.send_buffer.begin() + std::ptrdiff_t(buf_off + (to - from)));
+  d.segment.payload = PayloadSlice(std::move(range));
 
   // XPS-style static queue choice (the NIC owns RX steering; TX queue
   // selection is the host's, and must stay stable per flow for the §3.2
   // resync/segment same-queue guarantee below).
-  const std::size_t queue = host_.nic().tx_queue_for(conn.flow);
+  const std::size_t queue = host_.nic().tx_queue_for_hash(conn.flow_hash);
 
   // Resyncs must be posted to the NIC queue immediately before their
   // segment, in the same serialised step — posting them early would let
@@ -222,7 +230,7 @@ void TcpEndpoint::transmit_range(Connection& conn, std::uint64_t from,
   const auto& costs = host_.costs();
   const SimDuration cost =
       costs.tso_build + costs.tcp_tx_packet * SimDuration(npkts == 0 ? 1 : npkts);
-  stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
+  stack::CpuCore& core = host_.softirq_for_hash(conn.flow_hash);
   core.run(cost, [this, queue, &core, resyncs = std::move(resyncs),
                   desc = std::move(d)]() mutable {
     for (const auto& [ctx, seq] : resyncs) {
@@ -256,8 +264,8 @@ void TcpEndpoint::on_packet(Packet pkt) {
 
 void TcpEndpoint::handle_data(Connection& conn, Packet pkt) {
   // RSS pins the whole connection to one softirq core (§2): every packet's
-  // protocol work queues there.
-  stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
+  // protocol work queues there (memoized hash — no per-packet rehash).
+  stack::CpuCore& core = host_.softirq_for_hash(conn.flow_hash);
   const ConnId id = conn_id(conn.flow);
   const auto& costs = host_.costs();
   // GRO: continuation packets of a TSO burst coalesce cheaply.
@@ -301,12 +309,14 @@ void TcpEndpoint::deliver_in_order(Connection& conn) {
   auto it = conn.out_of_order.begin();
   while (it != conn.out_of_order.end()) {
     const std::uint64_t seq = it->first;
-    Bytes& data = it->second;
+    const PayloadSlice& data = it->second;
     if (seq > conn.rcv_nxt) break;  // gap
     if (seq + data.size() <= conn.rcv_nxt) {
       it = conn.out_of_order.erase(it);  // stale duplicate
       continue;
     }
+    // Gather-copy out of the parked slices — the receive side's single
+    // copy (everything upstream of here passed slab views).
     const std::size_t skip = std::size_t(conn.rcv_nxt - seq);
     chunk.insert(chunk.end(), data.begin() + std::ptrdiff_t(skip), data.end());
     conn.rcv_nxt = seq + data.size();
@@ -316,7 +326,7 @@ void TcpEndpoint::deliver_in_order(Connection& conn) {
 
   // Streaming delivery: copy cost now, then hand to the application. This
   // is TCP's large-message advantage — no waiting for a full message.
-  stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
+  stack::CpuCore& core = host_.softirq_for_hash(conn.flow_hash);
   const ConnId id = conn_id(conn.flow);
   core.run(host_.costs().copy_cost(chunk.size()),
            [this, id, chunk = std::move(chunk)]() mutable {
@@ -330,8 +340,8 @@ void TcpEndpoint::send_ack(Connection& conn) {
   ack.hdr.type = PacketType::ack;
   ack.hdr.msg_id = conn.rcv_nxt;  // 64-bit cumulative ack
   ack.hdr.ack = static_cast<std::uint32_t>(conn.rcv_nxt);
-  stack::CpuCore& core = host_.softirq_for_flow(conn.flow);
-  const std::size_t queue = host_.nic().tx_queue_for(conn.flow);
+  stack::CpuCore& core = host_.softirq_for_hash(conn.flow_hash);
+  const std::size_t queue = host_.nic().tx_queue_for_hash(conn.flow_hash);
   core.run(host_.costs().ctrl_packet, [this, queue, &core, ack]() mutable {
     sim::SegmentDescriptor d;
     d.segment = std::move(ack);

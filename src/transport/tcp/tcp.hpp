@@ -103,6 +103,8 @@ class TcpEndpoint {
 
   struct Connection {
     sim::FiveTuple flow;  // local perspective (src = this host)
+    std::size_t flow_hash = 0;  // memoized flow.hash(): per-packet queue and
+                                // softirq-core choices never rehash the tuple
     // Send side.
     Bytes send_buffer;          // bytes from snd_una onward
     std::uint64_t snd_una = 0;  // first unacked stream offset
@@ -116,7 +118,10 @@ class TcpEndpoint {
     tls::CipherSuite tls_suite = tls::CipherSuite::aes_128_gcm_sha256;
     // Receive side.
     std::uint64_t rcv_nxt = 0;
-    std::map<std::uint64_t, Bytes> out_of_order;  // seq -> payload
+    // seq -> payload view. Out-of-order segments park their SLICE (pinning
+    // the sender's slab) until in-order delivery gather-copies them — the
+    // receive side's single copy.
+    std::map<std::uint64_t, PayloadSlice> out_of_order;
     std::uint32_t ack_pending = 0;  // delayed-ACK counter
     bool ack_timer_armed = false;
   };

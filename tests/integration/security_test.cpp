@@ -66,7 +66,7 @@ TEST(Security, InjectionWithForgedPayloadRejected) {
       injected = true;
       sim::Packet forged = pkt;
       forged.hdr.msg_id = 999;  // unseen ID: passes the replay filter
-      for (auto& b : forged.payload) b ^= 0x5a;  // attacker ciphertext
+      for (auto& b : forged.payload.mutate()) b ^= 0x5a;  // attacker bytes
       bed.loop.schedule(usec(5), [&bed, forged]() mutable {
         bed.server_host->nic().receive(std::move(forged));
       });
@@ -98,7 +98,7 @@ TEST(Security, TruncationDetected) {
   AttackBed bed;
   bed.mitm([](sim::Packet& pkt) {
     if (pkt.hdr.type == sim::PacketType::data && pkt.payload.size() > 32) {
-      pkt.payload.resize(pkt.payload.size() - 16);  // drop the tag bytes
+      pkt.payload.truncate(pkt.payload.size() - 16);  // drop the tag bytes
       pkt.hdr.msg_len -= 16;
     }
   });

@@ -173,13 +173,14 @@ class NicBatchingCryptoTest : public NicBatchingTest {
     d.segment.hdr.flow.proto = Proto::smt;
     d.segment.hdr.msg_id = seq;
     const std::size_t inner_len = plaintext.size() + 1;
-    Bytes& payload = d.segment.payload;
+    Bytes payload;
     append_u8(payload, 23);
     append_u16be(payload, 0x0303);
     append_u16be(payload, std::uint16_t(inner_len + 16));
     append(payload, plaintext);
     append_u8(payload, 23);
     payload.resize(payload.size() + 16, 0);
+    d.segment.payload = std::move(payload);
 
     TlsRecordDesc rec;
     rec.context_id = ctx;

@@ -34,13 +34,14 @@ class NicOffloadTest : public ::testing::Test {
     // Layout: 5-byte record header | plaintext+type byte | 16-byte tag room.
     const std::size_t inner_len = plaintext.size() + 1;  // + content type
     const std::size_t body_len = inner_len + 16;
-    Bytes& payload = d.segment.payload;
+    Bytes payload;
     append_u8(payload, 23);  // application_data
     append_u16be(payload, 0x0303);
     append_u16be(payload, std::uint16_t(body_len));
     append(payload, plaintext);
     append_u8(payload, 23);  // TLSInnerPlaintext content type byte
     payload.resize(payload.size() + 16, 0);  // tag space
+    d.segment.payload = std::move(payload);
 
     TlsRecordDesc rec;
     rec.context_id = ctx;

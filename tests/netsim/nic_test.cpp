@@ -145,8 +145,9 @@ TEST_F(NicTest, CountersTrackActivity) {
 
 TEST_F(NicTest, PayloadContentPreservedAcrossSplit) {
   SegmentDescriptor d = make_segment(3500, Proto::smt);
-  for (std::size_t i = 0; i < d.segment.payload.size(); ++i) {
-    d.segment.payload[i] = std::uint8_t(i & 0xff);
+  MutByteView bytes = d.segment.payload.mutate();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = std::uint8_t(i & 0xff);
   }
   nic_.post_segment(0, d);
   loop_.run();
@@ -155,6 +156,54 @@ TEST_F(NicTest, PayloadContentPreservedAcrossSplit) {
   ASSERT_EQ(reassembled.size(), 3500u);
   for (std::size_t i = 0; i < reassembled.size(); ++i) {
     ASSERT_EQ(reassembled[i], std::uint8_t(i & 0xff)) << "at " << i;
+  }
+}
+
+TEST_F(NicTest, MemoizedFlowHashMatchesFreshHashAfterRewrites) {
+  // The steering satellite's invariant: the header's cached RSS hash can
+  // NEVER desync from the five tuple, including across the reply path's
+  // reversed() rewrite — a stale cache would steer a flow to the wrong
+  // ring/core while the tuple says otherwise.
+  PacketHeader hdr;
+  FiveTuple flow;
+  flow.src_ip = 0x0a000001;
+  flow.dst_ip = 0x0a000002;
+  flow.src_port = 777;
+  flow.dst_port = 443;
+  flow.proto = Proto::smt;
+  hdr.set_flow(flow);
+  EXPECT_EQ(hdr.flow_hash(), flow.hash());
+
+  // Reply path: rewrite to the reversed tuple THROUGH set_flow.
+  hdr.set_flow(hdr.flow.reversed());
+  EXPECT_EQ(hdr.flow_hash(), hdr.flow.hash())
+      << "cache survived a header rewrite without refreshing";
+  EXPECT_NE(hdr.flow_hash(), flow.hash());  // reversed hash really differs
+
+  // And back again — memoization is just a cache, never a second truth.
+  hdr.set_flow(hdr.flow.reversed());
+  EXPECT_EQ(hdr.flow_hash(), flow.hash());
+}
+
+TEST_F(NicTest, TsoStampsTheFlowHashIntoEveryPacket) {
+  SegmentDescriptor d = make_segment(4000, Proto::smt);
+  d.segment.hdr.flow.src_ip = 0x0a000001;
+  d.segment.hdr.flow.dst_ip = 0x0a000002;
+  d.segment.hdr.flow.src_port = 7;
+  d.segment.hdr.flow.dst_port = 9;
+  const FiveTuple flow = d.segment.hdr.flow;
+  nic_.post_segment(0, std::move(d));
+  loop_.run();
+
+  ASSERT_EQ(received_.size(), 3u);
+  for (const Packet& pkt : received_) {
+    // Memoized once per segment, replicated per packet, equal to a fresh
+    // hash — so hash-based and tuple-based steering agree packet by packet.
+    EXPECT_NE(pkt.hdr.flow_hash_cache, 0u);
+    EXPECT_EQ(pkt.hdr.flow_hash_cache, flow.hash());
+    EXPECT_EQ(nic_.rx_queue_for(pkt.hdr), nic_.rx_queue_for(pkt.hdr.flow));
+    EXPECT_EQ(nic_.tx_queue_for_hash(pkt.hdr.flow_hash()),
+              nic_.tx_queue_for(pkt.hdr.flow));
   }
 }
 

@@ -194,7 +194,7 @@ TEST_P(SmtEndpointTest, ReplayedWireMessageDropped) {
 TEST_P(SmtEndpointTest, TamperedPacketRejected) {
   link_.a2b().set_receiver([this](sim::Packet pkt) {
     if (pkt.hdr.type == sim::PacketType::data && !pkt.payload.empty()) {
-      pkt.payload[pkt.payload.size() / 2] ^= 0x01;  // in-network tamper
+      pkt.payload.mutate()[pkt.payload.size() / 2] ^= 0x01;  // tamper
     }
     server_host_.nic().receive(std::move(pkt));
   });
