@@ -31,18 +31,40 @@
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
 std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+// Per-thread tallies, flushed to the globals in batches: the sharded
+// engine runs one allocating thread per shard, and a fetch_add per
+// allocation would bounce these two cache lines between cores hard
+// enough to serialize the very parallelism the shard-scaling scenario
+// measures. Batching keeps the hot path core-local; the main thread
+// flushes explicitly around the single-threaded measured runs, so
+// allocs/rpc stays exact (worker-thread residues of < 1024 allocs can
+// linger, but no metric reads those).
+thread_local std::uint64_t t_alloc_count = 0;
+thread_local std::uint64_t t_alloc_bytes = 0;
+
+inline void flush_alloc_tally() noexcept {
+  g_alloc_count.fetch_add(t_alloc_count, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(t_alloc_bytes, std::memory_order_relaxed);
+  t_alloc_count = 0;
+  t_alloc_bytes = 0;
+}
+
+inline void note_alloc(std::size_t size) noexcept {
+  ++t_alloc_count;
+  t_alloc_bytes += size;
+  if (t_alloc_count >= 1024) flush_alloc_tally();
+}
 }  // namespace
 
 void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  note_alloc(size);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
 
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  note_alloc(size);
   return std::malloc(size);
 }
 
@@ -95,11 +117,13 @@ SimPerfResult run_scenario(RpcFabricConfig config, std::size_t rpc_bytes,
   };
   for (std::size_t i = 0; i < concurrency; ++i) issue(i);
 
+  flush_alloc_tally();
   const std::uint64_t allocs_before =
       g_alloc_count.load(std::memory_order_relaxed);
   const auto wall_start = std::chrono::steady_clock::now();
   const std::size_t events = fabric.loop().run();
   const auto wall_end = std::chrono::steady_clock::now();
+  flush_alloc_tally();
 
   SimPerfResult r;
   r.wall_sec = std::chrono::duration<double>(wall_end - wall_start).count();
@@ -118,6 +142,169 @@ double peak_rss_mib() {
   struct rusage usage{};
   getrusage(RUSAGE_SELF, &usage);
   return double(usage.ru_maxrss) / 1024.0;  // Linux: ru_maxrss is in KiB
+}
+
+// --- shard scaling ---------------------------------------------------------
+//
+// Multi-host scenario for the sharded engine (netsim/shard.hpp): K
+// independent RpcFabric pairs share one ShardedEngine, client host of pair
+// i on shard i%S and server host on shard (i+1)%S — so every pair's link
+// crosses a shard boundary whenever S > 1, and S=1 degenerates to the
+// plain single-threaded engine. Wall-clock events/s across S is THE
+// headline number for the sharded engine; virtual-time results stay
+// deterministic per shard count (shardN_virtual_end_ns is the witness CI
+// can compare across runs).
+
+struct ShardScalingResult {
+  double wall_sec = 0;
+  std::uint64_t events = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t cross_posts = 0;
+  std::int64_t virtual_end_ns = 0;  // sum of per-pair last completions
+};
+
+/// Compute-bound multi-host ring: 8 forwarding nodes over S shards,
+/// connected by Links whose deliveries cross shard boundaries, each node
+/// charging a fixed arithmetic cost per packet. This is the ENGINE
+/// scaling measurement: per-event work is core-local compute, so
+/// events/s tracks the worker pool's real parallelism. (The RPC fleet
+/// below is the opposite regime — pointer-chasing, memory-latency-bound
+/// per-event work — whose scaling is capped by the host's memory
+/// parallelism, not by the engine.)
+ShardScalingResult run_shard_ring(std::size_t shards, std::size_t rounds) {
+  constexpr std::size_t kHosts = 8;
+  constexpr std::size_t kTokensPerHost = 64;
+  const SimDuration propagation = usec(100);
+  sim::ShardedEngine engine(shards, propagation);
+
+  sim::LinkConfig lc;
+  lc.bandwidth_gbps = 100.0;
+  lc.propagation = propagation;
+  std::vector<std::unique_ptr<sim::Link>> links;  // link h: host h -> h+1
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    const std::size_t next = (h + 1) % kHosts;
+    links.push_back(std::make_unique<sim::Link>(
+        engine.loop(h % shards), engine.loop(next % shards), lc));
+    if (h % shards != next % shards) {
+      links.back()->a2b().set_remote_scheduler(
+          engine.remote_scheduler(h % shards, next % shards));
+    }
+  }
+
+  // Per-host state, touched only by that host's shard thread.
+  struct Node {
+    std::uint64_t forwarded = 0;
+    SimTime last_rx = 0;
+    double sink = 1.0;
+  };
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    nodes.push_back(std::make_unique<Node>());
+  }
+  const std::uint64_t hop_budget = rounds * kTokensPerHost;
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    Node& node = *nodes[h];
+    sim::Link& out = *links[h];
+    links[(h + kHosts - 1) % kHosts]->a2b().set_receiver(
+        [&node, &out, hop_budget](sim::Packet pkt) {
+          // ~3 us of register arithmetic: the simulated per-packet
+          // forwarding cost, deliberately cache-resident.
+          volatile double x = node.sink;
+          for (int k = 0; k < 1000; ++k) x = x * 1.0000001;
+          node.sink = x;
+          if (++node.forwarded <= hop_budget) out.a2b().send(std::move(pkt));
+        });
+  }
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    for (std::size_t t = 0; t < kTokensPerHost; ++t) {
+      sim::Packet pkt;
+      pkt.payload.assign(64, 0x5a);
+      links[h]->a2b().send(std::move(pkt));
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t events = engine.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ShardScalingResult r;
+  r.wall_sec = std::chrono::duration<double>(wall_end - wall_start).count();
+  r.events = events;
+  r.windows = engine.stats().windows;
+  r.cross_posts = engine.stats().cross_posts;
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    r.completed += nodes[h]->forwarded;
+    r.virtual_end_ns += std::int64_t(engine.now(h % shards));
+  }
+  return r;
+}
+
+ShardScalingResult run_shard_scaling(std::size_t shards, std::size_t pairs,
+                                     std::size_t rpc_bytes,
+                                     std::size_t concurrency,
+                                     std::size_t ops_per_pair) {
+  // Lookahead = link propagation: the widest window the conservative
+  // contract allows for this topology (100 us keeps the barrier count low
+  // enough that window work dwarfs synchronization cost).
+  const SimDuration propagation = usec(100);
+  sim::ShardedEngine engine(shards, propagation);
+
+  // Per-pair state: everything in here is only ever touched by the pair's
+  // client shard thread (channel completions run on the client loop), so
+  // pairs on different shards share nothing.
+  struct Pair {
+    std::unique_ptr<RpcFabric> fabric;
+    std::vector<std::unique_ptr<RpcChannel>> channels;
+    std::size_t issued = 0;
+    std::size_t completed = 0;
+    SimTime last_completion = 0;
+    std::function<void(std::size_t)> issue;
+  };
+  std::vector<std::unique_ptr<Pair>> fleet;
+
+  for (std::size_t i = 0; i < pairs; ++i) {
+    RpcFabricConfig config;
+    config.kind = TransportKind::smt_hw;
+    config.propagation = propagation;
+    auto pair = std::make_unique<Pair>();
+    pair->fabric = std::make_unique<RpcFabric>(
+        config, engine, /*client_shard=*/i % shards,
+        /*server_shard=*/(i + 1) % shards);
+    for (std::size_t c = 0; c < concurrency; ++c) {
+      pair->channels.push_back(pair->fabric->make_channel(c));
+    }
+    Pair& p = *pair;
+    p.issue = [&p, rpc_bytes, ops_per_pair](std::size_t slot) {
+      if (p.issued >= ops_per_pair) return;
+      ++p.issued;
+      p.channels[slot]->call(Bytes(rpc_bytes, 0x5a), std::uint32_t(rpc_bytes),
+                             [&p, slot](SimDuration, Bytes) {
+                               ++p.completed;
+                               p.last_completion = p.fabric->loop().now();
+                               p.issue(slot);
+                             });
+    };
+    fleet.push_back(std::move(pair));
+  }
+  for (auto& pair : fleet) {
+    for (std::size_t c = 0; c < concurrency; ++c) pair->issue(c);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t events = engine.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ShardScalingResult r;
+  r.wall_sec = std::chrono::duration<double>(wall_end - wall_start).count();
+  r.events = events;
+  r.windows = engine.stats().windows;
+  r.cross_posts = engine.stats().cross_posts;
+  for (const auto& pair : fleet) {
+    r.completed += pair->completed;
+    r.virtual_end_ns += std::int64_t(pair->last_completion);
+  }
+  return r;
 }
 
 }  // namespace
@@ -165,6 +352,83 @@ int main(int argc, char** argv) {
       json_metric("completed", double(r.completed));
     }
   }
+  // --- shard scaling sweep -------------------------------------------------
+  // `--shards N` pins a single shard count; the default sweeps 1/2/4.
+  std::vector<std::size_t> shard_counts = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts = {std::size_t(std::atoi(argv[i + 1]))};
+    }
+  }
+  // Interleaved repetitions, best wall time kept per shard count: shared
+  // CI runners throttle unpredictably on a scale of seconds, so a single
+  // 1-shard-then-N-shard sequence confounds scaling with host drift.
+  // Interleaving rides every shard count through the same throttle
+  // phases, and the min is the standard noise-robust wall-clock estimate.
+  const auto sweep_shards =
+      [&](const char* tag, int reps,
+          const std::function<ShardScalingResult(std::size_t)>& scenario) {
+        std::printf("%-8s %12s %12s %10s %12s %14s %10s\n", "shards",
+                    "wall_ms", "events/s", "windows", "cross_posts",
+                    "virt_end_ns", "speedup");
+        std::vector<ShardScalingResult> best(shard_counts.size());
+        for (int rep = 0; rep < reps; ++rep) {
+          for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+            const ShardScalingResult r = scenario(shard_counts[i]);
+            if (best[i].wall_sec == 0 || r.wall_sec < best[i].wall_sec) {
+              best[i] = r;
+            }
+          }
+        }
+        double base_events_per_sec = 0;
+        for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+          const std::size_t shards = shard_counts[i];
+          const ShardScalingResult& r = best[i];
+          const double events_per_sec = double(r.events) / r.wall_sec;
+          if (base_events_per_sec == 0) base_events_per_sec = events_per_sec;
+          const double speedup = events_per_sec / base_events_per_sec;
+          std::printf("%-8zu %12.1f %12.0f %10llu %12llu %14lld %9.2fx\n",
+                      shards, r.wall_sec * 1e3, events_per_sec,
+                      static_cast<unsigned long long>(r.windows),
+                      static_cast<unsigned long long>(r.cross_posts),
+                      static_cast<long long>(r.virtual_end_ns), speedup);
+          char key[80];
+          std::snprintf(key, sizeof key, "%s_shard%zu_events_per_sec", tag,
+                        shards);
+          json_metric(key, events_per_sec);
+          std::snprintf(key, sizeof key, "%s_shard%zu_virtual_end_ns", tag,
+                        shards);
+          json_metric(key, double(r.virtual_end_ns));
+          if (shards == shard_counts.back() &&
+              shards != shard_counts.front()) {
+            std::snprintf(key, sizeof key, "%s_shard_speedup_max_vs_1", tag);
+            json_metric(key, speedup);
+            std::snprintf(key, sizeof key, "%s_shard_cross_posts", tag);
+            json_metric(key, double(r.cross_posts));
+          }
+        }
+      };
+
+  const std::size_t ring_rounds = smoke() ? 40 : 200;
+  std::printf("\nShard scaling, compute-bound ring (8 hosts, 64 tokens/host, "
+              "%zu rounds)\n",
+              ring_rounds);
+  sweep_shards("ring", /*reps=*/5, [&](std::size_t shards) {
+    return run_shard_ring(shards, ring_rounds);
+  });
+
+  const std::size_t pairs = 4;
+  const std::size_t per_pair_concurrency = 50;
+  const std::size_t ops_per_pair = smoke() ? 1500 : 12500;
+  std::printf("\nShard scaling, RPC fleet (%zu host pairs, c=%zu/pair, "
+              "%zu ops/pair, smt-hw 1024B; memory-latency-bound — scaling "
+              "capped by the host's memory parallelism)\n",
+              pairs, per_pair_concurrency, ops_per_pair);
+  sweep_shards("rpc", /*reps=*/3, [&](std::size_t shards) {
+    return run_shard_scaling(shards, pairs, 1024, per_pair_concurrency,
+                             ops_per_pair);
+  });
+
   json_metric("peak_rss_mib", peak_rss_mib());
   std::printf("peak RSS: %.1f MiB\n", peak_rss_mib());
   return 0;

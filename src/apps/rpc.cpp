@@ -60,6 +60,23 @@ RpcFabric::RpcFabric(RpcFabricConfig config)
   setup_transports();
 }
 
+RpcFabric::RpcFabric(RpcFabricConfig config, sim::ShardedEngine& engine,
+                     std::size_t client_shard, std::size_t server_shard)
+    : config_(config),
+      client_loop_(&engine.loop(client_shard)),
+      server_loop_(&engine.loop(server_shard)),
+      engine_(&engine),
+      client_shard_(client_shard),
+      server_shard_(server_shard),
+      rng_(to_bytes(std::string_view("rpc-fabric-seed"))) {
+  assert(client_shard == server_shard ||
+         config_.propagation >= engine.lookahead());
+  handler_ = [](ByteView) { return RpcReply{}; };
+  setup_hosts();
+  establish_keys();
+  setup_transports();
+}
+
 RpcFabric::~RpcFabric() = default;
 
 void RpcFabric::setup_hosts() {
@@ -85,10 +102,10 @@ void RpcFabric::setup_hosts() {
 
   hc.ip = 1;
   hc.app_cores = config_.client_app_cores;
-  client_host_ = std::make_unique<stack::Host>(loop_, hc);
+  client_host_ = std::make_unique<stack::Host>(*client_loop_, hc);
   hc.ip = 2;
   hc.app_cores = config_.server_app_cores;
-  server_host_ = std::make_unique<stack::Host>(loop_, hc);
+  server_host_ = std::make_unique<stack::Host>(*server_loop_, hc);
   if (config_.irq_rebalance_period > 0) {
     client_host_->enable_irq_rebalance(config_.irq_rebalance_period);
     server_host_->enable_irq_rebalance(config_.irq_rebalance_period);
@@ -98,8 +115,15 @@ void RpcFabric::setup_hosts() {
   lc.bandwidth_gbps = config_.bandwidth_gbps;
   lc.propagation = config_.propagation;
   lc.loss_rate = config_.loss_rate;
-  link_ = std::make_unique<sim::Link>(loop_, lc);
-  stack::connect_hosts(*client_host_, *server_host_, *link_);
+  // Each direction's sender-side state lives on the sending host's loop;
+  // with both hosts on one loop this is the classic back-to-back wiring.
+  link_ = std::make_unique<sim::Link>(*client_loop_, *server_loop_, lc);
+  if (engine_ != nullptr) {
+    stack::connect_hosts(*client_host_, *server_host_, *link_, *engine_,
+                         client_shard_, server_shard_);
+  } else {
+    stack::connect_hosts(*client_host_, *server_host_, *link_);
+  }
 }
 
 void RpcFabric::establish_keys() {
@@ -413,7 +437,7 @@ void RpcChannel::call(Bytes request, std::uint32_t resp_len,
   append_u32be(message, resp_len);
   append(message, request);
 
-  pending_[corr] = Pending{fabric_.loop_.now(), std::move(done)};
+  pending_[corr] = Pending{fabric_.loop().now(), std::move(done)};
 
   stack::CpuCore& core = fabric_.client_host_->app_core(app_core_);
   switch (fabric_.config_.kind) {
@@ -469,7 +493,7 @@ void RpcChannel::on_response(Bytes message) {
   core.run(fabric_.client_host_->costs().wakeup,
            [this, issued, done = std::move(pending.done),
             payload = std::move(payload)]() mutable {
-             done(fabric_.loop_.now() - issued, std::move(payload));
+             done(fabric_.loop().now() - issued, std::move(payload));
            });
 }
 

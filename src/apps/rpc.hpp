@@ -25,6 +25,7 @@
 #include "baselines/ktls.hpp"
 #include "crypto/drbg.hpp"
 #include "netsim/link.hpp"
+#include "netsim/shard.hpp"
 #include "smt/endpoint.hpp"
 #include "tls/engine.hpp"
 #include "transport/homa/homa.hpp"
@@ -105,6 +106,16 @@ class RpcChannel;
 class RpcFabric {
  public:
   explicit RpcFabric(RpcFabricConfig config);
+
+  /// Sharded form: the client host lives on engine.loop(client_shard) and
+  /// the server host on engine.loop(server_shard); when the shards differ,
+  /// the connecting link's packet hops become cross-shard mailbox posts
+  /// (config.propagation must be >= engine.lookahead()). Drive the run
+  /// with engine.run() instead of loop().run(). With client_shard ==
+  /// server_shard — in particular any --shards 1 engine — the fabric is
+  /// byte-identical to the single-loop constructor.
+  RpcFabric(RpcFabricConfig config, sim::ShardedEngine& engine,
+            std::size_t client_shard, std::size_t server_shard);
   ~RpcFabric();
 
   RpcFabric(const RpcFabric&) = delete;
@@ -121,7 +132,8 @@ class RpcFabric {
   /// Creates a client slot pinned to a client app core.
   std::unique_ptr<RpcChannel> make_channel(std::size_t app_core_index);
 
-  sim::EventLoop& loop() noexcept { return loop_; }
+  /// The client-side event loop (the fabric's only loop when not sharded).
+  sim::EventLoop& loop() noexcept { return *client_loop_; }
   stack::Host& client_host() noexcept { return *client_host_; }
   stack::Host& server_host() noexcept { return *server_host_; }
   const RpcFabricConfig& config() const noexcept { return config_; }
@@ -165,7 +177,14 @@ class RpcFabric {
                          Bytes message);
 
   RpcFabricConfig config_;
-  sim::EventLoop loop_;
+  sim::EventLoop loop_;  // owns the fabric's loop when not sharded
+  // Where the two hosts live: both point at loop_ in the single-loop
+  // form; at engine shards in the sharded form.
+  sim::EventLoop* client_loop_ = &loop_;
+  sim::EventLoop* server_loop_ = &loop_;
+  sim::ShardedEngine* engine_ = nullptr;
+  std::size_t client_shard_ = 0;
+  std::size_t server_shard_ = 0;
   crypto::HmacDrbg rng_;
   std::unique_ptr<stack::Host> client_host_;
   std::unique_ptr<stack::Host> server_host_;

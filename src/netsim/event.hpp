@@ -28,6 +28,8 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -189,6 +191,30 @@ class EventLoop {
     return executed;
   }
 
+  /// Sentinel returned by earliest() when no events are pending.
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
+  /// Timestamp of the earliest pending event, or kNoEvent. The sharded
+  /// engine's coordinator uses this to pick each barrier window's floor.
+  SimTime earliest() const noexcept {
+    return heap_.empty() ? kNoEvent : heap_.front().when;
+  }
+
+  /// Runs every event with `when` STRICTLY before `horizon`, then stops.
+  /// Unlike run_until, now() is NOT advanced to the horizon: it stays at
+  /// the last executed event, so a cross-shard arrival scheduled later for
+  /// any time >= horizon is never clamped forward. This is the per-window
+  /// drive of the sharded engine (see netsim/shard.hpp); single-threaded
+  /// callers keep using run()/run_until, whose behaviour is unchanged.
+  std::size_t run_ready_before(SimTime horizon) {
+    std::size_t executed = 0;
+    while (!heap_.empty() && heap_.front().when < horizon && !stopped_) {
+      run_top();
+      ++executed;
+    }
+    return executed;
+  }
+
   /// Stops the loop from inside a callback.
   void stop() noexcept { stopped_ = true; }
   bool stopped() const noexcept { return stopped_; }
@@ -268,5 +294,12 @@ class EventLoop {
   std::vector<PooledEvent> pool_;  // free-listed closure storage
   std::uint32_t free_head_ = kNone;
 };
+
+/// Schedules a callback onto ANOTHER shard's event loop at an absolute
+/// virtual time — a cross-shard mailbox post (netsim/shard.hpp). A link
+/// direction or switch egress port wired with one of these delivers into
+/// the remote shard's mailbox instead of scheduling locally; the stamped
+/// time must respect the engine's lookahead contract.
+using RemoteScheduler = std::function<void(SimTime when, EventCallback fn)>;
 
 }  // namespace smt::sim

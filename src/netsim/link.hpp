@@ -35,6 +35,17 @@ class LinkDirection {
     drop_predicate_ = std::move(predicate);
   }
 
+  /// Marks this direction as CROSS-SHARD: delivery becomes a mailbox post
+  /// to the receiver's shard (ShardedEngine::remote_scheduler) stamped
+  /// with the arrival time, instead of a local schedule_at. The sender's
+  /// serialisation cursor, counters, and loss RNG stay on THIS shard; only
+  /// the receiver callback runs remotely. The lookahead contract requires
+  /// config.propagation >= the engine's lookahead. Wire before run():
+  /// receiver_ and remote_ are read concurrently afterwards.
+  void set_remote_scheduler(RemoteScheduler remote) {
+    remote_ = std::move(remote);
+  }
+
   void send(Packet packet) {
     const double bits = double(packet.wire_size()) * 8.0;
     const auto serialization =
@@ -53,9 +64,14 @@ class LinkDirection {
     }
 
     const SimTime arrival = next_free_ + config_.propagation;
-    loop_.schedule_at(arrival, [this, pkt = std::move(packet)]() mutable {
+    auto deliver = [this, pkt = std::move(packet)]() mutable {
       if (receiver_) receiver_(std::move(pkt));
-    });
+    };
+    if (remote_) {
+      remote_(arrival, std::move(deliver));  // cross-shard mailbox post
+    } else {
+      loop_.schedule_at(arrival, std::move(deliver));
+    }
   }
 
   std::uint64_t packets_sent() const noexcept { return packets_sent_; }
@@ -66,6 +82,7 @@ class LinkDirection {
   LinkConfig config_;
   Rng rng_;
   PacketHandler receiver_;
+  RemoteScheduler remote_;  // set => cross-shard delivery
   std::function<bool(const Packet&)> drop_predicate_;
   SimTime next_free_ = 0;
   std::uint64_t packets_sent_ = 0;
@@ -77,6 +94,13 @@ class Link {
  public:
   Link(EventLoop& loop, const LinkConfig& config)
       : a2b_(loop, config), b2a_(loop, config) {}
+
+  /// Cross-shard form: each direction's sender-side state (serialisation
+  /// cursor, counters, loss RNG) lives on the SENDING endpoint's loop, so
+  /// a Link can span two shards. With a_loop == b_loop this is identical
+  /// to the single-loop constructor.
+  Link(EventLoop& a_loop, EventLoop& b_loop, const LinkConfig& config)
+      : a2b_(a_loop, config), b2a_(b_loop, config) {}
 
   LinkDirection& a2b() noexcept { return a2b_; }
   LinkDirection& b2a() noexcept { return b2a_; }

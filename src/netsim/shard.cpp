@@ -1,0 +1,225 @@
+#include "netsim/shard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace smt::sim {
+
+namespace {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__)
+  _mm_pause();
+#endif
+}
+
+// Centralized epoch-counting barrier with an inline completion step,
+// spin-then-yield waiting. std::barrier's futex sleep/wake costs tens of
+// microseconds per window on virtualized hosts (sandboxed runners
+// intercept the syscall), which dwarfs a typical window's event work;
+// spinning costs ~1 us. The worker pool never exceeds the core count
+// (see ShardedEngine::run), so a spinning waiter occupies an otherwise
+// idle core, not a busy one.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t n) : n_(n) {}
+
+  /// Blocks until all n participants arrive. The LAST arriver runs
+  /// `complete` while every other participant is still parked, then
+  /// releases them; `complete`'s writes happen-before the return of every
+  /// other participant's arrive_and_wait (release/acquire on epoch_), and
+  /// each participant's prior writes happen-before `complete` (acq_rel on
+  /// arrived_).
+  template <typename Completion>
+  void arrive_and_wait(Completion&& complete) {
+    const std::uint64_t my_epoch = epoch_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      complete();
+      arrived_.store(0, std::memory_order_relaxed);
+      epoch_.store(my_epoch + 1, std::memory_order_release);
+      return;
+    }
+    std::size_t spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == my_epoch) {
+      if (++spins < 4096) {
+        cpu_relax();
+      } else {
+        // Safety valve for oversubscribed hosts (other processes, or
+        // hardware_concurrency lying): stop burning the core.
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+ private:
+  const std::size_t n_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(std::size_t shards, SimDuration lookahead)
+    : lookahead_(lookahead < 1 ? 1 : lookahead) {
+  assert(shards >= 1);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void ShardedEngine::post_from(std::size_t src, std::size_t dst, SimTime when,
+                              EventCallback fn) {
+  if (shards_.size() == 1) {
+    // One-shard mode is byte-identical to the plain engine: a "remote"
+    // post IS a local schedule_at, with the same seq assignment.
+    shards_[0]->loop.schedule_at(when, std::move(fn));
+    return;
+  }
+  // Lookahead contract: a post made inside window [T, H) must not land
+  // before H — the destination may already have executed past `when`.
+  assert(when >= horizon_ &&
+         "cross-shard post violates the lookahead contract");
+  Shard& shard = *shards_[dst];
+  const std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+  shard.inbox.push_back(
+      Mail{when, std::uint32_t(src), shard.inbox_seq++, std::move(fn)});
+}
+
+void ShardedEngine::drain_inboxes() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::vector<Mail> batch;
+    {
+      const std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+      batch.swap(shard.inbox);
+    }
+    if (batch.empty()) continue;
+    // (when, src, seq): a single source's same-time posts keep their
+    // program order (its seqs are monotone even under interleaving);
+    // cross-source ties break by shard id. Deterministic run-to-run.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Mail& a, const Mail& b) {
+                       if (a.when != b.when) return a.when < b.when;
+                       if (a.src != b.src) return a.src < b.src;
+                       return a.seq < b.seq;
+                     });
+    for (Mail& mail : batch) {
+      assert(mail.when >= shard.loop.now() &&
+             "mailbox delivery behind the destination shard's clock");
+      shard.loop.schedule_at(mail.when, std::move(mail.fn));
+    }
+    stats_.cross_posts += batch.size();
+  }
+}
+
+SimTime ShardedEngine::earliest_pending() const {
+  SimTime earliest = EventLoop::kNoEvent;
+  for (const auto& shard : shards_) {
+    earliest = std::min(earliest, shard->loop.earliest());
+  }
+  return earliest;
+}
+
+std::size_t ShardedEngine::run() {
+  if (shards_.size() == 1) {
+    // Byte- and instruction-identical to the single-threaded engine: no
+    // threads, no barriers, no windows.
+    const std::size_t executed = shards_[0]->loop.run();
+    stats_.events += executed;
+    return executed;
+  }
+
+  const std::size_t n = shards_.size();
+  std::size_t executed_before = 0;
+  for (const auto& shard : shards_) executed_before += shard->executed;
+
+  // Worker pool: never more threads than cores. A worker owns the shards
+  // s ≡ w (mod T) and runs them sequentially inside each window — the
+  // window schedule is a per-shard property (mailboxes are drained only
+  // between windows), so neither the worker count nor the shard→worker
+  // assignment can change any event order. Results depend on the shard
+  // COUNT alone, not on the machine's core count.
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t pool = std::min(n, hw == 0 ? n : hw);
+
+  // ONE barrier round per window: the last worker to arrive runs the
+  // completion step — drains mailboxes, picks the next window (or flags
+  // completion) — while every other worker is still parked, then releases
+  // them. No coordinator thread exists, and the barrier's release/acquire
+  // ordering is all the synchronization horizon_ and done_ need.
+  SpinBarrier gate(pool);
+  auto between_windows = [this]() noexcept {
+    drain_inboxes();
+    const SimTime floor = earliest_pending();
+    if (floor == EventLoop::kNoEvent) {
+      done_ = true;
+      return;
+    }
+    horizon_ = floor + lookahead_;
+    ++stats_.windows;
+  };
+
+  const bool trace = std::getenv("SMT_SHARD_TRACE") != nullptr;
+  std::vector<std::thread> workers;
+  workers.reserve(pool);
+  for (std::size_t w = 0; w < pool; ++w) {
+    workers.emplace_back([this, &gate, &between_windows, w, n, pool, trace] {
+      std::uint64_t work_ns = 0, wait_ns = 0, ran = 0;
+      for (;;) {
+        if (trace) {
+          // Work/wait breakdown (SMT_SHARD_TRACE=1): where does each
+          // worker's wall time go — event execution or the barrier?
+          const auto t0 = std::chrono::steady_clock::now();
+          gate.arrive_and_wait(between_windows);
+          const auto t1 = std::chrono::steady_clock::now();
+          wait_ns += std::uint64_t(std::chrono::nanoseconds(t1 - t0).count());
+          if (done_) break;
+          for (std::size_t s = w; s < n; s += pool) {
+            Shard& shard = *shards_[s];
+            const std::size_t e = shard.loop.run_ready_before(horizon_);
+            shard.executed += e;
+            ran += e;
+          }
+          work_ns += std::uint64_t(std::chrono::nanoseconds(
+                                       std::chrono::steady_clock::now() - t1)
+                                       .count());
+        } else {
+          gate.arrive_and_wait(between_windows);
+          if (done_) break;
+          for (std::size_t s = w; s < n; s += pool) {
+            Shard& shard = *shards_[s];
+            shard.executed += shard.loop.run_ready_before(horizon_);
+          }
+        }
+      }
+      if (trace) {
+        std::fprintf(stderr,
+                     "[shard worker %zu] events=%llu work=%.1fms wait=%.1fms\n",
+                     w, static_cast<unsigned long long>(ran), work_ns / 1e6,
+                     wait_ns / 1e6);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  done_ = false;  // a later run() can resume after more external posts
+
+  std::size_t executed_after = 0;
+  for (const auto& shard : shards_) executed_after += shard->executed;
+  const std::size_t executed = executed_after - executed_before;
+  stats_.events += executed;
+  return executed;
+}
+
+}  // namespace smt::sim

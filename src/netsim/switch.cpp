@@ -66,7 +66,17 @@ void Switch::drain(std::size_t port_index) {
   const SimTime start = std::max(loop_.now(), port.next_free);
   port.next_free = start + serialization;
   loop_.schedule_at(port.next_free, [this, port_index, pkt = std::move(pkt)]() mutable {
-    ports_[port_index].deliver(std::move(pkt));
+    Port& out = ports_[port_index];
+    if (out.remote) {
+      // Cross-shard egress: the deliver handler runs on the attached
+      // host's shard at now + egress_latency; drain continues here.
+      out.remote(loop_.now() + out.egress_latency,
+                 [this, port_index, pkt = std::move(pkt)]() mutable {
+                   ports_[port_index].deliver(std::move(pkt));
+                 });
+    } else {
+      out.deliver(std::move(pkt));
+    }
     drain(port_index);
   });
 }

@@ -38,8 +38,20 @@ class Switch {
   /// Adds an output port; returns its index. `deliver` receives packets
   /// after queueing + serialisation.
   std::size_t add_port(PacketHandler deliver) {
-    ports_.push_back(Port{std::move(deliver), {}, {}, 0, 0, false});
+    ports_.push_back(Port{std::move(deliver), {}, {}, {}, 0, 0, 0, false});
     return ports_.size() - 1;
+  }
+
+  /// Marks a port's egress as CROSS-SHARD: after queueing + serialisation
+  /// on this switch's shard, delivery becomes a mailbox post to the
+  /// attached host's shard at now + egress_latency (the cable run to the
+  /// remote host; must be >= the engine's lookahead). Queue accounting,
+  /// trimming, and drain order stay on the switch's shard — only the
+  /// deliver handler runs remotely. Wire before run().
+  void set_port_remote(std::size_t port, RemoteScheduler remote,
+                       SimDuration egress_latency) {
+    ports_.at(port).remote = std::move(remote);
+    ports_.at(port).egress_latency = egress_latency;
   }
 
   /// Routes an IP to a port (static forwarding table).
@@ -63,7 +75,9 @@ class Switch {
     PacketHandler deliver;
     std::deque<Packet> high_queue;  // control + trimmed stubs
     std::deque<Packet> data_queue;
+    RemoteScheduler remote;  // set => egress crosses a shard boundary
     std::size_t queued_bytes = 0;
+    SimDuration egress_latency = 0;
     SimTime next_free = 0;
     bool draining = false;
   };

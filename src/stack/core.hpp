@@ -16,6 +16,12 @@ namespace smt::stack {
 
 class CpuCore {
  public:
+  /// A core is affined to the shard that owns `loop`: under the sharded
+  /// engine (netsim/shard.hpp) all of its methods — run/charge and the
+  /// free_at_/busy_ns_ state behind them — must only be touched from that
+  /// shard's thread. Host construction guarantees this (a Host's cores
+  /// share the Host's loop); cross-shard work reaches a core only via a
+  /// mailbox post that runs on the owning shard.
   explicit CpuCore(sim::EventLoop& loop) : loop_(&loop) {}
 
   /// Enqueues `cost` nanoseconds of work; `fn` runs at completion.

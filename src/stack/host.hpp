@@ -18,6 +18,7 @@
 #include "netsim/event.hpp"
 #include "netsim/nic.hpp"
 #include "netsim/packet.hpp"
+#include "netsim/shard.hpp"
 #include "stack/core.hpp"
 #include "stack/cost_model.hpp"
 #include "stack/flow_context_manager.hpp"
@@ -454,6 +455,27 @@ inline void connect_hosts(Host& a, Host& b, sim::Link& link) {
   b.nic().attach_tx(&link.b2a());
   link.a2b().set_receiver([&b](sim::Packet pkt) { b.nic().receive(std::move(pkt)); });
   link.b2a().set_receiver([&a](sim::Packet pkt) { a.nic().receive(std::move(pkt)); });
+}
+
+/// Cross-shard form: hosts `a` and `b` live on (possibly different) shards
+/// of a ShardedEngine, and the link's two directions become cross-shard
+/// mailbox posts. SHARD AFFINITY is by construction: a Host — its NIC, its
+/// CpuCores, its transports — belongs to the shard whose loop it was built
+/// with (engine.loop(shard)), and every event it schedules stays on that
+/// shard; the ONLY cross-shard edges are the link deliveries wired here.
+/// `a` must have been built on engine.loop(shard_a) and `b` on
+/// engine.loop(shard_b); `link` must be the two-loop form spanning the
+/// same pair, with propagation >= engine.lookahead(). When the shards
+/// coincide (including every --shards 1 run) the wiring is byte-identical
+/// to plain connect_hosts.
+inline void connect_hosts(Host& a, Host& b, sim::Link& link,
+                          sim::ShardedEngine& engine, std::size_t shard_a,
+                          std::size_t shard_b) {
+  connect_hosts(a, b, link);
+  if (shard_a != shard_b) {
+    link.a2b().set_remote_scheduler(engine.remote_scheduler(shard_a, shard_b));
+    link.b2a().set_remote_scheduler(engine.remote_scheduler(shard_b, shard_a));
+  }
 }
 
 }  // namespace smt::stack
