@@ -10,7 +10,6 @@
 //      here by running traffic under a narrow layout.
 #include "bench_common.hpp"
 #include "crypto/drbg.hpp"
-#include "netsim/link.hpp"
 #include "smt/endpoint.hpp"
 
 using namespace smt;
@@ -22,13 +21,9 @@ namespace {
 double smt_echo_rtt_us(proto::SmtConfig config, std::size_t size,
                        std::size_t pad_to = 0) {
   sim::EventLoop loop;
-  stack::HostConfig hc;
-  hc.ip = 1;
-  stack::Host client_host(loop, hc);
-  hc.ip = 2;
-  stack::Host server_host(loop, hc);
-  sim::Link link(loop, sim::LinkConfig{});
-  stack::connect_hosts(client_host, server_host, link);
+  const auto topology = two_host_topology(loop);
+  stack::Host& client_host = topology->host(0);
+  stack::Host& server_host = topology->host(1);
 
   proto::SmtEndpoint client(client_host, 1000, config);
   proto::SmtEndpoint server(server_host, 80, config);

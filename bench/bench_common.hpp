@@ -112,6 +112,18 @@ using apps::RpcFabricConfig;
 using apps::TransportKind;
 using apps::transport_name;
 
+/// Two-host back-to-back testbed (host 0 = ip 1, host 1 = ip 2, default
+/// 100 Gb/s link) for benches that drive raw endpoints instead of RpcFabric.
+inline std::unique_ptr<stack::Topology> two_host_topology(
+    sim::EventLoop& loop, const stack::HostConfig& hc = {}) {
+  auto built = stack::TopologyBuilder().host_config(hc).build(loop);
+  if (!built.ok()) {
+    std::fprintf(stderr, "topology error: %s\n", built.error().message.c_str());
+    std::abort();
+  }
+  return std::move(built).take();
+}
+
 /// Unloaded RTT (Figure 6 / 10 / 11 methodology, §5.1): a single
 /// request/response at a time, no concurrency, averaged over `iters`.
 inline double measure_unloaded_rtt_us(RpcFabricConfig config,

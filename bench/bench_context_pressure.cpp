@@ -20,7 +20,6 @@
 #include "bench_common.hpp"
 
 #include "crypto/drbg.hpp"
-#include "netsim/link.hpp"
 #include "smt/endpoint.hpp"
 
 using namespace smt;
@@ -56,12 +55,9 @@ PressureResult run_pressure(std::size_t sessions) {
   sim::EventLoop loop;
   stack::HostConfig hc;
   hc.nic.max_flow_contexts = kMaxFlowContexts;
-  hc.ip = 1;
-  stack::Host client_host(loop, hc);
-  hc.ip = 2;
-  stack::Host server_host(loop, hc);
-  sim::Link link(loop, sim::LinkConfig{});
-  stack::connect_hosts(client_host, server_host, link);
+  const auto topology = two_host_topology(loop, hc);
+  stack::Host& client_host = topology->host(0);
+  stack::Host& server_host = topology->host(1);
 
   proto::SmtConfig smt_config;
   smt_config.hw_offload = true;

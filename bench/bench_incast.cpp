@@ -1,0 +1,224 @@
+// N-to-1 incast over a Clos fabric (the topology-layer headline scenario):
+// many clients spread across racks fire closed-loop RPCs at one server,
+// so every request crosses the oversubscribed fabric and converges on the
+// server's ToR port. Compares the paper's transports (§5) on goodput into
+// the server, RPC tail latency, and switch-level trims/drops.
+//
+// Flags:
+//   --smoke            tiny 2-rack fabric (CI)
+//   --shards N         run on a ShardedEngine with N shards (default 1;
+//                      results are byte-identical run-to-run per N)
+//   --scenario FILE    load the topology/workload from a scenario file
+//                      (tools/scenarios/*.toml) instead of the defaults;
+//                      runs only the scenario's workload.transport
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+namespace smt::bench {
+namespace {
+
+stack::ScenarioConfig default_scenario() {
+  stack::ScenarioConfig scenario;
+  if (smoke()) {
+    scenario.topology.racks = 2;
+    scenario.topology.hosts_per_rack = 4;
+    scenario.topology.spines = 2;
+    scenario.workload.clients = 4;
+    scenario.workload.ops_per_client = 8;
+  } else {
+    scenario.topology.racks = 8;
+    scenario.topology.hosts_per_rack = 16;
+    scenario.topology.spines = 4;
+    scenario.topology.aggs_per_pod = 2;
+    scenario.topology.racks_per_pod = 4;
+    scenario.topology.oversubscription = 4.0;
+    scenario.workload.clients = 32;
+    scenario.workload.ops_per_client = 16;
+  }
+  // Modest hosts: the bench scales by fan-in, not by per-host parallelism.
+  scenario.host.app_cores = 2;
+  scenario.host.softirq_cores = 2;
+  scenario.workload.request_bytes = 16 * 1024;  // the congesting direction
+  scenario.workload.response_bytes = 64;
+  scenario.workload.concurrency = 2;
+  return scenario;
+}
+
+/// Client hosts round-robined across racks (offset-major), so fan-in
+/// always crosses the fabric instead of clustering under the server's ToR.
+std::vector<std::size_t> pick_clients(const stack::TopologySpec& topology,
+                                      std::size_t server_index,
+                                      std::size_t want) {
+  std::vector<std::size_t> clients;
+  const std::size_t hpr = topology.hosts_per_rack;
+  if (want == 0) want = topology.host_count() - 1;
+  for (std::size_t offset = 0; offset < hpr && clients.size() < want; ++offset) {
+    for (std::size_t rack = 0; rack < topology.racks && clients.size() < want;
+         ++rack) {
+      const std::size_t host = rack * hpr + offset;
+      if (host != server_index) clients.push_back(host);
+    }
+  }
+  return clients;
+}
+
+struct IncastResult {
+  double goodput_gbps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double drops = 0;  // switch trims + drops
+  std::size_t completed = 0;
+};
+
+IncastResult run_incast(const stack::ScenarioConfig& scenario,
+                        TransportKind kind, std::size_t shards) {
+  sim::ShardedEngine engine(shards, usec(1));
+  auto built = stack::TopologyBuilder(scenario).build(engine);
+  if (!built.ok()) {
+    std::fprintf(stderr, "incast topology: %s\n",
+                 built.error().message.c_str());
+    std::abort();
+  }
+  auto topology = std::move(built).take();
+
+  const std::size_t server_index = 0;
+  const std::vector<std::size_t> clients =
+      pick_clients(scenario.topology, server_index, scenario.workload.clients);
+
+  RpcFabricConfig config;
+  config.kind = kind;
+  RpcFabric fabric(config, *topology, server_index, clients);
+
+  const std::size_t concurrency = scenario.workload.concurrency;
+  const std::size_t ops_per_client = scenario.workload.ops_per_client;
+  const std::size_t request_bytes = scenario.workload.request_bytes;
+  const std::size_t response_bytes = scenario.workload.response_bytes;
+
+  std::vector<std::unique_ptr<RpcChannel>> channels;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    for (std::size_t c = 0; c < concurrency; ++c) {
+      channels.push_back(fabric.make_channel(i, c));
+    }
+  }
+
+  // Completion callbacks run on each client's SHARD THREAD: accumulate
+  // strictly per client (one shard runs its clients sequentially) and
+  // merge only after engine.run() joins the shards.
+  struct PerClient {
+    std::size_t issued = 0;
+    std::vector<double> rtts_us;
+    SimTime last_completion = 0;
+  };
+  std::vector<PerClient> per_client(clients.size());
+  std::function<void(std::size_t)> issue = [&](std::size_t slot) {
+    const std::size_t client = slot / concurrency;
+    PerClient& mine = per_client[client];
+    if (mine.issued >= ops_per_client) return;
+    ++mine.issued;
+    channels[slot]->call(
+        Bytes(request_bytes, 0x5a), std::uint32_t(response_bytes),
+        [&, slot, client](SimDuration rtt, Bytes) {
+          PerClient& me = per_client[client];
+          me.rtts_us.push_back(to_usec(rtt));
+          me.last_completion = fabric.client_host(client).loop().now();
+          issue(slot);
+        });
+  };
+  for (std::size_t slot = 0; slot < channels.size(); ++slot) issue(slot);
+  engine.run();
+
+  IncastResult result;
+  std::vector<double> rtts_us;
+  rtts_us.reserve(clients.size() * ops_per_client);
+  SimTime last_completion = 0;
+  for (const PerClient& c : per_client) {
+    result.completed += c.rtts_us.size();
+    rtts_us.insert(rtts_us.end(), c.rtts_us.begin(), c.rtts_us.end());
+    last_completion = std::max(last_completion, c.last_completion);
+  }
+  std::sort(rtts_us.begin(), rtts_us.end());
+  if (!rtts_us.empty()) {
+    result.p50_us = rtts_us[rtts_us.size() / 2];
+    result.p99_us = rtts_us[std::size_t(double(rtts_us.size() - 1) * 0.99)];
+  }
+  // Goodput INTO the server: request payload delivered over the run.
+  const double bits = double(result.completed) * double(request_bytes) * 8.0;
+  result.goodput_gbps = last_completion > 0 ? bits / double(last_completion) : 0;
+  const sim::Switch::Stats totals = topology->switch_totals();
+  result.drops = double(totals.trimmed + totals.dropped);
+  return result;
+}
+
+}  // namespace
+}  // namespace smt::bench
+
+int main(int argc, char** argv) {
+  using namespace smt;
+  using namespace smt::bench;
+  init(argc, argv);
+
+  std::size_t shards = 1;
+  std::optional<std::string> scenario_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::size_t(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      scenario_path = argv[++i];
+    }
+  }
+  if (shards == 0) shards = 1;
+
+  stack::ScenarioConfig scenario;
+  std::vector<TransportKind> kinds;
+  if (scenario_path) {
+    auto loaded = stack::ScenarioConfig::load_file(*scenario_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.error().message.c_str());
+      return 1;
+    }
+    scenario = std::move(loaded).take();
+    auto kind = apps::parse_transport(scenario.workload.transport);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "%s\n", kind.error().message.c_str());
+      return 1;
+    }
+    kinds.push_back(kind.value());
+  } else {
+    scenario = default_scenario();
+    kinds = {TransportKind::tcp, TransportKind::ktls_hw, TransportKind::homa,
+             TransportKind::smt_hw};
+  }
+
+  const std::size_t fan_in = scenario.workload.clients != 0
+                                 ? scenario.workload.clients
+                                 : scenario.topology.host_count() - 1;
+  std::printf(
+      "Incast: %zu racks x %zu hosts, %zu spines, %zu clients -> 1 server, "
+      "%zu B requests, %zu shard(s)\n",
+      scenario.topology.racks, scenario.topology.hosts_per_rack,
+      scenario.topology.spines, fan_in, scenario.workload.request_bytes,
+      shards);
+  std::printf("%-10s %14s %10s %10s %10s\n", "transport", "goodput_gbps",
+              "p50_us", "p99_us", "drops");
+
+  for (const TransportKind kind : kinds) {
+    const IncastResult r = run_incast(scenario, kind, shards);
+    std::printf("%-10s %14.2f %10.1f %10.1f %10.0f\n",
+                apps::transport_key(kind), r.goodput_gbps, r.p50_us, r.p99_us,
+                r.drops);
+    const std::string key = apps::transport_key(kind);
+    json_metric("incast_goodput_gbps_" + key, r.goodput_gbps);
+    json_metric("incast_p99_us_" + key, r.p99_us);
+    json_metric("incast_drops_" + key, r.drops);
+    if (kind == TransportKind::smt_hw || kinds.size() == 1) {
+      // Headline keys (the smt_hw row, or the scenario's only transport).
+      json_metric("incast_goodput_gbps", r.goodput_gbps);
+      json_metric("incast_p99_us", r.p99_us);
+      json_metric("incast_drops", r.drops);
+    }
+  }
+  return 0;
+}

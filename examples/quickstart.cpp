@@ -9,22 +9,23 @@
 #include <cstdio>
 
 #include "crypto/drbg.hpp"
-#include "netsim/link.hpp"
 #include "smt/endpoint.hpp"
+#include "stack/topology.hpp"
 #include "tls/engine.hpp"
 
 using namespace smt;
 
 int main() {
-  // --- testbed: two hosts, one link --------------------------------------
+  // --- testbed: two hosts, 100 Gb/s back-to-back (builder default) -------
   sim::EventLoop loop;
-  stack::HostConfig hc;
-  hc.ip = 1;
-  stack::Host client_host(loop, hc);
-  hc.ip = 2;
-  stack::Host server_host(loop, hc);
-  sim::Link link(loop, sim::LinkConfig{});  // 100 Gb/s, 1 us propagation
-  stack::connect_hosts(client_host, server_host, link);
+  auto built = stack::TopologyBuilder().build(loop);
+  if (!built.ok()) {
+    std::printf("topology error: %s\n", built.error().message.c_str());
+    return 1;
+  }
+  auto topology = std::move(built).take();
+  stack::Host& client_host = topology->host(0);  // ip 1
+  stack::Host& server_host = topology->host(1);  // ip 2
 
   // --- PKI + TLS 1.3 handshake (the application's job, §4.2) -------------
   crypto::HmacDrbg rng(to_bytes(std::string_view("quickstart")));

@@ -1,6 +1,10 @@
 #include "apps/rpc.hpp"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
 
 namespace smt::apps {
 
@@ -28,6 +32,14 @@ std::optional<Bytes> extract_frame(Bytes& buffer) {
   return message;
 }
 
+/// The constructor form cannot return a Result; a configuration error is
+/// still reported with its full message rather than a bare assert.
+[[noreturn]] void fail_config(const Status& st) {
+  std::fprintf(stderr, "RpcFabric configuration error: %s\n",
+               st.message().c_str());
+  std::abort();
+}
+
 }  // namespace
 
 const char* transport_name(TransportKind kind) noexcept {
@@ -43,6 +55,32 @@ const char* transport_name(TransportKind kind) noexcept {
   return "?";
 }
 
+const char* transport_key(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::tcp: return "tcp";
+    case TransportKind::ktls_sw: return "ktls_sw";
+    case TransportKind::ktls_hw: return "ktls_hw";
+    case TransportKind::homa: return "homa";
+    case TransportKind::smt_sw: return "smt_sw";
+    case TransportKind::smt_hw: return "smt_hw";
+    case TransportKind::tcpls: return "tcpls";
+  }
+  return "?";
+}
+
+Result<TransportKind> parse_transport(std::string_view name) {
+  for (const TransportKind kind :
+       {TransportKind::tcp, TransportKind::ktls_sw, TransportKind::ktls_hw,
+        TransportKind::homa, TransportKind::smt_sw, TransportKind::smt_hw,
+        TransportKind::tcpls}) {
+    if (name == transport_key(kind)) return kind;
+  }
+  return make_error(Errc::invalid_argument,
+                    "unknown transport '" + std::string(name) +
+                        "' (expected one of tcp, ktls_sw, ktls_hw, homa, "
+                        "smt_sw, smt_hw, tcpls)");
+}
+
 bool is_message_based(TransportKind kind) noexcept {
   return kind == TransportKind::homa || kind == TransportKind::smt_sw ||
          kind == TransportKind::smt_hw;
@@ -52,78 +90,176 @@ bool is_encrypted(TransportKind kind) noexcept {
   return kind != TransportKind::tcp && kind != TransportKind::homa;
 }
 
-RpcFabric::RpcFabric(RpcFabricConfig config)
-    : config_(config), rng_(to_bytes(std::string_view("rpc-fabric-seed"))) {
+stack::HostConfig host_config_of(const RpcFabricConfig& config,
+                                 std::size_t app_cores) {
+  stack::HostConfig hc;
+  hc.app_cores = app_cores;
+  hc.softirq_cores = config.softirq_cores;
+  hc.nic.mtu_payload = config.mtu_payload;
+  hc.nic.tso_enabled = config.tso_enabled;
+  // Without TSO the NIC takes only MTU-sized segments (§7 Segmentation).
+  hc.nic.max_tso_bytes = config.tso_enabled ? 65536 : config.mtu_payload;
+  hc.nic.tx_burst = config.tx_burst;
+  hc.nic.rx_burst = config.rx_burst;
+  hc.nic.rx_coalesce_frames = config.rx_coalesce_frames;
+  hc.nic.rx_coalesce_usecs = config.rx_coalesce_usecs;
+  hc.nic.adaptive_rx_coalesce = config.adaptive_rx_coalesce;
+  hc.nic.rx_ring_size = config.rx_ring_size;
+  hc.nic.rss_indirection_size = config.rss_indirection_size;
+  hc.nic.max_flow_contexts = config.max_flow_contexts;
+  if (config.per_doorbell_cost) {
+    hc.costs.per_doorbell_cost = *config.per_doorbell_cost;
+  }
+  if (config.per_interrupt_cost) {
+    hc.costs.per_interrupt_cost = *config.per_interrupt_cost;
+  }
+  return hc;
+}
+
+stack::ScenarioConfig to_scenario(const RpcFabricConfig& config) {
+  stack::ScenarioConfig scen;  // topology defaults to the direct 2-host shape
+  scen.host = host_config_of(config, config.client_app_cores);
+  scen.edge_link.bandwidth_gbps = config.bandwidth_gbps;
+  scen.edge_link.propagation = config.propagation;
+  scen.edge_link.loss_rate = config.loss_rate;
+  scen.workload.transport = transport_key(config.kind);
+  return scen;
+}
+
+RpcFabric::RpcFabric(RpcFabricConfig config, Unbuilt)
+    : config_(std::move(config)),
+      rng_(to_bytes(std::string_view("rpc-fabric-seed"))) {
   handler_ = [](ByteView) { return RpcReply{}; };
-  setup_hosts();
+}
+
+RpcFabric::RpcFabric(RpcFabricConfig config)
+    : RpcFabric(std::move(config), Unbuilt{}) {
+  const Status st = init_two_host(nullptr, 0, 0);
+  if (!st.ok()) fail_config(st);
   establish_keys();
   setup_transports();
 }
 
 RpcFabric::RpcFabric(RpcFabricConfig config, sim::ShardedEngine& engine,
                      std::size_t client_shard, std::size_t server_shard)
-    : config_(config),
-      client_loop_(&engine.loop(client_shard)),
-      server_loop_(&engine.loop(server_shard)),
-      engine_(&engine),
-      client_shard_(client_shard),
-      server_shard_(server_shard),
-      rng_(to_bytes(std::string_view("rpc-fabric-seed"))) {
-  assert(client_shard == server_shard ||
-         config_.propagation >= engine.lookahead());
-  handler_ = [](ByteView) { return RpcReply{}; };
-  setup_hosts();
+    : RpcFabric(std::move(config), Unbuilt{}) {
+  const Status st = init_two_host(&engine, client_shard, server_shard);
+  if (!st.ok()) fail_config(st);
   establish_keys();
   setup_transports();
 }
 
+RpcFabric::RpcFabric(RpcFabricConfig config, stack::Topology& topology,
+                     std::size_t server_index,
+                     std::vector<std::size_t> client_indices)
+    : RpcFabric(std::move(config), Unbuilt{}) {
+  const Status st =
+      init_topology(topology, server_index, std::move(client_indices));
+  if (!st.ok()) fail_config(st);
+  establish_keys();
+  setup_transports();
+}
+
+Result<std::unique_ptr<RpcFabric>> RpcFabric::create(RpcFabricConfig config) {
+  std::unique_ptr<RpcFabric> fabric(
+      new RpcFabric(std::move(config), Unbuilt{}));
+  const Status st = fabric->init_two_host(nullptr, 0, 0);
+  if (!st.ok()) return st.error();
+  fabric->establish_keys();
+  fabric->setup_transports();
+  return fabric;
+}
+
+Result<std::unique_ptr<RpcFabric>> RpcFabric::create(
+    RpcFabricConfig config, sim::ShardedEngine& engine,
+    std::size_t client_shard, std::size_t server_shard) {
+  std::unique_ptr<RpcFabric> fabric(
+      new RpcFabric(std::move(config), Unbuilt{}));
+  const Status st =
+      fabric->init_two_host(&engine, client_shard, server_shard);
+  if (!st.ok()) return st.error();
+  fabric->establish_keys();
+  fabric->setup_transports();
+  return fabric;
+}
+
 RpcFabric::~RpcFabric() = default;
 
-void RpcFabric::setup_hosts() {
-  stack::HostConfig hc;
-  hc.softirq_cores = config_.softirq_cores;
-  hc.nic.mtu_payload = config_.mtu_payload;
-  hc.nic.tso_enabled = config_.tso_enabled;
-  hc.nic.max_tso_bytes = config_.tso_enabled ? 65536 : config_.mtu_payload;
-  hc.nic.tx_burst = config_.tx_burst;
-  hc.nic.rx_burst = config_.rx_burst;
-  hc.nic.rx_coalesce_frames = config_.rx_coalesce_frames;
-  hc.nic.rx_coalesce_usecs = config_.rx_coalesce_usecs;
-  hc.nic.adaptive_rx_coalesce = config_.adaptive_rx_coalesce;
-  hc.nic.rx_ring_size = config_.rx_ring_size;
-  hc.nic.rss_indirection_size = config_.rss_indirection_size;
-  hc.nic.max_flow_contexts = config_.max_flow_contexts;
-  if (config_.per_doorbell_cost) {
-    hc.costs.per_doorbell_cost = *config_.per_doorbell_cost;
-  }
-  if (config_.per_interrupt_cost) {
-    hc.costs.per_interrupt_cost = *config_.per_interrupt_cost;
-  }
-
-  hc.ip = 1;
-  hc.app_cores = config_.client_app_cores;
-  client_host_ = std::make_unique<stack::Host>(*client_loop_, hc);
-  hc.ip = 2;
-  hc.app_cores = config_.server_app_cores;
-  server_host_ = std::make_unique<stack::Host>(*server_loop_, hc);
+Status RpcFabric::init_two_host(sim::ShardedEngine* engine,
+                                std::size_t client_shard,
+                                std::size_t server_shard) {
+  // The classic two-host testbed is the builder's degenerate direct
+  // topology: host 0 = client (ip 1), host 1 = server (ip 2). One knob
+  // mapping (to_scenario / host_config_of) and one validation path.
+  stack::TopologyBuilder builder(to_scenario(config_));
+  builder.host_config(0, host_config_of(config_, config_.client_app_cores));
+  builder.host_config(1, host_config_of(config_, config_.server_app_cores));
   if (config_.irq_rebalance_period > 0) {
-    client_host_->enable_irq_rebalance(config_.irq_rebalance_period);
-    server_host_->enable_irq_rebalance(config_.irq_rebalance_period);
+    builder.irq_rebalance_period(config_.irq_rebalance_period);
+  }
+  Result<std::unique_ptr<stack::Topology>> built = [&] {
+    if (engine != nullptr) {
+      builder.host_shard(0, client_shard).host_shard(1, server_shard);
+      return builder.build(*engine);
+    }
+    return builder.build(loop_);
+  }();
+  if (!built.ok()) return built.error();
+  owned_topology_ = std::move(built).take();
+  topology_ = owned_topology_.get();
+
+  clients_.resize(1);
+  clients_[0].host = &topology_->host(0);
+  clients_[0].ip = topology_->ip_of(0);
+  server_host_ = &topology_->host(1);
+  server_ip_ = topology_->ip_of(1);
+  client_loop_ = &topology_->loop_of(0);
+  server_loop_ = &topology_->loop_of(1);
+  return Status::success();
+}
+
+Status RpcFabric::init_topology(stack::Topology& topology,
+                                std::size_t server_index,
+                                std::vector<std::size_t> client_indices) {
+  if (client_indices.empty()) {
+    return make_error(Errc::invalid_argument,
+                      "rpc: at least one client host is required");
+  }
+  if (server_index >= topology.host_count()) {
+    return make_error(Errc::invalid_argument,
+                      "rpc: server host " + std::to_string(server_index) +
+                          " out of range");
+  }
+  std::set<std::size_t> seen;
+  for (const std::size_t index : client_indices) {
+    if (index >= topology.host_count()) {
+      return make_error(Errc::invalid_argument,
+                        "rpc: client host " + std::to_string(index) +
+                            " out of range");
+    }
+    if (index == server_index) {
+      return make_error(Errc::invalid_argument,
+                        "rpc: host " + std::to_string(index) +
+                            " cannot be both client and server");
+    }
+    if (!seen.insert(index).second) {
+      return make_error(Errc::invalid_argument,
+                        "rpc: client host " + std::to_string(index) +
+                            " listed twice");
+    }
   }
 
-  sim::LinkConfig lc;
-  lc.bandwidth_gbps = config_.bandwidth_gbps;
-  lc.propagation = config_.propagation;
-  lc.loss_rate = config_.loss_rate;
-  // Each direction's sender-side state lives on the sending host's loop;
-  // with both hosts on one loop this is the classic back-to-back wiring.
-  link_ = std::make_unique<sim::Link>(*client_loop_, *server_loop_, lc);
-  if (engine_ != nullptr) {
-    stack::connect_hosts(*client_host_, *server_host_, *link_, *engine_,
-                         client_shard_, server_shard_);
-  } else {
-    stack::connect_hosts(*client_host_, *server_host_, *link_);
+  topology_ = &topology;
+  server_host_ = &topology.host(server_index);
+  server_ip_ = topology.ip_of(server_index);
+  server_loop_ = &topology.loop_of(server_index);
+  clients_.resize(client_indices.size());
+  for (std::size_t i = 0; i < client_indices.size(); ++i) {
+    clients_[i].host = &topology.host(client_indices[i]);
+    clients_[i].ip = topology.ip_of(client_indices[i]);
   }
+  client_loop_ = &clients_[0].host->loop();
+  return Status::success();
 }
 
 void RpcFabric::establish_keys() {
@@ -168,12 +304,12 @@ void RpcFabric::setup_transports() {
   // Without TSO the NIC takes only MTU-sized segments (§7 Segmentation).
   const std::size_t max_tso =
       config_.tso_enabled ? std::size_t{65536} : config_.mtu_payload;
+
+  // Server-side endpoint.
   switch (config_.kind) {
     case TransportKind::tcp: {
       transport::TcpConfig tc;
       tc.max_tso_bytes = max_tso;
-      tcp_client_ = std::make_unique<transport::TcpEndpoint>(*client_host_,
-                                                             kClientPort, tc);
       tcp_server_ = std::make_unique<transport::TcpEndpoint>(*server_host_,
                                                              kServerPort, tc);
       tcp_server_->set_on_data([this](std::uint64_t conn, Bytes data) {
@@ -185,7 +321,7 @@ void RpcFabric::setup_transports() {
     case TransportKind::ktls_hw:
     case TransportKind::tcpls: {
       baselines::KtlsConfig kc;
-      kc.hw_offload = config_.kind == TransportKind::ktls_hw;
+      kc.hw_offload = false;  // rx side is software anyway
       kc.tcp.max_tso_bytes = max_tso;
       if (!config_.tso_enabled) {
         kc.max_record_payload =
@@ -194,12 +330,8 @@ void RpcFabric::setup_transports() {
       if (config_.kind == TransportKind::tcpls) {
         kc.extra_record_cost = nsec(900);
       }
-      ktls_client_ =
-          std::make_unique<baselines::KtlsEndpoint>(*client_host_, kClientPort, kc);
-      baselines::KtlsConfig server_kc = kc;
-      server_kc.hw_offload = false;  // rx side is software anyway
       ktls_server_ = std::make_unique<baselines::KtlsEndpoint>(
-          *server_host_, kServerPort, server_kc);
+          *server_host_, kServerPort, kc);
       ktls_server_->set_on_accept([this](std::uint64_t conn) {
         const Status st = ktls_server_->register_session(
             conn, suite_, server_tx_keys_, client_tx_keys_);
@@ -214,8 +346,6 @@ void RpcFabric::setup_transports() {
     case TransportKind::homa: {
       transport::HomaConfig hc;
       hc.max_tso_bytes = max_tso;
-      homa_client_ = std::make_unique<transport::HomaEndpoint>(
-          *client_host_, kClientPort, hc);
       homa_server_ = std::make_unique<transport::HomaEndpoint>(
           *server_host_, kServerPort, hc);
       homa_server_->set_on_message(
@@ -235,19 +365,8 @@ void RpcFabric::setup_transports() {
         pc.max_record_payload =
             config_.mtu_payload - proto::record_block_overhead();
       }
-      smt_client_ =
-          std::make_unique<proto::SmtEndpoint>(*client_host_, kClientPort, pc);
       smt_server_ =
           std::make_unique<proto::SmtEndpoint>(*server_host_, kServerPort, pc);
-      Status st = smt_client_->register_session(
-          transport::PeerAddr{2, kServerPort}, suite_, client_tx_keys_,
-          server_tx_keys_);
-      assert(st.ok());
-      st = smt_server_->register_session(transport::PeerAddr{1, kClientPort},
-                                         suite_, server_tx_keys_,
-                                         client_tx_keys_);
-      assert(st.ok());
-      (void)st;
       smt_server_->set_on_message(
           [this](proto::SmtEndpoint::MessageMeta meta, Bytes data) {
             on_server_message(meta.peer, meta.peer.port, std::move(data));
@@ -256,36 +375,89 @@ void RpcFabric::setup_transports() {
     }
   }
 
-  // Client-side response delivery.
-  if (config_.kind == TransportKind::tcp) {
-    tcp_client_->set_on_data([this](std::uint64_t conn, Bytes data) {
-      const auto it = stream_channels_.find(conn);
-      if (it != stream_channels_.end()) it->second->on_stream_data(std::move(data));
-    });
-  } else if (config_.kind == TransportKind::ktls_sw ||
-             config_.kind == TransportKind::ktls_hw ||
-             config_.kind == TransportKind::tcpls) {
-    ktls_client_->set_on_data([this](std::uint64_t conn, Bytes data) {
-      const auto it = stream_channels_.find(conn);
-      if (it != stream_channels_.end()) it->second->on_stream_data(std::move(data));
-    });
-  } else if (config_.kind == TransportKind::homa) {
-    homa_client_->set_on_message(
-        [this](transport::HomaEndpoint::MessageMeta, Bytes data) {
-          if (data.size() < 8) return;
-          const std::uint64_t corr = load_u64be(data.data());
-          const auto it = channels_.find(corr >> 32);
-          if (it != channels_.end()) it->second->on_response(std::move(data));
+  // Client-side endpoints: one per client host. The same handshake's keys
+  // back every session (the benches run over established sessions).
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    ClientNode& node = clients_[i];
+    switch (config_.kind) {
+      case TransportKind::tcp: {
+        transport::TcpConfig tc;
+        tc.max_tso_bytes = max_tso;
+        node.tcp = std::make_unique<transport::TcpEndpoint>(*node.host,
+                                                            kClientPort, tc);
+        node.tcp->set_on_data([this, i](std::uint64_t conn, Bytes data) {
+          auto& channels = clients_[i].stream_channels;
+          const auto it = channels.find(conn);
+          if (it != channels.end()) it->second->on_stream_data(std::move(data));
         });
-  } else if (config_.kind == TransportKind::smt_sw ||
-             config_.kind == TransportKind::smt_hw) {
-    smt_client_->set_on_message(
-        [this](proto::SmtEndpoint::MessageMeta, Bytes data) {
-          if (data.size() < 8) return;
-          const std::uint64_t corr = load_u64be(data.data());
-          const auto it = channels_.find(corr >> 32);
-          if (it != channels_.end()) it->second->on_response(std::move(data));
+        break;
+      }
+      case TransportKind::ktls_sw:
+      case TransportKind::ktls_hw:
+      case TransportKind::tcpls: {
+        baselines::KtlsConfig kc;
+        kc.hw_offload = config_.kind == TransportKind::ktls_hw;
+        kc.tcp.max_tso_bytes = max_tso;
+        if (!config_.tso_enabled) {
+          kc.max_record_payload =
+              config_.mtu_payload - tls::record_overhead(suite_);
+        }
+        if (config_.kind == TransportKind::tcpls) {
+          kc.extra_record_cost = nsec(900);
+        }
+        node.ktls = std::make_unique<baselines::KtlsEndpoint>(*node.host,
+                                                              kClientPort, kc);
+        node.ktls->set_on_data([this, i](std::uint64_t conn, Bytes data) {
+          auto& channels = clients_[i].stream_channels;
+          const auto it = channels.find(conn);
+          if (it != channels.end()) it->second->on_stream_data(std::move(data));
         });
+        break;
+      }
+      case TransportKind::homa: {
+        transport::HomaConfig hc;
+        hc.max_tso_bytes = max_tso;
+        node.homa = std::make_unique<transport::HomaEndpoint>(*node.host,
+                                                              kClientPort, hc);
+        node.homa->set_on_message(
+            [this](transport::HomaEndpoint::MessageMeta, Bytes data) {
+              if (data.size() < 8) return;
+              const std::uint64_t corr = load_u64be(data.data());
+              const auto it = channels_.find(corr >> 32);
+              if (it != channels_.end()) it->second->on_response(std::move(data));
+            });
+        break;
+      }
+      case TransportKind::smt_sw:
+      case TransportKind::smt_hw: {
+        proto::SmtConfig pc;
+        pc.hw_offload = config_.kind == TransportKind::smt_hw;
+        pc.homa.max_tso_bytes = max_tso;
+        if (!config_.tso_enabled) {
+          pc.max_record_payload =
+              config_.mtu_payload - proto::record_block_overhead();
+        }
+        node.smt =
+            std::make_unique<proto::SmtEndpoint>(*node.host, kClientPort, pc);
+        Status st = node.smt->register_session(
+            transport::PeerAddr{server_ip_, kServerPort}, suite_,
+            client_tx_keys_, server_tx_keys_);
+        assert(st.ok());
+        st = smt_server_->register_session(
+            transport::PeerAddr{node.ip, kClientPort}, suite_,
+            server_tx_keys_, client_tx_keys_);
+        assert(st.ok());
+        (void)st;
+        node.smt->set_on_message(
+            [this](proto::SmtEndpoint::MessageMeta, Bytes data) {
+              if (data.size() < 8) return;
+              const std::uint64_t corr = load_u64be(data.data());
+              const auto it = channels_.find(corr >> 32);
+              if (it != channels_.end()) it->second->on_response(std::move(data));
+            });
+        break;
+      }
+    }
   }
 }
 
@@ -389,28 +561,37 @@ void RpcFabric::on_server_message(transport::PeerAddr peer,
 
 std::unique_ptr<RpcChannel> RpcFabric::make_channel(
     std::size_t app_core_index) {
+  return make_channel(0, app_core_index);
+}
+
+std::unique_ptr<RpcChannel> RpcFabric::make_channel(
+    std::size_t client_index, std::size_t app_core_index) {
   const std::uint64_t id = next_channel_id_++;
-  auto channel = std::unique_ptr<RpcChannel>(
-      new RpcChannel(*this, id, app_core_index % config_.client_app_cores));
+  stack::Host& host = *clients_.at(client_index).host;
+  auto channel = std::unique_ptr<RpcChannel>(new RpcChannel(
+      *this, id, client_index, app_core_index % host.app_core_count()));
   channels_[id] = channel.get();
   return channel;
 }
 
 RpcChannel::RpcChannel(RpcFabric& fabric, std::uint64_t channel_id,
-                       std::size_t app_core_index)
-    : fabric_(fabric), channel_id_(channel_id), app_core_(app_core_index) {
+                       std::size_t client_index, std::size_t app_core_index)
+    : fabric_(fabric),
+      channel_id_(channel_id),
+      client_(client_index),
+      app_core_(app_core_index) {
   switch (fabric_.config_.kind) {
     case TransportKind::tcp: {
-      stream_conn_ = fabric_.tcp_client_->connect(2, kServerPort);
-      fabric_.stream_channels_[stream_conn_] = this;
+      stream_conn_ = node().tcp->connect(fabric_.server_ip_, kServerPort);
+      node().stream_channels[stream_conn_] = this;
       break;
     }
     case TransportKind::ktls_sw:
     case TransportKind::ktls_hw:
     case TransportKind::tcpls: {
-      stream_conn_ = fabric_.ktls_client_->connect(2, kServerPort);
-      fabric_.stream_channels_[stream_conn_] = this;
-      const Status st = fabric_.ktls_client_->register_session(
+      stream_conn_ = node().ktls->connect(fabric_.server_ip_, kServerPort);
+      node().stream_channels[stream_conn_] = this;
+      const Status st = node().ktls->register_session(
           stream_conn_, fabric_.suite_, fabric_.client_tx_keys_,
           fabric_.server_tx_keys_);
       assert(st.ok());
@@ -425,7 +606,7 @@ RpcChannel::RpcChannel(RpcFabric& fabric, std::uint64_t channel_id,
 
 RpcChannel::~RpcChannel() {
   fabric_.channels_.erase(channel_id_);
-  if (stream_conn_ != 0) fabric_.stream_channels_.erase(stream_conn_);
+  if (stream_conn_ != 0) node().stream_channels.erase(stream_conn_);
 }
 
 void RpcChannel::call(Bytes request, std::uint32_t resp_len,
@@ -437,33 +618,35 @@ void RpcChannel::call(Bytes request, std::uint32_t resp_len,
   append_u32be(message, resp_len);
   append(message, request);
 
-  pending_[corr] = Pending{fabric_.loop().now(), std::move(done)};
+  pending_[corr] = Pending{node().host->loop().now(), std::move(done)};
 
-  stack::CpuCore& core = fabric_.client_host_->app_core(app_core_);
+  stack::CpuCore& core = node().host->app_core(app_core_);
   switch (fabric_.config_.kind) {
     case TransportKind::tcp:
-      fabric_.tcp_client_->send(stream_conn_, frame_message(message), &core);
+      node().tcp->send(stream_conn_, frame_message(message), &core);
       break;
     case TransportKind::ktls_sw:
     case TransportKind::ktls_hw:
     case TransportKind::tcpls: {
       const Status st =
-          fabric_.ktls_client_->send(stream_conn_, frame_message(message), &core);
+          node().ktls->send(stream_conn_, frame_message(message), &core);
       assert(st.ok());
       (void)st;
       break;
     }
     case TransportKind::homa: {
-      const auto st = fabric_.homa_client_->send_message(
-          transport::PeerAddr{2, kServerPort}, std::move(message), &core);
+      const auto st = node().homa->send_message(
+          transport::PeerAddr{fabric_.server_ip_, kServerPort},
+          std::move(message), &core);
       assert(st.ok());
       (void)st;
       break;
     }
     case TransportKind::smt_sw:
     case TransportKind::smt_hw: {
-      const auto st = fabric_.smt_client_->send_message(
-          transport::PeerAddr{2, kServerPort}, std::move(message), &core);
+      const auto st = node().smt->send_message(
+          transport::PeerAddr{fabric_.server_ip_, kServerPort},
+          std::move(message), &core);
       assert(st.ok());
       (void)st;
       break;
@@ -487,13 +670,13 @@ void RpcChannel::on_response(Bytes message) {
   pending_.erase(it);
 
   // Application wakeup on the client thread completes the RPC.
-  stack::CpuCore& core = fabric_.client_host_->app_core(app_core_);
+  stack::CpuCore& core = node().host->app_core(app_core_);
   const SimTime issued = pending.issued_at;
   Bytes payload(message.begin() + 8, message.end());
-  core.run(fabric_.client_host_->costs().wakeup,
+  core.run(node().host->costs().wakeup,
            [this, issued, done = std::move(pending.done),
             payload = std::move(payload)]() mutable {
-             done(fabric_.loop().now() - issued, std::move(payload));
+             done(node().host->loop().now() - issued, std::move(payload));
            });
 }
 

@@ -3,8 +3,13 @@
 //   TCP | kTLS-sw | kTLS-hw | Homa | SMT-sw | SMT-hw | TCPLS-like
 //
 // One abstraction backs all benches and example applications:
-//   * RpcFabric — two hosts back-to-back, a transport pair, sessions keyed
-//     by a real TLS 1.3 handshake, and a server-side request handler;
+//   * RpcFabric — N client hosts and one server host over a topology, a
+//     transport per client/server pair, sessions keyed by a real TLS 1.3
+//     handshake, and a server-side request handler. The classic two-host
+//     constructors build a degenerate 2-host topology through
+//     stack::TopologyBuilder and are byte-identical to the historical
+//     hand-wired form; the topology constructor runs many-clients ->
+//     one-server over an arbitrary fabric (incast).
 //   * RpcChannel — a client-side slot issuing request/response calls and
 //     reporting virtual-time RTTs.
 //
@@ -21,12 +26,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "baselines/ktls.hpp"
 #include "crypto/drbg.hpp"
 #include "netsim/link.hpp"
 #include "netsim/shard.hpp"
 #include "smt/endpoint.hpp"
+#include "stack/topology.hpp"
 #include "tls/engine.hpp"
 #include "transport/homa/homa.hpp"
 #include "transport/tcp/tcp.hpp"
@@ -44,6 +51,10 @@ enum class TransportKind {
 };
 
 const char* transport_name(TransportKind kind) noexcept;
+/// Stable lower-case key ("smt_hw") for scenario files and JSON metrics.
+const char* transport_key(TransportKind kind) noexcept;
+/// Inverse of transport_key (accepts the WorkloadSpec::transport strings).
+Result<TransportKind> parse_transport(std::string_view name);
 bool is_message_based(TransportKind kind) noexcept;
 bool is_encrypted(TransportKind kind) noexcept;
 
@@ -101,6 +112,14 @@ struct RpcFabricConfig {
   bool single_threaded_server = false;
 };
 
+/// The single mapping from the flat bench-facing config onto the layered
+/// scenario (host template, edge link, workload transport): RpcFabric,
+/// benches, and tests all validate through ScenarioConfig::validate().
+stack::ScenarioConfig to_scenario(const RpcFabricConfig& config);
+/// The per-host template (app cores parameterised: client vs server).
+stack::HostConfig host_config_of(const RpcFabricConfig& config,
+                                 std::size_t app_cores);
+
 class RpcChannel;
 
 class RpcFabric {
@@ -116,6 +135,23 @@ class RpcFabric {
   /// byte-identical to the single-loop constructor.
   RpcFabric(RpcFabricConfig config, sim::ShardedEngine& engine,
             std::size_t client_shard, std::size_t server_shard);
+
+  /// N-host form over an externally built topology: `server_index` serves,
+  /// every host in `client_indices` runs a client endpoint (many clients
+  /// -> one server, the incast shape). The topology's host configuration
+  /// wins; only transport/workload knobs of `config` apply.
+  RpcFabric(RpcFabricConfig config, stack::Topology& topology,
+            std::size_t server_index, std::vector<std::size_t> client_indices);
+
+  /// Validating factories: the same constructions, but misconfiguration
+  /// (bad knobs, shard/lookahead violations) comes back as a Result error
+  /// instead of aborting.
+  static Result<std::unique_ptr<RpcFabric>> create(RpcFabricConfig config);
+  static Result<std::unique_ptr<RpcFabric>> create(RpcFabricConfig config,
+                                                   sim::ShardedEngine& engine,
+                                                   std::size_t client_shard,
+                                                   std::size_t server_shard);
+
   ~RpcFabric();
 
   RpcFabric(const RpcFabric&) = delete;
@@ -129,12 +165,17 @@ class RpcFabric {
     async_handler_ = std::move(handler);
   }
 
-  /// Creates a client slot pinned to a client app core.
+  /// Creates a client slot pinned to an app core of client 0.
   std::unique_ptr<RpcChannel> make_channel(std::size_t app_core_index);
+  /// N-host form: a slot on client `client_index`.
+  std::unique_ptr<RpcChannel> make_channel(std::size_t client_index,
+                                           std::size_t app_core_index);
 
   /// The client-side event loop (the fabric's only loop when not sharded).
   sim::EventLoop& loop() noexcept { return *client_loop_; }
-  stack::Host& client_host() noexcept { return *client_host_; }
+  stack::Host& client_host() noexcept { return *clients_.front().host; }
+  stack::Host& client_host(std::size_t i) { return *clients_.at(i).host; }
+  std::size_t client_count() const noexcept { return clients_.size(); }
   stack::Host& server_host() noexcept { return *server_host_; }
   const RpcFabricConfig& config() const noexcept { return config_; }
 
@@ -144,9 +185,14 @@ class RpcFabric {
     return server_host_->total_app_busy_ns() +
            server_host_->total_softirq_busy_ns();
   }
+  /// Summed over every client host (one host in the two-host form).
   std::uint64_t client_busy_ns() const {
-    return client_host_->total_app_busy_ns() +
-           client_host_->total_softirq_busy_ns();
+    std::uint64_t total = 0;
+    for (const ClientNode& client : clients_) {
+      total += client.host->total_app_busy_ns() +
+               client.host->total_softirq_busy_ns();
+    }
+    return total;
   }
   /// The IRQ-class slice of the busy totals (NIC interrupt servicing +
   /// doorbell MMIO) — subtract it to compare protocol/crypto CPU alone.
@@ -154,20 +200,42 @@ class RpcFabric {
     return server_host_->total_irq_busy_ns();
   }
   std::uint64_t client_irq_ns() const {
-    return client_host_->total_irq_busy_ns();
+    std::uint64_t total = 0;
+    for (const ClientNode& client : clients_) {
+      total += client.host->total_irq_busy_ns();
+    }
+    return total;
   }
 
  private:
   friend class RpcChannel;
+
+  struct ClientNode {
+    stack::Host* host = nullptr;
+    std::uint32_t ip = 0;
+    std::unique_ptr<transport::TcpEndpoint> tcp;
+    std::unique_ptr<baselines::KtlsEndpoint> ktls;
+    std::unique_ptr<transport::HomaEndpoint> homa;
+    std::unique_ptr<proto::SmtEndpoint> smt;
+    // Stream transports: connection -> channel. Per client node because
+    // connection ids are only unique per endpoint.
+    std::map<std::uint64_t, RpcChannel*> stream_channels;
+  };
 
   struct StreamConnState {
     Bytes rx_buffer;
     std::size_t app_core = 0;
   };
 
-  void setup_hosts();
-  void setup_transports();
+  struct Unbuilt {};  // factory tag: construct empty, then init()
+  RpcFabric(RpcFabricConfig config, Unbuilt);
+
+  Status init_two_host(sim::ShardedEngine* engine, std::size_t client_shard,
+                       std::size_t server_shard);
+  Status init_topology(stack::Topology& topology, std::size_t server_index,
+                       std::vector<std::size_t> client_indices);
   void establish_keys();
+  void setup_transports();
   stack::CpuCore& server_core_for(std::size_t hint);
   void server_handle_message(ByteView message,
                              std::function<void(Bytes)> reply,
@@ -178,23 +246,23 @@ class RpcFabric {
 
   RpcFabricConfig config_;
   sim::EventLoop loop_;  // owns the fabric's loop when not sharded
-  // Where the two hosts live: both point at loop_ in the single-loop
-  // form; at engine shards in the sharded form.
+  // Where the hosts live: all point at loop_ in the single-loop form; at
+  // engine shards in the sharded form; at the topology's loops otherwise.
   sim::EventLoop* client_loop_ = &loop_;
   sim::EventLoop* server_loop_ = &loop_;
-  sim::ShardedEngine* engine_ = nullptr;
-  std::size_t client_shard_ = 0;
-  std::size_t server_shard_ = 0;
   crypto::HmacDrbg rng_;
-  std::unique_ptr<stack::Host> client_host_;
-  std::unique_ptr<stack::Host> server_host_;
-  std::unique_ptr<sim::Link> link_;
+  std::unique_ptr<stack::Topology> owned_topology_;  // two-host forms
+  stack::Topology* topology_ = nullptr;  // owned or external
 
-  // Exactly one transport pair is instantiated, per config_.kind.
-  std::unique_ptr<transport::TcpEndpoint> tcp_client_, tcp_server_;
-  std::unique_ptr<baselines::KtlsEndpoint> ktls_client_, ktls_server_;
-  std::unique_ptr<transport::HomaEndpoint> homa_client_, homa_server_;
-  std::unique_ptr<proto::SmtEndpoint> smt_client_, smt_server_;
+  std::vector<ClientNode> clients_;
+  stack::Host* server_host_ = nullptr;
+  std::uint32_t server_ip_ = 0;
+
+  // Server-side endpoint (exactly one per config_.kind).
+  std::unique_ptr<transport::TcpEndpoint> tcp_server_;
+  std::unique_ptr<baselines::KtlsEndpoint> ktls_server_;
+  std::unique_ptr<transport::HomaEndpoint> homa_server_;
+  std::unique_ptr<proto::SmtEndpoint> smt_server_;
 
   tls::TrafficKeys client_tx_keys_;  // from a real handshake
   tls::TrafficKeys server_tx_keys_;
@@ -204,10 +272,8 @@ class RpcFabric {
   AsyncRpcHandler async_handler_;
   std::map<std::uint64_t, StreamConnState> server_streams_;
   std::map<std::uint64_t, RpcChannel*> channels_;  // by correlation prefix
-  std::map<std::uint64_t, RpcChannel*> stream_channels_;  // by connection
   std::uint64_t next_channel_id_ = 1;
   std::size_t next_server_core_ = 0;
-
 };
 
 /// One client slot: issues calls and delivers RTT-stamped completions.
@@ -228,13 +294,16 @@ class RpcChannel {
  private:
   friend class RpcFabric;
   RpcChannel(RpcFabric& fabric, std::uint64_t channel_id,
-             std::size_t app_core_index);
+             std::size_t client_index, std::size_t app_core_index);
 
   void on_response(Bytes message);
   void on_stream_data(Bytes data);
 
+  RpcFabric::ClientNode& node() { return fabric_.clients_[client_]; }
+
   RpcFabric& fabric_;
   std::uint64_t channel_id_;
+  std::size_t client_;   // index into fabric_.clients_
   std::size_t app_core_;
   std::uint64_t next_call_ = 0;
 

@@ -1,0 +1,233 @@
+#include "netsim/fabric.hpp"
+
+#include <string>
+
+namespace smt::sim {
+
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t h = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+Status FabricSpec::validate() const {
+  if (racks == 0) return make_error(Errc::invalid_argument, "fabric: racks must be >= 1");
+  if (hosts_per_rack == 0) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: hosts_per_rack must be >= 1");
+  }
+  if (spines == 0 && racks > 1) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: a multi-rack fabric needs spines >= 1 "
+                      "(a single ToR only serves one rack)");
+  }
+  if (aggs_per_pod > 0) {
+    if (spines == 0) {
+      return make_error(Errc::invalid_argument,
+                        "fabric: aggs_per_pod > 0 requires spines >= 1");
+    }
+    const std::size_t rpp = resolved_racks_per_pod();
+    if (racks % rpp != 0) {
+      return make_error(
+          Errc::invalid_argument,
+          "fabric: racks_per_pod (" + std::to_string(rpp) +
+              ") must divide racks (" + std::to_string(racks) + ")");
+    }
+  } else if (racks_per_pod > 0) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: racks_per_pod without aggs_per_pod has no "
+                      "meaning (no aggregation tier)");
+  }
+  if (edge_bandwidth_gbps <= 0.0 || fabric_bandwidth_gbps < 0.0) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: bandwidths must be positive");
+  }
+  if (oversubscription < 0.0) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: oversubscription must be >= 0");
+  }
+  if (switch_config.port_bandwidth_gbps <= 0.0 ||
+      switch_config.queue_capacity_bytes == 0) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: switch port bandwidth and queue capacity "
+                      "must be positive");
+  }
+  return Status::success();
+}
+
+Result<std::unique_ptr<Fabric>> Fabric::create(EventLoop& loop,
+                                               FabricSpec spec) {
+  const Status valid = spec.validate();
+  if (!valid.ok()) return valid.error();
+  return std::unique_ptr<Fabric>(new Fabric(&loop, nullptr, spec));
+}
+
+Result<std::unique_ptr<Fabric>> Fabric::create(ShardedEngine& engine,
+                                               FabricSpec spec) {
+  const Status valid = spec.validate();
+  if (!valid.ok()) return valid.error();
+  if (engine.shard_count() > 1 && spec.spines > 0 &&
+      spec.fabric_latency < engine.lookahead()) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: fabric_latency must be >= the engine's "
+                      "lookahead (cross-shard hops are fabric hops)");
+  }
+  return std::unique_ptr<Fabric>(new Fabric(nullptr, &engine, spec));
+}
+
+Fabric::Fabric(EventLoop* loop, ShardedEngine* engine, FabricSpec spec)
+    : spec_(spec), loop_(loop), engine_(engine) {
+  std::uint64_t next_switch = 0;
+  auto make_switch = [&](std::size_t shard) {
+    SwitchConfig sc = spec_.switch_config;
+    sc.ecmp_seed = mix_seed(spec_.ecmp_seed, next_switch++);
+    return std::make_unique<Switch>(loop_for_shard(shard), sc);
+  };
+
+  for (std::size_t r = 0; r < spec_.racks; ++r) {
+    tors_.push_back(make_switch(shard_of_rack(r)));
+  }
+  const std::size_t pods = spec_.pods();
+  if (pods > 0) {
+    for (std::size_t a = 0; a < pods * spec_.aggs_per_pod; ++a) {
+      aggs_.push_back(make_switch(shard_of_agg(a)));
+    }
+  }
+  for (std::size_t s = 0; s < spec_.spines; ++s) {
+    spines_.push_back(make_switch(shard_of_spine(s)));
+  }
+
+  // ToR uplink bandwidth: explicit fabric bandwidth, or derived from the
+  // oversubscription ratio against the rack's aggregate edge capacity.
+  const std::size_t tor_fanout =
+      pods > 0 ? spec_.aggs_per_pod : spec_.spines;
+  tor_uplink_gbps_ = spec_.fabric_gbps();
+  if (spec_.oversubscription > 0.0 && tor_fanout > 0) {
+    tor_uplink_gbps_ = spec_.edge_bandwidth_gbps *
+                       double(spec_.hosts_per_rack) /
+                       (double(tor_fanout) * spec_.oversubscription);
+  }
+
+  tor_uplink_ports_.resize(spec_.racks);
+  if (pods > 0) {
+    // 3-tier: ToR <-> pod aggs, aggs <-> every spine.
+    const std::size_t rpp = spec_.resolved_racks_per_pod();
+    agg_down_ports_.resize(aggs_.size());
+    agg_up_ports_.resize(aggs_.size());
+    spine_down_ports_.assign(spines_.size(),
+                             std::vector<std::size_t>(aggs_.size(), 0));
+    for (std::size_t r = 0; r < spec_.racks; ++r) {
+      const std::size_t pod = r / rpp;
+      for (std::size_t j = 0; j < spec_.aggs_per_pod; ++j) {
+        const std::size_t a = pod * spec_.aggs_per_pod + j;
+        tor_uplink_ports_[r].push_back(wire(*tors_[r], shard_of_rack(r),
+                                            *aggs_[a], shard_of_agg(a),
+                                            tor_uplink_gbps_));
+        agg_down_ports_[a].push_back(wire(*aggs_[a], shard_of_agg(a),
+                                          *tors_[r], shard_of_rack(r),
+                                          spec_.fabric_gbps()));
+      }
+      tors_[r]->set_default_route(tor_uplink_ports_[r]);
+    }
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      for (std::size_t s = 0; s < spines_.size(); ++s) {
+        agg_up_ports_[a].push_back(wire(*aggs_[a], shard_of_agg(a),
+                                        *spines_[s], shard_of_spine(s),
+                                        spec_.fabric_gbps()));
+        spine_down_ports_[s][a] = wire(*spines_[s], shard_of_spine(s),
+                                       *aggs_[a], shard_of_agg(a),
+                                       spec_.fabric_gbps());
+      }
+      aggs_[a]->set_default_route(agg_up_ports_[a]);
+    }
+  } else if (spec_.spines > 0) {
+    // 2-tier leaf-spine: every ToR <-> every spine.
+    spine_down_ports_.assign(spines_.size(),
+                             std::vector<std::size_t>(spec_.racks, 0));
+    for (std::size_t r = 0; r < spec_.racks; ++r) {
+      for (std::size_t s = 0; s < spines_.size(); ++s) {
+        tor_uplink_ports_[r].push_back(wire(*tors_[r], shard_of_rack(r),
+                                            *spines_[s], shard_of_spine(s),
+                                            tor_uplink_gbps_));
+        spine_down_ports_[s][r] = wire(*spines_[s], shard_of_spine(s),
+                                       *tors_[r], shard_of_rack(r),
+                                       spec_.fabric_gbps());
+      }
+      tors_[r]->set_default_route(tor_uplink_ports_[r]);
+    }
+  }
+}
+
+std::size_t Fabric::wire(Switch& src, std::size_t src_shard, Switch& dst,
+                         std::size_t dst_shard, double gbps) {
+  Switch* target = &dst;
+  const std::size_t port =
+      src.add_port([target](Packet pkt) { target->receive(std::move(pkt)); });
+  src.set_port_bandwidth(port, gbps);
+  if (src_shard != dst_shard) {
+    src.set_port_remote(port,
+                        engine_->remote_scheduler(src_shard, dst_shard),
+                        spec_.fabric_latency);
+  } else {
+    src.set_port_latency(port, spec_.fabric_latency);
+  }
+  return port;
+}
+
+Switch& Fabric::attach_host(std::size_t index, PacketHandler deliver) {
+  const std::size_t r = rack_of_host(index);
+  const std::uint32_t ip = std::uint32_t(index + 1);
+  Switch& tor = *tors_.at(r);
+  const std::size_t port = tor.add_port(std::move(deliver));
+  tor.set_port_bandwidth(port, spec_.edge_bandwidth_gbps);
+  tor.set_port_latency(port, spec_.edge_latency);
+  tor.set_route(ip, port);
+
+  const std::size_t pods = spec_.pods();
+  if (pods > 0) {
+    const std::size_t rpp = spec_.resolved_racks_per_pod();
+    const std::size_t pod = r / rpp;
+    const std::size_t local = r % rpp;
+    for (std::size_t j = 0; j < spec_.aggs_per_pod; ++j) {
+      const std::size_t a = pod * spec_.aggs_per_pod + j;
+      aggs_[a]->set_route(ip, agg_down_ports_[a][local]);
+    }
+    for (std::size_t s = 0; s < spines_.size(); ++s) {
+      std::vector<std::size_t> down;
+      for (std::size_t j = 0; j < spec_.aggs_per_pod; ++j) {
+        down.push_back(spine_down_ports_[s][pod * spec_.aggs_per_pod + j]);
+      }
+      spines_[s]->set_ecmp_route(ip, std::move(down));
+    }
+  } else if (spec_.spines > 0) {
+    for (std::size_t s = 0; s < spines_.size(); ++s) {
+      spines_[s]->set_route(ip, spine_down_ports_[s][r]);
+    }
+  }
+  return tor;
+}
+
+Switch::Stats Fabric::totals() const {
+  Switch::Stats total;
+  auto add = [&total](const std::vector<std::unique_ptr<Switch>>& tier) {
+    for (const auto& sw : tier) {
+      total.forwarded += sw->stats().forwarded;
+      total.trimmed += sw->stats().trimmed;
+      total.dropped += sw->stats().dropped;
+    }
+  };
+  add(tors_);
+  add(aggs_);
+  add(spines_);
+  return total;
+}
+
+}  // namespace smt::sim

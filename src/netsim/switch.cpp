@@ -3,12 +3,11 @@
 namespace smt::sim {
 
 void Switch::receive(Packet pkt) {
-  const auto route = routes_.find(pkt.hdr.flow.dst_ip);
-  if (route == routes_.end()) {
+  const std::size_t port_index = route_port(pkt.hdr);
+  if (port_index == kNoRoute) {
     ++stats_.dropped;
     return;
   }
-  const std::size_t port_index = route->second;
   Port& port = ports_[port_index];
 
   const bool is_control = pkt.hdr.type != PacketType::data || pkt.hdr.trimmed;
@@ -22,9 +21,11 @@ void Switch::receive(Packet pkt) {
       pkt.hdr.trimmed_len = std::uint32_t(pkt.payload.size());
       pkt.payload.clear();
       ++stats_.trimmed;
+      ++port.stats.trimmed;
       enqueue(port_index, std::move(pkt), /*high_priority=*/true);
     } else {
       ++stats_.dropped;
+      ++port.stats.dropped;
     }
     return;
   }
@@ -34,12 +35,16 @@ void Switch::receive(Packet pkt) {
 void Switch::enqueue(std::size_t port_index, Packet pkt, bool high_priority) {
   Port& port = ports_[port_index];
   port.queued_bytes += pkt.wire_size();
+  if (port.queued_bytes > port.stats.max_queued_bytes) {
+    port.stats.max_queued_bytes = port.queued_bytes;
+  }
   if (high_priority) {
     port.high_queue.push_back(std::move(pkt));
   } else {
     port.data_queue.push_back(std::move(pkt));
   }
   ++stats_.forwarded;
+  ++port.stats.forwarded;
   if (!port.draining) {
     port.draining = true;
     loop_.schedule(config_.forwarding_latency,
@@ -60,9 +65,10 @@ void Switch::drain(std::size_t port_index) {
   queue.pop_front();
   port.queued_bytes -= pkt.wire_size();
 
+  const double gbps = port.bandwidth_gbps > 0.0 ? port.bandwidth_gbps
+                                                : config_.port_bandwidth_gbps;
   const double bits = double(pkt.wire_size()) * 8.0;
-  const SimDuration serialization =
-      SimDuration(bits / config_.port_bandwidth_gbps);
+  const SimDuration serialization = SimDuration(bits / gbps);
   const SimTime start = std::max(loop_.now(), port.next_free);
   port.next_free = start + serialization;
   loop_.schedule_at(port.next_free, [this, port_index, pkt = std::move(pkt)]() mutable {
@@ -74,6 +80,13 @@ void Switch::drain(std::size_t port_index) {
                  [this, port_index, pkt = std::move(pkt)]() mutable {
                    ports_[port_index].deliver(std::move(pkt));
                  });
+    } else if (out.egress_latency > 0) {
+      // Local port with a cable run: propagation is pipelined — the
+      // packet is in flight while the port serialises the next one.
+      loop_.schedule(out.egress_latency,
+                     [this, port_index, pkt = std::move(pkt)]() mutable {
+                       ports_[port_index].deliver(std::move(pkt));
+                     });
     } else {
       out.deliver(std::move(pkt));
     }

@@ -1,4 +1,5 @@
-// Output-queued switch with priorities and NDP-style packet trimming.
+// Output-queued switch with priorities, NDP-style packet trimming, and
+// ECMP multipath egress.
 //
 // The paper argues SMT is compatible with the trimming used by NDP and
 // UET (§7): when a queue overflows, the switch TRIMS the packet — payload
@@ -10,6 +11,14 @@
 //
 // Homa priorities map to queue priorities; control packets (grants,
 // resends, acks) and trimmed stubs ride the high-priority queue.
+//
+// ECMP: a destination may route to a GROUP of ports; the next hop is
+// picked from the packet's memoized 5-tuple hash (PacketHeader::
+// flow_hash_cache — the same single hash computation that feeds NIC RSS)
+// perturbed by a per-switch seed, so consecutive switches on a path make
+// decorrelated choices (real fabrics perturb the hash per hop for the
+// same reason). Selection is a pure function of (flow, seed): a flow
+// takes one path for its lifetime, across runs and shard counts.
 #pragma once
 
 #include <cstdint>
@@ -28,17 +37,22 @@ struct SwitchConfig {
   SimDuration forwarding_latency = nsec(300);
   std::size_t queue_capacity_bytes = 64 * 1024;  // shallow DC buffers
   bool trimming_enabled = true;  // NDP-style trim-on-overflow
+  std::uint64_t ecmp_seed = 0;   // per-switch flow-hash perturbation
 };
 
 class Switch {
  public:
+  static constexpr std::size_t kNoRoute = std::size_t(-1);
+
   Switch(EventLoop& loop, SwitchConfig config)
       : loop_(loop), config_(config) {}
 
   /// Adds an output port; returns its index. `deliver` receives packets
-  /// after queueing + serialisation.
+  /// after queueing + serialisation (+ the port's egress latency, if set).
   std::size_t add_port(PacketHandler deliver) {
-    ports_.push_back(Port{std::move(deliver), {}, {}, {}, 0, 0, 0, false});
+    Port port;
+    port.deliver = std::move(deliver);
+    ports_.push_back(std::move(port));
     return ports_.size() - 1;
   }
 
@@ -54,9 +68,55 @@ class Switch {
     ports_.at(port).egress_latency = egress_latency;
   }
 
-  /// Routes an IP to a port (static forwarding table).
+  /// Per-port egress propagation for LOCAL (same-shard) ports: delivery
+  /// fires at serialisation-end + latency while the port keeps draining
+  /// (the cable is a pipeline, not a stop-and-wait). 0 (the default)
+  /// delivers inline at serialisation end — the original behaviour.
+  void set_port_latency(std::size_t port, SimDuration latency) {
+    ports_.at(port).egress_latency = latency;
+  }
+
+  /// Per-port egress bandwidth override (0 = the switch-wide default).
+  /// Fabrics use this for oversubscribed uplinks.
+  void set_port_bandwidth(std::size_t port, double gbps) {
+    ports_.at(port).bandwidth_gbps = gbps;
+  }
+
+  /// Routes an IP to a single port (static forwarding table).
   void set_route(std::uint32_t dst_ip, std::size_t port) {
-    routes_[dst_ip] = port;
+    routes_[dst_ip] = {port};
+  }
+
+  /// Routes an IP to an ECMP group: the egress port is picked from the
+  /// packet's memoized flow hash perturbed by this switch's ecmp_seed.
+  void set_ecmp_route(std::uint32_t dst_ip, std::vector<std::size_t> ports) {
+    routes_[dst_ip] = std::move(ports);
+  }
+
+  /// Fallback ECMP group for destinations with no explicit route (the
+  /// "default via uplinks" entry of a ToR/agg table). Empty = drop.
+  void set_default_route(std::vector<std::size_t> ports) {
+    default_route_ = std::move(ports);
+  }
+
+  void set_ecmp_seed(std::uint64_t seed) { config_.ecmp_seed = seed; }
+
+  /// The port this header would egress on — a pure function of
+  /// (destination route, flow hash, ecmp_seed), exposed so tests can
+  /// assert path determinism without running traffic. kNoRoute if
+  /// unroutable.
+  std::size_t route_port(const PacketHeader& hdr) const {
+    const std::vector<std::size_t>* group = nullptr;
+    const auto route = routes_.find(hdr.flow.dst_ip);
+    if (route != routes_.end()) {
+      group = &route->second;
+    } else if (!default_route_.empty()) {
+      group = &default_route_;
+    }
+    if (group == nullptr || group->empty()) return kNoRoute;
+    if (group->size() == 1) return group->front();
+    return (*group)[mix64(hdr.flow_hash() ^ config_.ecmp_seed) %
+                    group->size()];
   }
 
   /// Ingress: forwards to the routed port's queue; trims or drops on
@@ -70,6 +130,19 @@ class Switch {
   };
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Per-egress-port counters (overflow drops/trims are charged to the
+  /// port whose queue overflowed).
+  struct PortStats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t trimmed = 0;
+    std::uint64_t dropped = 0;
+    std::size_t max_queued_bytes = 0;
+  };
+  const PortStats& port_stats(std::size_t port) const {
+    return ports_.at(port).stats;
+  }
+  std::size_t port_count() const noexcept { return ports_.size(); }
+
  private:
   struct Port {
     PacketHandler deliver;
@@ -78,9 +151,22 @@ class Switch {
     RemoteScheduler remote;  // set => egress crosses a shard boundary
     std::size_t queued_bytes = 0;
     SimDuration egress_latency = 0;
+    double bandwidth_gbps = 0.0;  // 0 = switch-wide default
     SimTime next_free = 0;
     bool draining = false;
+    PortStats stats;
   };
+
+  // SplitMix64/Murmur finalizer: decorrelates the shared flow hash across
+  // switches without rehashing the 5-tuple.
+  static std::uint64_t mix64(std::uint64_t h) noexcept {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+  }
 
   void enqueue(std::size_t port_index, Packet pkt, bool high_priority);
   void drain(std::size_t port_index);
@@ -88,7 +174,8 @@ class Switch {
   EventLoop& loop_;
   SwitchConfig config_;
   std::vector<Port> ports_;
-  std::map<std::uint32_t, std::size_t> routes_;
+  std::map<std::uint32_t, std::vector<std::size_t>> routes_;
+  std::vector<std::size_t> default_route_;
   Stats stats_;
 };
 

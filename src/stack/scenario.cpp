@@ -1,0 +1,335 @@
+#include "stack/scenario.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "netsim/fabric.hpp"
+
+namespace smt::stack {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+struct Cursor {
+  std::string_view section;
+  std::string_view key;
+  std::size_t line = 0;
+
+  Error fail(const std::string& what) const {
+    return make_error(Errc::invalid_argument,
+                      "scenario line " + std::to_string(line) + ": [" +
+                          std::string(section) + "] " + std::string(key) +
+                          ": " + what);
+  }
+};
+
+Result<std::uint64_t> parse_u64(const Cursor& at, std::string_view value) {
+  std::uint64_t out = 0;
+  if (value.empty()) return at.fail("expected an unsigned integer");
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      return at.fail("expected an unsigned integer, got '" +
+                     std::string(value) + "'");
+    }
+    out = out * 10 + std::uint64_t(c - '0');
+  }
+  return out;
+}
+
+Result<double> parse_double(const Cursor& at, std::string_view value) {
+  char* end = nullptr;
+  const std::string copy(value);
+  const double out = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    return at.fail("expected a number, got '" + copy + "'");
+  }
+  return out;
+}
+
+Result<bool> parse_bool(const Cursor& at, std::string_view value) {
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  return at.fail("expected true/false, got '" + std::string(value) + "'");
+}
+
+SimDuration usec_to_duration(double us) {
+  return SimDuration(std::llround(us * 1e3));
+}
+
+Status apply_link_key(const Cursor& at, std::string_view value,
+                      sim::LinkConfig& link) {
+  if (at.key == "bandwidth_gbps") {
+    auto v = parse_double(at, value);
+    if (!v.ok()) return v.error();
+    link.bandwidth_gbps = v.value();
+  } else if (at.key == "propagation_us") {
+    auto v = parse_double(at, value);
+    if (!v.ok()) return v.error();
+    link.propagation = usec_to_duration(v.value());
+  } else if (at.key == "loss_rate") {
+    auto v = parse_double(at, value);
+    if (!v.ok()) return v.error();
+    link.loss_rate = v.value();
+  } else if (at.key == "loss_seed") {
+    auto v = parse_u64(at, value);
+    if (!v.ok()) return v.error();
+    link.loss_seed = v.value();
+  } else {
+    return at.fail("unknown key");
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Status validate_topology(const TopologySpec& spec) {
+  // The shape rules live with the fabric; map and reuse them so the two
+  // layers can never drift apart.
+  if (spec.direct() || (spec.via_tor && spec.spines == 0)) {
+    if (spec.racks != 1) {
+      return make_error(Errc::invalid_argument,
+                        "topology: via_tor requires a single rack");
+    }
+    return Status::success();
+  }
+  sim::FabricSpec fs;
+  fs.racks = spec.racks;
+  fs.hosts_per_rack = spec.hosts_per_rack;
+  fs.spines = spec.spines;
+  fs.aggs_per_pod = spec.aggs_per_pod;
+  fs.racks_per_pod = spec.racks_per_pod;
+  fs.oversubscription = spec.oversubscription;
+  fs.ecmp_seed = spec.ecmp_seed;
+  return fs.validate();
+}
+
+Status validate_host(const HostConfig& config) {
+  if (config.app_cores == 0 || config.softirq_cores == 0) {
+    return make_error(Errc::invalid_argument,
+                      "host: app_cores and softirq_cores must be >= 1");
+  }
+  if (config.nic.num_queues == 0) {
+    return make_error(Errc::invalid_argument,
+                      "host: the NIC needs at least one queue");
+  }
+  if (config.nic.mtu_payload == 0) {
+    return make_error(Errc::invalid_argument,
+                      "host: mtu_payload must be positive");
+  }
+  if (config.nic.max_tso_bytes < config.nic.mtu_payload) {
+    return make_error(Errc::invalid_argument,
+                      "host: max_tso_bytes must be >= mtu_payload");
+  }
+  if (config.nic.rss_indirection_size == 0) {
+    return make_error(Errc::invalid_argument,
+                      "host: rss_indirection_size must be >= 1");
+  }
+  return Status::success();
+}
+
+Status validate_link(const sim::LinkConfig& config) {
+  if (config.bandwidth_gbps <= 0.0) {
+    return make_error(Errc::invalid_argument,
+                      "link: bandwidth must be positive");
+  }
+  if (config.propagation < 0) {
+    return make_error(Errc::invalid_argument,
+                      "link: propagation must be >= 0");
+  }
+  if (config.loss_rate < 0.0 || config.loss_rate > 1.0) {
+    return make_error(Errc::invalid_argument,
+                      "link: loss_rate must be within [0, 1]");
+  }
+  return Status::success();
+}
+
+Status validate_switch(const sim::SwitchConfig& config) {
+  if (config.port_bandwidth_gbps <= 0.0) {
+    return make_error(Errc::invalid_argument,
+                      "switch: port bandwidth must be positive");
+  }
+  if (config.queue_capacity_bytes == 0) {
+    return make_error(Errc::invalid_argument,
+                      "switch: queue capacity must be positive");
+  }
+  return Status::success();
+}
+
+Status validate_workload(const WorkloadSpec& spec) {
+  if (spec.transport.empty()) {
+    return make_error(Errc::invalid_argument,
+                      "workload: transport must be named");
+  }
+  if (spec.concurrency == 0 || spec.ops_per_client == 0) {
+    return make_error(Errc::invalid_argument,
+                      "workload: concurrency and ops_per_client must be >= 1");
+  }
+  return Status::success();
+}
+
+Status ScenarioConfig::validate() const {
+  if (Status st = validate_topology(topology); !st.ok()) return st;
+  if (Status st = validate_host(host); !st.ok()) return st;
+  if (Status st = validate_link(edge_link); !st.ok()) return st;
+  if (fabric_link_set) {
+    if (Status st = validate_link(fabric_link); !st.ok()) return st;
+  }
+  if (Status st = validate_switch(switch_config); !st.ok()) return st;
+  return validate_workload(workload);
+}
+
+Result<ScenarioConfig> ScenarioConfig::parse(std::string_view text) {
+  ScenarioConfig config;
+  Cursor at;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++at.line;
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        at.key = {};
+        return at.fail("unterminated [section] header");
+      }
+      at.section = trim(line.substr(1, line.size() - 2));
+      if (at.section != "topology" && at.section != "host" &&
+          at.section != "edge_link" && at.section != "fabric_link" &&
+          at.section != "switch" && at.section != "workload") {
+        at.key = {};
+        return at.fail("unknown section");
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      at.key = line;
+      return at.fail("expected 'key = value'");
+    }
+    at.key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (at.section.empty()) return at.fail("key outside any [section]");
+
+    auto set_size = [&](std::size_t& out) -> Status {
+      auto v = parse_u64(at, value);
+      if (!v.ok()) return v.error();
+      out = std::size_t(v.value());
+      return Status::success();
+    };
+    auto set_bool = [&](bool& out) -> Status {
+      auto v = parse_bool(at, value);
+      if (!v.ok()) return v.error();
+      out = v.value();
+      return Status::success();
+    };
+    auto set_double = [&](double& out) -> Status {
+      auto v = parse_double(at, value);
+      if (!v.ok()) return v.error();
+      out = v.value();
+      return Status::success();
+    };
+
+    Status st = Status::success();
+    if (at.section == "topology") {
+      TopologySpec& t = config.topology;
+      if (at.key == "racks") st = set_size(t.racks);
+      else if (at.key == "hosts_per_rack") st = set_size(t.hosts_per_rack);
+      else if (at.key == "spines") st = set_size(t.spines);
+      else if (at.key == "aggs_per_pod") st = set_size(t.aggs_per_pod);
+      else if (at.key == "racks_per_pod") st = set_size(t.racks_per_pod);
+      else if (at.key == "via_tor") st = set_bool(t.via_tor);
+      else if (at.key == "oversubscription") st = set_double(t.oversubscription);
+      else if (at.key == "ecmp_seed") {
+        auto v = parse_u64(at, value);
+        if (!v.ok()) return v.error();
+        t.ecmp_seed = v.value();
+      } else return at.fail("unknown key");
+    } else if (at.section == "host") {
+      HostConfig& h = config.host;
+      if (at.key == "app_cores") st = set_size(h.app_cores);
+      else if (at.key == "softirq_cores") st = set_size(h.softirq_cores);
+      else if (at.key == "nic_queues") st = set_size(h.nic.num_queues);
+      else if (at.key == "mtu_payload") {
+        st = set_size(h.nic.mtu_payload);
+        if (st.ok() && !h.nic.tso_enabled) h.nic.max_tso_bytes = h.nic.mtu_payload;
+      }
+      else if (at.key == "tso") {
+        st = set_bool(h.nic.tso_enabled);
+        if (st.ok()) {
+          h.nic.max_tso_bytes =
+              h.nic.tso_enabled ? std::size_t{65536} : h.nic.mtu_payload;
+        }
+      }
+      else if (at.key == "tx_burst") st = set_size(h.nic.tx_burst);
+      else if (at.key == "rx_burst") st = set_size(h.nic.rx_burst);
+      else if (at.key == "rx_coalesce_frames") st = set_size(h.nic.rx_coalesce_frames);
+      else if (at.key == "rx_coalesce_usecs") st = set_double(h.nic.rx_coalesce_usecs);
+      else if (at.key == "adaptive_rx_coalesce") st = set_bool(h.nic.adaptive_rx_coalesce);
+      else if (at.key == "rx_ring_size") st = set_size(h.nic.rx_ring_size);
+      else if (at.key == "rss_indirection_size") st = set_size(h.nic.rss_indirection_size);
+      else if (at.key == "max_flow_contexts") st = set_size(h.nic.max_flow_contexts);
+      else return at.fail("unknown key");
+    } else if (at.section == "edge_link" || at.section == "fabric_link") {
+      sim::LinkConfig& link = at.section == "edge_link" ? config.edge_link
+                                                        : config.fabric_link;
+      if (at.section == "fabric_link") config.fabric_link_set = true;
+      st = apply_link_key(at, value, link);
+    } else if (at.section == "switch") {
+      sim::SwitchConfig& s = config.switch_config;
+      if (at.key == "port_bandwidth_gbps") st = set_double(s.port_bandwidth_gbps);
+      else if (at.key == "forwarding_latency_ns") {
+        auto v = parse_u64(at, value);
+        if (!v.ok()) return v.error();
+        s.forwarding_latency = SimDuration(v.value());
+      }
+      else if (at.key == "queue_capacity_bytes") st = set_size(s.queue_capacity_bytes);
+      else if (at.key == "trimming") st = set_bool(s.trimming_enabled);
+      else return at.fail("unknown key");
+    } else if (at.section == "workload") {
+      WorkloadSpec& w = config.workload;
+      if (at.key == "transport") w.transport = std::string(value);
+      else if (at.key == "request_bytes") st = set_size(w.request_bytes);
+      else if (at.key == "response_bytes") st = set_size(w.response_bytes);
+      else if (at.key == "concurrency") st = set_size(w.concurrency);
+      else if (at.key == "ops_per_client") st = set_size(w.ops_per_client);
+      else if (at.key == "clients") st = set_size(w.clients);
+      else return at.fail("unknown key");
+    }
+    if (!st.ok()) return st.error();
+  }
+
+  if (const Status st = config.validate(); !st.ok()) return st.error();
+  return config;
+}
+
+Result<ScenarioConfig> ScenarioConfig::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return make_error(Errc::invalid_argument,
+                      "scenario: cannot open '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+}  // namespace smt::stack

@@ -1,0 +1,154 @@
+#include "stack/topology.hpp"
+
+#include <string>
+
+namespace smt::stack {
+
+Result<std::unique_ptr<Topology>> TopologyBuilder::build_impl(
+    sim::EventLoop* loop, sim::ShardedEngine* engine) {
+  // The single validation path: every constructor route funnels here.
+  if (Status st = validate_topology(scenario_.topology); !st.ok()) {
+    return st.error();
+  }
+  if (Status st = validate_host(scenario_.host); !st.ok()) return st.error();
+  const TopologySpec& t = scenario_.topology;
+  const std::size_t n = t.host_count();
+  for (const auto& [index, hc] : host_overrides_) {
+    if (index >= n) {
+      return make_error(Errc::invalid_argument,
+                        "topology: host_config override for host " +
+                            std::to_string(index) + " of " +
+                            std::to_string(n));
+    }
+    if (Status st = validate_host(hc); !st.ok()) return st.error();
+  }
+  if (Status st = validate_link(scenario_.edge_link); !st.ok()) {
+    return st.error();
+  }
+  if (scenario_.fabric_link_set) {
+    if (Status st = validate_link(scenario_.fabric_link); !st.ok()) {
+      return st.error();
+    }
+  }
+  if (Status st = validate_switch(scenario_.switch_config); !st.ok()) {
+    return st.error();
+  }
+
+  auto host_config_of = [this](std::size_t index) {
+    const auto it = host_overrides_.find(index);
+    HostConfig hc = it == host_overrides_.end() ? scenario_.host : it->second;
+    hc.ip = std::uint32_t(index + 1);
+    return hc;
+  };
+
+  auto topo = std::unique_ptr<Topology>(new Topology());
+  topo->scenario_ = scenario_;
+
+  if (t.direct()) {
+    std::size_t shard0 = 0;
+    std::size_t shard1 = 0;
+    if (!shard_overrides_.empty()) {
+      if (engine == nullptr) {
+        return make_error(Errc::invalid_argument,
+                          "topology: host_shard() requires build(engine)");
+      }
+      for (const auto& [index, shard] : shard_overrides_) {
+        if (index >= n) {
+          return make_error(Errc::invalid_argument,
+                            "topology: host_shard override for host " +
+                                std::to_string(index) + " of " +
+                                std::to_string(n));
+        }
+        if (shard >= engine->shard_count()) {
+          return make_error(Errc::invalid_argument,
+                            "topology: shard " + std::to_string(shard) +
+                                " out of range (engine has " +
+                                std::to_string(engine->shard_count()) +
+                                " shards)");
+        }
+      }
+      const auto shard_of = [this](std::size_t index) {
+        const auto it = shard_overrides_.find(index);
+        return it == shard_overrides_.end() ? std::size_t{0} : it->second;
+      };
+      shard0 = shard_of(0);
+      shard1 = shard_of(1);
+    }
+    if (engine != nullptr && shard0 != shard1 &&
+        scenario_.edge_link.propagation < engine->lookahead()) {
+      return make_error(Errc::invalid_argument,
+                        "topology: a cross-shard link needs propagation >= "
+                        "the engine's lookahead");
+    }
+    sim::EventLoop& loop0 = engine ? engine->loop(shard0) : *loop;
+    sim::EventLoop& loop1 = engine ? engine->loop(shard1) : *loop;
+    topo->hosts_.push_back(std::make_unique<Host>(loop0, host_config_of(0)));
+    topo->hosts_.push_back(std::make_unique<Host>(loop1, host_config_of(1)));
+    topo->host_shards_ = {shard0, shard1};
+    topo->link_ =
+        std::make_unique<sim::Link>(loop0, loop1, scenario_.edge_link);
+    const Status wired =
+        engine ? connect_hosts(*topo->hosts_[0], *topo->hosts_[1],
+                               *topo->link_, *engine, shard0, shard1)
+               : connect_hosts(*topo->hosts_[0], *topo->hosts_[1],
+                               *topo->link_);
+    if (!wired.ok()) return wired.error();
+  } else {
+    if (!shard_overrides_.empty()) {
+      return make_error(Errc::invalid_argument,
+                        "topology: host_shard() only applies to the direct "
+                        "2-host shape; fabric placement is rack-affine");
+    }
+    sim::FabricSpec fs;
+    fs.racks = t.racks;
+    fs.hosts_per_rack = t.hosts_per_rack;
+    fs.spines = t.spines;
+    fs.aggs_per_pod = t.aggs_per_pod;
+    fs.racks_per_pod = t.racks_per_pod;
+    fs.switch_config = scenario_.switch_config;
+    fs.edge_bandwidth_gbps = scenario_.edge_link.bandwidth_gbps;
+    fs.edge_latency = scenario_.edge_link.propagation;
+    const sim::LinkConfig& fl =
+        scenario_.fabric_link_set ? scenario_.fabric_link
+                                  : scenario_.edge_link;
+    fs.fabric_bandwidth_gbps = fl.bandwidth_gbps;
+    fs.fabric_latency = fl.propagation;
+    fs.oversubscription = t.oversubscription;
+    fs.ecmp_seed = t.ecmp_seed;
+    auto fabric = engine ? sim::Fabric::create(*engine, fs)
+                         : sim::Fabric::create(*loop, fs);
+    if (!fabric.ok()) return fabric.error();
+    topo->fabric_ = std::move(fabric).take();
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t shard = topo->fabric_->shard_of_host(i);
+      sim::EventLoop& host_loop = engine ? engine->loop(shard) : *loop;
+      topo->hosts_.push_back(
+          std::make_unique<Host>(host_loop, host_config_of(i)));
+      topo->host_shards_.push_back(shard);
+      Host* host = topo->hosts_.back().get();
+      // Uplink: a host-owned link direction into the ToR (sender-side
+      // serialisation on the host's shard; the ToR is shard-local by the
+      // placement convention). Downlink: a ToR egress port delivering
+      // into the host's NIC after serialisation + edge latency.
+      auto uplink = std::make_unique<sim::LinkDirection>(
+          host_loop, scenario_.edge_link);
+      sim::Switch& tor = topo->fabric_->attach_host(
+          i, [host](sim::Packet pkt) { host->nic().receive(std::move(pkt)); });
+      sim::Switch* tor_ptr = &tor;
+      uplink->set_receiver(
+          [tor_ptr](sim::Packet pkt) { tor_ptr->receive(std::move(pkt)); });
+      host->nic().attach_tx(uplink.get());
+      topo->uplinks_.push_back(std::move(uplink));
+    }
+  }
+
+  if (irq_rebalance_period_ > 0) {
+    for (const auto& host : topo->hosts_) {
+      host->enable_irq_rebalance(irq_rebalance_period_);
+    }
+  }
+  return topo;
+}
+
+}  // namespace smt::stack

@@ -377,6 +377,12 @@ void HomaEndpoint::rx_complete(const RxKey& key) {
     recently_completed_.erase(completed_order_.front().second);
     completed_order_.pop_front();
   }
+  // Count bound on top of the time bound: at high fan-in one retention
+  // window can complete more messages than the table should hold.
+  while (completed_order_.size() > config_.dedup_history_limit) {
+    recently_completed_.erase(completed_order_.front().second);
+    completed_order_.pop_front();
+  }
 
   // ACK lets the sender free its retransmission state; the message's
   // softirq core posts it (and pays the doorbell if it arms one).

@@ -37,6 +37,11 @@ struct HomaConfig {
   int max_resends = 20;                     // before the message is dropped
   sim::Proto proto = sim::Proto::homa;      // SMT reuses the engine with
                                             // its own protocol number
+  /// Hard cap on completed-message dedup entries. The window is primarily
+  /// TIME-bounded (see kCompletedRetention), but a burst of many short
+  /// messages inside one retention window could otherwise grow it without
+  /// limit — per-host state must stay memory-bounded at any fan-in.
+  std::size_t dedup_history_limit = 4096;
 };
 
 /// Identifies a peer endpoint.
@@ -137,6 +142,19 @@ class HomaEndpoint {
     std::uint64_t segments_posted = 0;  // TSO segments handed to the NIC
   };
   const Stats& stats() const noexcept { return stats_; }
+
+  /// Live sizes of the endpoint's per-peer state tables, for the
+  /// memory-boundedness audit: after a quiesced run tx/rx must be empty
+  /// and dedup_entries <= the configured history limit.
+  struct TableAudit {
+    std::size_t tx_messages = 0;
+    std::size_t rx_messages = 0;
+    std::size_t dedup_entries = 0;
+  };
+  TableAudit table_audit() const noexcept {
+    return TableAudit{tx_messages_.size(), rx_messages_.size(),
+                      recently_completed_.size()};
+  }
 
  private:
   struct TxMessage {

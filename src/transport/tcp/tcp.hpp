@@ -93,6 +93,9 @@ class TcpEndpoint {
   };
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Live connection-table size (per-host state audit).
+  std::size_t connection_count() const noexcept { return connections_.size(); }
+
  private:
   struct RecordBoundary {
     std::uint64_t stream_off;   // where the record starts in the stream

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "netsim/link.hpp"
+#include "../common/topology_helpers.hpp"
 
 namespace smt::baselines {
 namespace {
@@ -10,10 +10,9 @@ namespace {
 class KtlsTest : public ::testing::TestWithParam<bool> {
  protected:
   KtlsTest()
-      : client_host_(loop_, host_config(1)),
-        server_host_(loop_, host_config(2)),
-        link_(loop_, link_config()) {
-    stack::connect_hosts(client_host_, server_host_, link_);
+      : topology_(test::two_host_topology(loop_, host_config(), link_config())),
+        client_host_(topology_->host(0)),
+        server_host_(topology_->host(1)) {
     KtlsConfig config;
     config.hw_offload = GetParam();
     client_ = std::make_unique<KtlsEndpoint>(client_host_, 1000, config);
@@ -49,9 +48,8 @@ class KtlsTest : public ::testing::TestWithParam<bool> {
                     .ok());
   }
 
-  static stack::HostConfig host_config(std::uint32_t ip) {
+  static stack::HostConfig host_config() {
     stack::HostConfig config;
-    config.ip = ip;
     config.app_cores = 2;
     config.softirq_cores = 2;
     return config;
@@ -63,9 +61,9 @@ class KtlsTest : public ::testing::TestWithParam<bool> {
   }
 
   sim::EventLoop loop_;
-  stack::Host client_host_;
-  stack::Host server_host_;
-  sim::Link link_;
+  std::unique_ptr<stack::Topology> topology_;
+  stack::Host& client_host_;
+  stack::Host& server_host_;
   std::unique_ptr<KtlsEndpoint> client_;
   std::unique_ptr<KtlsEndpoint> server_;
   tls::TrafficKeys client_tx_;
@@ -87,7 +85,7 @@ TEST_P(KtlsTest, EncryptedDataDelivered) {
 TEST_P(KtlsTest, WireIsCiphertext) {
   const Bytes msg = to_bytes(std::string_view("plaintext must not appear"));
   Bytes wire;
-  link_.a2b().set_receiver([this, &wire](sim::Packet pkt) {
+  topology_->direct_link()->a2b().set_receiver([this, &wire](sim::Packet pkt) {
     append(wire, pkt.payload);
     server_host_.nic().receive(std::move(pkt));
   });
@@ -122,7 +120,7 @@ TEST_P(KtlsTest, LossRecoveredAndStillDecrypts) {
   // resync the NIC context (Figure 2 Out-resync) — the record stream stays
   // intact either way.
   int dropped = 0;
-  link_.a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
+  topology_->direct_link()->a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
     if (pkt.hdr.type == sim::PacketType::data && dropped == 0) {
       ++dropped;
       return true;
@@ -161,13 +159,9 @@ INSTANTIATE_TEST_SUITE_P(SwAndHw, KtlsTest, ::testing::Values(false, true),
 
 TEST(TcplsTest, DeliversEncryptedData) {
   sim::EventLoop loop;
-  stack::HostConfig hc;
-  hc.ip = 1;
-  stack::Host client_host(loop, hc);
-  hc.ip = 2;
-  stack::Host server_host(loop, hc);
-  sim::Link link(loop, sim::LinkConfig{});
-  stack::connect_hosts(client_host, server_host, link);
+  const auto topology = test::two_host_topology(loop);
+  stack::Host& client_host = topology->host(0);
+  stack::Host& server_host = topology->host(1);
 
   TcplsEndpoint client(client_host, 1000);
   TcplsEndpoint server(server_host, 80);
@@ -199,13 +193,9 @@ TEST(TcplsTest, CostsMoreCpuThanKtlsSw) {
   // traffic its app core is busier than kTLS-sw's.
   const auto run_variant = [](bool tcpls) {
     sim::EventLoop loop;
-    stack::HostConfig hc;
-    hc.ip = 1;
-    stack::Host client_host(loop, hc);
-    hc.ip = 2;
-    stack::Host server_host(loop, hc);
-    sim::Link link(loop, sim::LinkConfig{});
-    stack::connect_hosts(client_host, server_host, link);
+    const auto topology = test::two_host_topology(loop);
+    stack::Host& client_host = topology->host(0);
+    stack::Host& server_host = topology->host(1);
 
     std::unique_ptr<KtlsEndpoint> client, server;
     if (tcpls) {

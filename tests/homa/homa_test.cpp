@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "netsim/link.hpp"
+#include "../common/topology_helpers.hpp"
 
 namespace smt::transport {
 namespace {
@@ -10,21 +10,19 @@ namespace {
 class HomaTest : public ::testing::Test {
  protected:
   HomaTest()
-      : client_host_(loop_, host_config(1)),
-        server_host_(loop_, host_config(2)),
-        link_(loop_, link_config()),
+      : topology_(test::two_host_topology(loop_, host_config(), link_config())),
+        client_host_(topology_->host(0)),
+        server_host_(topology_->host(1)),
         client_(client_host_, 1000),
         server_(server_host_, 80) {
-    stack::connect_hosts(client_host_, server_host_, link_);
     server_.set_on_message(
         [this](HomaEndpoint::MessageMeta meta, Bytes data) {
           received_.emplace_back(meta, std::move(data));
         });
   }
 
-  static stack::HostConfig host_config(std::uint32_t ip) {
+  static stack::HostConfig host_config() {
     stack::HostConfig config;
-    config.ip = ip;
     config.app_cores = 2;
     config.softirq_cores = 2;
     return config;
@@ -38,9 +36,9 @@ class HomaTest : public ::testing::Test {
   PeerAddr server_addr() const { return PeerAddr{2, 80}; }
 
   sim::EventLoop loop_;
-  stack::Host client_host_;
-  stack::Host server_host_;
-  sim::Link link_;
+  std::unique_ptr<stack::Topology> topology_;
+  stack::Host& client_host_;
+  stack::Host& server_host_;
   HomaEndpoint client_;
   HomaEndpoint server_;
   std::vector<std::pair<HomaEndpoint::MessageMeta, Bytes>> received_;
@@ -105,7 +103,7 @@ TEST_F(HomaTest, FullMessageDeliveryNotStreaming) {
 
 TEST_F(HomaTest, LostPacketRecoveredByResend) {
   int dropped = 0;
-  link_.a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
+  topology_->direct_link()->a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
     if (pkt.hdr.type == sim::PacketType::data && dropped == 0) {
       ++dropped;
       return true;
@@ -125,7 +123,7 @@ TEST_F(HomaTest, LossInOneMessageDoesNotBlockAnother) {
   // Out-of-order message delivery (§2.2): message A loses a packet, but
   // message B — sent later — completes first. No transport-level HoLB.
   bool dropped = false;
-  link_.a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
+  topology_->direct_link()->a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
     if (pkt.hdr.type == sim::PacketType::data && !dropped &&
         pkt.hdr.msg_id == 1) {
       dropped = true;
@@ -233,18 +231,23 @@ TEST_F(HomaTest, ManyConcurrentMessagesAllComplete) {
 }
 
 TEST_F(HomaTest, LossyLinkEventuallyDeliversEverything) {
+  // A fresh testbed with a lossy link (re-wiring live hosts to a second
+  // link is now a configuration error).
+  sim::EventLoop loop;
   sim::LinkConfig lossy;
   lossy.loss_rate = 0.05;
   lossy.loss_seed = 9;
   lossy.propagation = usec(1);
-  // Rebuild the topology with a lossy link.
-  sim::Link lossy_link(loop_, lossy);
-  stack::connect_hosts(client_host_, server_host_, lossy_link);
+  const auto topology = test::two_host_topology(loop, host_config(), lossy);
+  HomaEndpoint client(topology->host(0), 1000);
+  HomaEndpoint server(topology->host(1), 80);
+  std::size_t received = 0;
+  server.set_on_message([&](HomaEndpoint::MessageMeta, Bytes) { ++received; });
   for (int i = 0; i < 20; ++i) {
-    client_.send_message(server_addr(), Bytes(8000, std::uint8_t(i)));
+    client.send_message(server_addr(), Bytes(8000, std::uint8_t(i)));
   }
-  loop_.run();
-  EXPECT_EQ(received_.size(), 20u);
+  loop.run();
+  EXPECT_EQ(received, 20u);
 }
 
 }  // namespace

@@ -3,9 +3,10 @@
 // (MTU, TSO, suites, record sizes, concurrency).
 #include <gtest/gtest.h>
 
+#include "../common/topology_helpers.hpp"
+
 #include "apps/rpc.hpp"
 #include "crypto/drbg.hpp"
-#include "netsim/link.hpp"
 #include "smt/endpoint.hpp"
 #include "tls/engine.hpp"
 
@@ -82,13 +83,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(EndToEndAes256, Suite256WorksEndToEnd) {
   // Drive an SMT session with the 256-bit suite through hosts and NIC.
   sim::EventLoop loop;
-  stack::HostConfig hc;
-  hc.ip = 1;
-  stack::Host client_host(loop, hc);
-  hc.ip = 2;
-  stack::Host server_host(loop, hc);
-  sim::Link link(loop, sim::LinkConfig{});
-  stack::connect_hosts(client_host, server_host, link);
+  const auto topology = test::two_host_topology(loop);
+  stack::Host& client_host = topology->host(0);
+  stack::Host& server_host = topology->host(1);
 
   proto::SmtConfig config;
   config.hw_offload = true;
@@ -161,13 +158,9 @@ TEST(EndToEndHandshakeToTraffic, ResumedSessionCarriesTraffic) {
 
   // Resumed keys drive SMT traffic over the simulated network.
   sim::EventLoop loop;
-  stack::HostConfig hc;
-  hc.ip = 1;
-  stack::Host client_host(loop, hc);
-  hc.ip = 2;
-  stack::Host server_host(loop, hc);
-  sim::Link link(loop, sim::LinkConfig{});
-  stack::connect_hosts(client_host, server_host, link);
+  const auto topology = test::two_host_topology(loop);
+  stack::Host& client_host = topology->host(0);
+  stack::Host& server_host = topology->host(1);
   proto::SmtEndpoint client(client_host, 1000);
   proto::SmtEndpoint server(server_host, 80);
   const auto& cs = c2.secrets();

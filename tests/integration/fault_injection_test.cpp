@@ -2,8 +2,8 @@
 // and hardware-offload retransmission paths under stress.
 #include <gtest/gtest.h>
 
+#include "../common/topology_helpers.hpp"
 #include "crypto/drbg.hpp"
-#include "netsim/link.hpp"
 #include "smt/endpoint.hpp"
 
 namespace smt::proto {
@@ -11,25 +11,23 @@ namespace {
 
 struct Testbed {
   sim::EventLoop loop;
-  std::unique_ptr<stack::Host> client_host;
-  std::unique_ptr<stack::Host> server_host;
-  std::unique_ptr<sim::Link> link;
+  std::unique_ptr<stack::Topology> topology;
+  stack::Host* client_host = nullptr;
+  stack::Host* server_host = nullptr;
+  sim::Link* link = nullptr;
   std::unique_ptr<SmtEndpoint> client;
   std::unique_ptr<SmtEndpoint> server;
 
   explicit Testbed(bool hw_offload, double loss_rate = 0.0,
                    std::uint64_t loss_seed = 1) {
-    stack::HostConfig hc;
-    hc.ip = 1;
-    client_host = std::make_unique<stack::Host>(loop, hc);
-    hc.ip = 2;
-    server_host = std::make_unique<stack::Host>(loop, hc);
     sim::LinkConfig lc;
     lc.loss_rate = loss_rate;
     lc.loss_seed = loss_seed;
     lc.propagation = usec(1);
-    link = std::make_unique<sim::Link>(loop, lc);
-    stack::connect_hosts(*client_host, *server_host, *link);
+    topology = test::two_host_topology(loop, {}, lc);
+    client_host = &topology->host(0);
+    server_host = &topology->host(1);
+    link = topology->direct_link();
 
     SmtConfig config;
     config.hw_offload = hw_offload;

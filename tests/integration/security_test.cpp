@@ -2,8 +2,8 @@
 // executable checks against an in-network attacker on the simulated link.
 #include <gtest/gtest.h>
 
+#include "../common/topology_helpers.hpp"
 #include "common/rng.hpp"
-#include "netsim/link.hpp"
 #include "smt/endpoint.hpp"
 
 namespace smt::proto {
@@ -11,21 +11,19 @@ namespace {
 
 struct AttackBed {
   sim::EventLoop loop;
-  std::unique_ptr<stack::Host> client_host;
-  std::unique_ptr<stack::Host> server_host;
-  std::unique_ptr<sim::Link> link;
+  std::unique_ptr<stack::Topology> topology;
+  stack::Host* client_host = nullptr;
+  stack::Host* server_host = nullptr;
+  sim::Link* link = nullptr;
   std::unique_ptr<SmtEndpoint> client;
   std::unique_ptr<SmtEndpoint> server;
   std::vector<std::pair<std::uint64_t, Bytes>> delivered;
 
   AttackBed() {
-    stack::HostConfig hc;
-    hc.ip = 1;
-    client_host = std::make_unique<stack::Host>(loop, hc);
-    hc.ip = 2;
-    server_host = std::make_unique<stack::Host>(loop, hc);
-    link = std::make_unique<sim::Link>(loop, sim::LinkConfig{});
-    stack::connect_hosts(*client_host, *server_host, *link);
+    topology = test::two_host_topology(loop);
+    client_host = &topology->host(0);
+    server_host = &topology->host(1);
+    link = topology->direct_link();
     client = std::make_unique<SmtEndpoint>(*client_host, 1000);
     server = std::make_unique<SmtEndpoint>(*server_host, 80);
     tls::TrafficKeys tx{Bytes(16, 0x61), Bytes(12, 0x62)};

@@ -4,54 +4,38 @@
 // the property that breaks if headers were encrypted (QUIC-style, §6.3).
 #include <gtest/gtest.h>
 
-#include "netsim/switch.hpp"
+#include "../common/topology_helpers.hpp"
 #include "smt/endpoint.hpp"
 
 namespace smt::proto {
 namespace {
 
+// Two hosts hanging off one ToR (the builder's via_tor shape) with an
+// oversubscribed switch: hosts inject at 100 Gb/s, the switch drains at
+// 20 Gb/s — bursts build the queue that congestion trimming targets.
 struct SwitchedBed {
   sim::EventLoop loop;
-  std::unique_ptr<stack::Host> client_host;
-  std::unique_ptr<stack::Host> server_host;
-  std::unique_ptr<sim::Switch> sw;
+  std::unique_ptr<stack::Topology> topology;
+  sim::Switch* sw = nullptr;
   std::unique_ptr<SmtEndpoint> client;
   std::unique_ptr<SmtEndpoint> server;
 
   explicit SwitchedBed(std::size_t queue_bytes) {
-    stack::HostConfig hc;
-    hc.ip = 1;
-    client_host = std::make_unique<stack::Host>(loop, hc);
-    hc.ip = 2;
-    server_host = std::make_unique<stack::Host>(loop, hc);
-
     sim::SwitchConfig sc;
     sc.queue_capacity_bytes = queue_bytes;
-    // Oversubscribed port: hosts inject at 100 Gb/s, the switch drains at
-    // 20 Gb/s — bursts build a queue (the congestion trimming targets).
-    sc.port_bandwidth_gbps = 20.0;
-    sw = std::make_unique<sim::Switch>(loop, sc);
-    const auto to_client = sw->add_port(
-        [this](sim::Packet pkt) { client_host->nic().receive(std::move(pkt)); });
-    const auto to_server = sw->add_port(
-        [this](sim::Packet pkt) { server_host->nic().receive(std::move(pkt)); });
-    sw->set_route(1, to_client);
-    sw->set_route(2, to_server);
+    auto built = stack::TopologyBuilder().via_tor().switch_config(sc).build(loop);
+    EXPECT_TRUE(built.ok()) << built.error().message;
+    topology = std::move(built).take();
+    sw = &topology->fabric()->tor(0);
+    // The fabric programs host-facing ports at the edge rate (100 Gb/s);
+    // slow the drains to 20 Gb/s AFTER the build to get the oversubscribed
+    // switch this suite is about. Hosts attach in index order, so port i
+    // faces host i on the single ToR.
+    sw->set_port_bandwidth(0, 20.0);
+    sw->set_port_bandwidth(1, 20.0);
 
-    // Hosts transmit INTO the switch: wrap each NIC's TX in a link whose
-    // receiver is the switch ingress.
-    static sim::LinkConfig lc;
-    client_link = std::make_unique<sim::Link>(loop, lc);
-    server_link = std::make_unique<sim::Link>(loop, lc);
-    client_host->nic().attach_tx(&client_link->a2b());
-    client_link->a2b().set_receiver(
-        [this](sim::Packet pkt) { sw->receive(std::move(pkt)); });
-    server_host->nic().attach_tx(&server_link->a2b());
-    server_link->a2b().set_receiver(
-        [this](sim::Packet pkt) { sw->receive(std::move(pkt)); });
-
-    client = std::make_unique<SmtEndpoint>(*client_host, 1000);
-    server = std::make_unique<SmtEndpoint>(*server_host, 80);
+    client = std::make_unique<SmtEndpoint>(topology->host(0), 1000);
+    server = std::make_unique<SmtEndpoint>(topology->host(1), 80);
     tls::TrafficKeys tx{Bytes(16, 0x81), Bytes(12, 0x82)};
     tls::TrafficKeys rx{Bytes(16, 0x83), Bytes(12, 0x84)};
     EXPECT_TRUE(client
@@ -65,9 +49,6 @@ struct SwitchedBed {
                                        rx, tx)
                     .ok());
   }
-
-  std::unique_ptr<sim::Link> client_link;
-  std::unique_ptr<sim::Link> server_link;
 };
 
 TEST(Trimming, SmtThroughUncongestedSwitch) {
@@ -107,12 +88,11 @@ TEST(Trimming, CongestionTrimsAndSmtRecoversFast) {
 TEST(Trimming, StubsPreserveExactLossInformation) {
   // Direct check: what Homa learns from a trimmed stub is exactly the
   // missing byte range, even though the payload (ciphertext) is gone.
+  // The server's ToR uplink is re-pointed to snoop RESENDs on their way
+  // into the switch.
   SwitchedBed bed(16 * 1024);
   std::vector<std::pair<std::uint32_t, std::uint32_t>> resend_ranges;
-  bed.client_link->a2b().set_receiver([&](sim::Packet pkt) {
-    bed.sw->receive(std::move(pkt));
-  });
-  bed.server_link->a2b().set_receiver([&](sim::Packet pkt) {
+  bed.topology->uplink(1)->set_receiver([&](sim::Packet pkt) {
     if (pkt.hdr.type == sim::PacketType::resend) {
       resend_ranges.emplace_back(pkt.hdr.resend_off - 1, pkt.hdr.grant_off);
     }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
+
 namespace smt::sim {
 namespace {
 
@@ -113,6 +116,159 @@ TEST_F(SwitchTest, SerializationPacesDelivery) {
   ASSERT_EQ(to_a_.size(), 2u);
   // 1500 B at 100 Gb/s = 120 ns per packet after the forwarding latency.
   EXPECT_EQ(loop_.now(), 300 + 2 * 120);
+}
+
+PacketHeader flow_header(std::uint32_t src_ip, std::uint16_t src_port,
+                         std::uint32_t dst_ip) {
+  PacketHeader hdr;
+  hdr.flow.src_ip = src_ip;
+  hdr.flow.src_port = src_port;
+  hdr.flow.dst_ip = dst_ip;
+  hdr.flow.dst_port = 80;
+  hdr.flow.proto = Proto::smt;
+  return hdr;
+}
+
+TEST(SwitchEcmp, SelectionIsDeterministicAcrossInstances) {
+  // route_port is a pure function of (flow hash, seed, group): the same
+  // flow maps to the same port on every call and on a freshly built
+  // identical switch — path choices survive restarts and shard counts.
+  EventLoop loop;
+  const auto build = [&loop] {
+    SwitchConfig c;
+    c.ecmp_seed = 0x1234;
+    auto sw = std::make_unique<Switch>(loop, c);
+    for (int i = 0; i < 4; ++i) sw->add_port([](Packet) {});
+    sw->set_ecmp_route(7, {0, 1, 2, 3});
+    return sw;
+  };
+  const auto first = build();
+  const auto second = build();
+  for (std::uint16_t port = 1000; port < 1064; ++port) {
+    const PacketHeader hdr = flow_header(1, port, 7);
+    const std::size_t choice = first->route_port(hdr);
+    EXPECT_EQ(choice, first->route_port(hdr));
+    EXPECT_EQ(choice, second->route_port(hdr));
+  }
+}
+
+TEST(SwitchEcmp, DistinctFlowsSpreadAcrossAllPorts) {
+  EventLoop loop;
+  SwitchConfig c;
+  Switch sw(loop, c);
+  for (int i = 0; i < 4; ++i) sw.add_port([](Packet) {});
+  sw.set_ecmp_route(7, {0, 1, 2, 3});
+  std::set<std::size_t> used;
+  for (std::uint16_t port = 1000; port < 1064; ++port) {
+    used.insert(sw.route_port(flow_header(1, port, 7)));
+  }
+  EXPECT_EQ(used.size(), 4u);  // 64 flows cover every next hop
+}
+
+TEST(SwitchEcmp, SeedDecorrelatesConsecutiveHops) {
+  // Two switches with the same group but different seeds (consecutive
+  // hops on a path) must not make identical choices for every flow —
+  // otherwise a collision at hop 1 persists at hop 2.
+  EventLoop loop;
+  SwitchConfig c1, c2;
+  c1.ecmp_seed = 1;
+  c2.ecmp_seed = 2;
+  Switch hop1(loop, c1), hop2(loop, c2);
+  for (int i = 0; i < 4; ++i) {
+    hop1.add_port([](Packet) {});
+    hop2.add_port([](Packet) {});
+  }
+  hop1.set_ecmp_route(7, {0, 1, 2, 3});
+  hop2.set_ecmp_route(7, {0, 1, 2, 3});
+  int differing = 0;
+  for (std::uint16_t port = 1000; port < 1064; ++port) {
+    const PacketHeader hdr = flow_header(1, port, 7);
+    if (hop1.route_port(hdr) != hop2.route_port(hdr)) ++differing;
+  }
+  EXPECT_GT(differing, 16);  // ~3/4 of flows expected to diverge
+}
+
+TEST(SwitchEcmp, DefaultRouteCatchesUnknownDestinations) {
+  EventLoop loop;
+  Switch sw(loop, SwitchConfig{});
+  std::vector<Packet> up;
+  const auto uplink = sw.add_port([&](Packet p) { up.push_back(std::move(p)); });
+  sw.add_port([](Packet) {});
+  sw.set_default_route({uplink});
+  EXPECT_EQ(sw.route_port(flow_header(1, 1000, 42)), uplink);
+  Packet pkt;
+  pkt.hdr = flow_header(1, 1000, 42);
+  pkt.payload.assign(64, 0x01);
+  sw.receive(std::move(pkt));
+  loop.run();
+  EXPECT_EQ(up.size(), 1u);
+
+  Switch bare(loop, SwitchConfig{});
+  bare.add_port([](Packet) {});
+  EXPECT_EQ(bare.route_port(flow_header(1, 1000, 42)), Switch::kNoRoute);
+}
+
+TEST_F(SwitchTest, PerPortCountersChargeTheOverflowingPort) {
+  // Flood port A past its 8 KB queue while port B stays idle: trims land
+  // on A's counters only, and the aggregate matches the per-port sums.
+  for (int i = 0; i < 12; ++i) sw_.receive(data_packet(1, 1400));
+  sw_.receive(data_packet(2, 100));
+  loop_.run();
+  const auto& a = sw_.port_stats(port_a_);
+  const auto& b = sw_.port_stats(port_b_);
+  EXPECT_EQ(a.forwarded + b.forwarded, sw_.stats().forwarded);
+  EXPECT_EQ(a.trimmed, sw_.stats().trimmed);
+  EXPECT_GT(a.trimmed, 0u);
+  EXPECT_GT(a.max_queued_bytes, 0u);
+  EXPECT_LE(a.max_queued_bytes, 8u * 1024u);
+  EXPECT_EQ(b.trimmed, 0u);
+  EXPECT_EQ(b.dropped, 0u);
+  EXPECT_EQ(b.forwarded, 1u);
+}
+
+TEST(SwitchEcmp, PerPortDropCountersWithTrimmingDisabled) {
+  EventLoop loop;
+  SwitchConfig c;
+  c.trimming_enabled = false;
+  c.queue_capacity_bytes = 4 * 1024;
+  Switch sw(loop, c);
+  std::vector<Packet> out;
+  const auto port = sw.add_port([&](Packet p) { out.push_back(std::move(p)); });
+  sw.set_route(1, port);
+  for (int i = 0; i < 12; ++i) {
+    Packet pkt;
+    pkt.hdr = flow_header(2, 1000, 1);
+    pkt.payload.assign(1400, 0x5a);
+    sw.receive(std::move(pkt));
+  }
+  loop.run();
+  EXPECT_GT(sw.port_stats(port).dropped, 0u);
+  EXPECT_EQ(sw.port_stats(port).dropped, sw.stats().dropped);
+  EXPECT_EQ(out.size() + sw.stats().dropped, 12u);
+}
+
+TEST(SwitchEcmp, PortLatencyPipelinesDelivery) {
+  // Egress latency delays delivery but does not serialise behind it: two
+  // packets arrive one serialisation quantum apart, both shifted by the
+  // propagation delay.
+  EventLoop loop;
+  Switch sw(loop, SwitchConfig{});
+  std::vector<SimTime> arrivals;
+  const auto port = sw.add_port([&](Packet) { arrivals.push_back(loop.now()); });
+  sw.set_port_latency(port, usec(2));
+  sw.set_route(1, port);
+  for (int i = 0; i < 2; ++i) {
+    Packet pkt;
+    pkt.hdr = flow_header(2, 1000, 1);
+    pkt.payload.assign(1430, 0x5a);
+    sw.receive(std::move(pkt));
+  }
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // forwarding(300) + serialisation(120) + propagation(2000), then the
+  // second packet one 120 ns quantum later — not 2 us later.
+  EXPECT_EQ(arrivals[0], 300 + 120 + usec(2));
+  EXPECT_EQ(arrivals[1] - arrivals[0], 120);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // stats accounting.
 #include <gtest/gtest.h>
 
+#include "../common/topology_helpers.hpp"
+
 #include "smt/endpoint.hpp"
 #include "stack/flow_context_manager.hpp"
 
@@ -211,12 +213,9 @@ TEST(ContextLruEndToEnd, ThrashingSessionsStayCorrect) {
   sim::EventLoop loop;
   stack::HostConfig hc;
   hc.nic.max_flow_contexts = 4;  // brutal: fewer contexts than sessions
-  hc.ip = 1;
-  stack::Host client_host(loop, hc);
-  hc.ip = 2;
-  stack::Host server_host(loop, hc);
-  sim::Link link(loop, sim::LinkConfig{});
-  stack::connect_hosts(client_host, server_host, link);
+  const auto topology = test::two_host_topology(loop, hc);
+  stack::Host& client_host = topology->host(0);
+  stack::Host& server_host = topology->host(1);
 
   SmtConfig config;
   config.hw_offload = true;
@@ -285,12 +284,9 @@ TEST(ContextLruEndToEnd, RekeyInvalidatesAndRecovers) {
   sim::EventLoop loop;
   stack::HostConfig hc;
   hc.nic.max_flow_contexts = 8;
-  hc.ip = 1;
-  stack::Host client_host(loop, hc);
-  hc.ip = 2;
-  stack::Host server_host(loop, hc);
-  sim::Link link(loop, sim::LinkConfig{});
-  stack::connect_hosts(client_host, server_host, link);
+  const auto topology = test::two_host_topology(loop, hc);
+  stack::Host& client_host = topology->host(0);
+  stack::Host& server_host = topology->host(1);
 
   SmtConfig config;
   config.hw_offload = true;
@@ -350,12 +346,9 @@ TEST(ContextLruEndToEnd, ServerSideRxContextPressure) {
   sim::EventLoop loop;
   stack::HostConfig hc;
   hc.nic.max_flow_contexts = 4;
-  hc.ip = 1;
-  stack::Host client_host(loop, hc);
-  hc.ip = 2;
-  stack::Host server_host(loop, hc);
-  sim::Link link(loop, sim::LinkConfig{});
-  stack::connect_hosts(client_host, server_host, link);
+  const auto topology = test::two_host_topology(loop, hc);
+  stack::Host& client_host = topology->host(0);
+  stack::Host& server_host = topology->host(1);
 
   SmtConfig config;
   config.hw_offload = true;

@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../common/topology_helpers.hpp"
 #include "crypto/drbg.hpp"
-#include "netsim/link.hpp"
 #include "tls/engine.hpp"
 
 namespace smt::proto {
@@ -16,10 +16,9 @@ class SmtEndpointTest : public ::testing::TestWithParam<bool> {
  protected:
   SmtEndpointTest()
       : rng_(to_bytes(std::string_view("smt-endpoint-test"))),
-        client_host_(loop_, host_config(1)),
-        server_host_(loop_, host_config(2)),
-        link_(loop_, link_config()) {
-    stack::connect_hosts(client_host_, server_host_, link_);
+        topology_(test::two_host_topology(loop_, host_config(), link_config())),
+        client_host_(topology_->host(0)),
+        server_host_(topology_->host(1)) {
 
     SmtConfig config;
     config.hw_offload = GetParam();
@@ -32,9 +31,8 @@ class SmtEndpointTest : public ::testing::TestWithParam<bool> {
     establish_session();
   }
 
-  static stack::HostConfig host_config(std::uint32_t ip) {
+  static stack::HostConfig host_config() {
     stack::HostConfig config;
-    config.ip = ip;
     config.app_cores = 2;
     config.softirq_cores = 2;
     return config;
@@ -89,9 +87,9 @@ class SmtEndpointTest : public ::testing::TestWithParam<bool> {
 
   crypto::HmacDrbg rng_;
   sim::EventLoop loop_;
-  stack::Host client_host_;
-  stack::Host server_host_;
-  sim::Link link_;
+  std::unique_ptr<stack::Topology> topology_;
+  stack::Host& client_host_;
+  stack::Host& server_host_;
   std::unique_ptr<SmtEndpoint> client_;
   std::unique_ptr<SmtEndpoint> server_;
   std::vector<std::pair<SmtEndpoint::MessageMeta, Bytes>> received_;
@@ -113,7 +111,7 @@ TEST_P(SmtEndpointTest, WireBytesAreCiphertext) {
   // Tap the link: no plaintext may appear on the wire.
   const Bytes msg = to_bytes(std::string_view("super secret plaintext data"));
   Bytes wire_capture;
-  link_.a2b().set_receiver([this, &wire_capture](sim::Packet pkt) {
+  topology_->direct_link()->a2b().set_receiver([this, &wire_capture](sim::Packet pkt) {
     append(wire_capture, pkt.payload);
     server_host_.nic().receive(std::move(pkt));
   });
@@ -129,7 +127,7 @@ TEST_P(SmtEndpointTest, PlaintextMetadataVisibleOnWire) {
   // §4.3 / §7: message ID and length stay plaintext in the overlay header
   // so the network can do message-granularity operations.
   std::vector<sim::PacketHeader> headers;
-  link_.a2b().set_receiver([this, &headers](sim::Packet pkt) {
+  topology_->direct_link()->a2b().set_receiver([this, &headers](sim::Packet pkt) {
     headers.push_back(pkt.hdr);
     server_host_.nic().receive(std::move(pkt));
   });
@@ -174,7 +172,7 @@ TEST_P(SmtEndpointTest, ReplayedWireMessageDropped) {
   // An attacker replaying a captured message: duplicate every data packet.
   // The transport reassembles at most one duplicate message; the SMT
   // replay filter must discard it without delivering twice.
-  link_.a2b().set_receiver([this](sim::Packet pkt) {
+  topology_->direct_link()->a2b().set_receiver([this](sim::Packet pkt) {
     sim::Packet copy = pkt;
     server_host_.nic().receive(std::move(pkt));
     if (copy.hdr.type == sim::PacketType::data) {
@@ -192,7 +190,7 @@ TEST_P(SmtEndpointTest, ReplayedWireMessageDropped) {
 }
 
 TEST_P(SmtEndpointTest, TamperedPacketRejected) {
-  link_.a2b().set_receiver([this](sim::Packet pkt) {
+  topology_->direct_link()->a2b().set_receiver([this](sim::Packet pkt) {
     if (pkt.hdr.type == sim::PacketType::data && !pkt.payload.empty()) {
       pkt.payload.mutate()[pkt.payload.size() / 2] ^= 0x01;  // tamper
     }
@@ -211,7 +209,7 @@ TEST_P(SmtEndpointTest, NoSessionMeansNoSend) {
 
 TEST_P(SmtEndpointTest, PaddedMessagesSameWireSize) {
   std::vector<std::size_t> wire_sizes;
-  link_.a2b().set_receiver([this, &wire_sizes](sim::Packet pkt) {
+  topology_->direct_link()->a2b().set_receiver([this, &wire_sizes](sim::Packet pkt) {
     if (pkt.hdr.type == sim::PacketType::data) {
       wire_sizes.push_back(pkt.hdr.msg_len);
     }
@@ -231,7 +229,7 @@ TEST_P(SmtEndpointTest, PaddedMessagesSameWireSize) {
 
 TEST_P(SmtEndpointTest, LostPacketsRecoveredTransparently) {
   int dropped = 0;
-  link_.a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
+  topology_->direct_link()->a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
     if (pkt.hdr.type == sim::PacketType::data && dropped < 2) {
       ++dropped;
       return true;
@@ -303,13 +301,10 @@ class SmtHwTest : public ::testing::Test {
 TEST(SmtHwContexts, OneContextPerQueuePerSession) {
   sim::EventLoop loop;
   stack::HostConfig hc;
-  hc.ip = 1;
   hc.nic.num_queues = 4;
-  stack::Host client_host(loop, hc);
-  hc.ip = 2;
-  stack::Host server_host(loop, hc);
-  sim::Link link(loop, sim::LinkConfig{});
-  stack::connect_hosts(client_host, server_host, link);
+  const auto topology = test::two_host_topology(loop, hc);
+  stack::Host& client_host = topology->host(0);
+  stack::Host& server_host = topology->host(1);
 
   SmtConfig config;
   config.hw_offload = true;

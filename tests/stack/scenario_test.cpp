@@ -1,0 +1,155 @@
+// ScenarioConfig: the text scenario parser and the single validation path
+// every construction route funnels through.
+#include "stack/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smt::stack {
+namespace {
+
+TEST(ScenarioParseTest, FullScenarioRoundTrips) {
+  const auto parsed = ScenarioConfig::parse(R"(
+# A 3-tier incast fabric.
+[topology]
+racks = 8
+hosts_per_rack = 16
+spines = 4
+aggs_per_pod = 2
+racks_per_pod = 4
+oversubscription = 4.0
+ecmp_seed = 42
+
+[host]
+app_cores = 4
+softirq_cores = 2
+nic_queues = 4
+tso = true
+
+[edge_link]
+bandwidth_gbps = 100
+propagation_us = 1.5
+
+[fabric_link]
+bandwidth_gbps = 400
+propagation_us = 2
+
+[switch]
+queue_capacity_bytes = 131072
+trimming = true
+
+[workload]
+transport = homa
+request_bytes = 16384
+response_bytes = 64
+concurrency = 2
+ops_per_client = 8
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const ScenarioConfig& config = parsed.value();
+  EXPECT_EQ(config.topology.racks, 8u);
+  EXPECT_EQ(config.topology.hosts_per_rack, 16u);
+  EXPECT_EQ(config.topology.spines, 4u);
+  EXPECT_EQ(config.topology.aggs_per_pod, 2u);
+  EXPECT_EQ(config.topology.racks_per_pod, 4u);
+  EXPECT_DOUBLE_EQ(config.topology.oversubscription, 4.0);
+  EXPECT_EQ(config.topology.ecmp_seed, 42u);
+  EXPECT_EQ(config.host.app_cores, 4u);
+  EXPECT_EQ(config.host.nic.num_queues, 4u);
+  EXPECT_TRUE(config.host.nic.tso_enabled);
+  EXPECT_EQ(config.host.nic.max_tso_bytes, 65536u);
+  EXPECT_DOUBLE_EQ(config.edge_link.bandwidth_gbps, 100.0);
+  EXPECT_EQ(config.edge_link.propagation, nsec(1500));
+  EXPECT_TRUE(config.fabric_link_set);
+  EXPECT_DOUBLE_EQ(config.fabric_link.bandwidth_gbps, 400.0);
+  EXPECT_EQ(config.switch_config.queue_capacity_bytes, 131072u);
+  EXPECT_EQ(config.workload.transport, "homa");
+  EXPECT_EQ(config.workload.request_bytes, 16384u);
+  EXPECT_EQ(config.workload.concurrency, 2u);
+}
+
+TEST(ScenarioParseTest, EmptyTextYieldsDefaults) {
+  const auto parsed = ScenarioConfig::parse("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().topology.direct());
+  EXPECT_EQ(parsed.value().topology.host_count(), 2u);
+}
+
+TEST(ScenarioParseTest, UnknownKeyReportsLineNumber) {
+  const auto parsed = ScenarioConfig::parse(
+      "[topology]\n"
+      "racks = 2\n"
+      "rakcs = 4\n");  // typo must be a hard error, not a silent default
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.code(), Errc::invalid_argument);
+  EXPECT_NE(parsed.error().message.find("line 3"), std::string::npos)
+      << parsed.error().message;
+  EXPECT_NE(parsed.error().message.find("rakcs"), std::string::npos);
+}
+
+TEST(ScenarioParseTest, UnknownSectionRejected) {
+  const auto parsed = ScenarioConfig::parse("[linc]\nbandwidth_gbps = 10\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("unknown section"), std::string::npos);
+}
+
+TEST(ScenarioParseTest, KeyOutsideSectionRejected) {
+  const auto parsed = ScenarioConfig::parse("racks = 2\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("outside any"), std::string::npos);
+}
+
+TEST(ScenarioParseTest, MalformedValueRejected) {
+  const auto parsed = ScenarioConfig::parse("[topology]\nracks = many\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("unsigned integer"), std::string::npos);
+}
+
+TEST(ScenarioParseTest, ParsedShapeStillValidated) {
+  // Parsing succeeds syntactically but the shape is impossible: the same
+  // validation path used by the fluent builder rejects it.
+  const auto parsed = ScenarioConfig::parse("[topology]\nracks = 4\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.code(), Errc::invalid_argument);
+}
+
+TEST(ScenarioParseTest, LoadFileReportsMissingPath) {
+  const auto loaded = ScenarioConfig::load_file("/nonexistent/scenario.toml");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("cannot open"), std::string::npos);
+}
+
+TEST(ScenarioValidateTest, SingleValidationPathCatchesEachLayer) {
+  ScenarioConfig config;
+  EXPECT_TRUE(config.validate().ok());
+
+  config.host.app_cores = 0;
+  EXPECT_EQ(config.validate().code(), Errc::invalid_argument);
+  config.host.app_cores = 1;
+
+  config.edge_link.loss_rate = 1.5;
+  EXPECT_EQ(config.validate().code(), Errc::invalid_argument);
+  config.edge_link.loss_rate = 0.0;
+
+  config.switch_config.queue_capacity_bytes = 0;
+  EXPECT_EQ(config.validate().code(), Errc::invalid_argument);
+  config.switch_config.queue_capacity_bytes = 64 * 1024;
+
+  config.workload.concurrency = 0;
+  EXPECT_EQ(config.validate().code(), Errc::invalid_argument);
+  config.workload.concurrency = 1;
+
+  EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(ScenarioValidateTest, ViaTorRequiresSingleRack) {
+  TopologySpec spec;
+  spec.via_tor = true;
+  spec.racks = 2;
+  EXPECT_EQ(validate_topology(spec).code(), Errc::invalid_argument);
+  spec.racks = 1;
+  spec.hosts_per_rack = 4;
+  EXPECT_TRUE(validate_topology(spec).ok());
+}
+
+}  // namespace
+}  // namespace smt::stack

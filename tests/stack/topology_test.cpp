@@ -1,0 +1,198 @@
+// TopologyBuilder: the fluent construction API, its validation errors,
+// the 2-host degenerate shape, and shard placement rules.
+#include "stack/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/shard.hpp"
+
+namespace smt::stack {
+namespace {
+
+TEST(TopologyBuilderTest, DefaultShapeIsTwoHostDirect) {
+  sim::EventLoop loop;
+  auto built = TopologyBuilder().build(loop);
+  ASSERT_TRUE(built.ok());
+  auto topology = std::move(built).take();
+  EXPECT_EQ(topology->host_count(), 2u);
+  EXPECT_EQ(topology->ip_of(0), 1u);
+  EXPECT_EQ(topology->ip_of(1), 2u);
+  EXPECT_NE(topology->direct_link(), nullptr);
+  EXPECT_EQ(topology->fabric(), nullptr);
+  EXPECT_EQ(&topology->host(0).loop(), &loop);
+  EXPECT_EQ(topology->host(0).config().ip, 1u);
+  EXPECT_EQ(topology->host(1).config().ip, 2u);
+}
+
+void send_raw(Host& from, std::uint32_t dst_ip, std::uint16_t dst_port) {
+  sim::SegmentDescriptor seg;
+  seg.segment.hdr.flow.src_ip = from.ip();
+  seg.segment.hdr.flow.dst_ip = dst_ip;
+  seg.segment.hdr.flow.src_port = 1000;
+  seg.segment.hdr.flow.dst_port = dst_port;
+  seg.segment.hdr.flow.proto = sim::Proto::smt;
+  seg.segment.payload.assign(64, 0x5a);
+  from.nic().post_segment(0, seg);
+}
+
+TEST(TopologyBuilderTest, DirectModeDeliversBothWays) {
+  sim::EventLoop loop;
+  auto topology = std::move(TopologyBuilder().build(loop)).take();
+  int a_got = 0, b_got = 0;
+  topology->host(0).register_endpoint(sim::Proto::smt, 80,
+                                      [&](sim::Packet) { ++a_got; });
+  topology->host(1).register_endpoint(sim::Proto::smt, 80,
+                                      [&](sim::Packet) { ++b_got; });
+  send_raw(topology->host(0), topology->ip_of(1), 80);
+  send_raw(topology->host(1), topology->ip_of(0), 80);
+  loop.run();
+  EXPECT_EQ(a_got, 1);
+  EXPECT_EQ(b_got, 1);
+}
+
+TEST(TopologyBuilderTest, PerHostOverridesApply) {
+  sim::EventLoop loop;
+  HostConfig base;
+  base.app_cores = 2;
+  HostConfig big;
+  big.app_cores = 6;
+  auto built = TopologyBuilder()
+                   .host_config(base)
+                   .host_config(1, big)
+                   .build(loop);
+  ASSERT_TRUE(built.ok());
+  auto topology = std::move(built).take();
+  EXPECT_EQ(topology->host(0).app_core_count(), 2u);
+  EXPECT_EQ(topology->host(1).app_core_count(), 6u);
+  // The override's ip is still assigned by index, not taken from `big`.
+  EXPECT_EQ(topology->host(1).config().ip, 2u);
+}
+
+TEST(TopologyBuilderTest, RejectsInvalidShape) {
+  sim::EventLoop loop;
+  const auto built = TopologyBuilder().racks(4).build(loop);  // no spines
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.code(), Errc::invalid_argument);
+}
+
+TEST(TopologyBuilderTest, RejectsInvalidHostTemplate) {
+  sim::EventLoop loop;
+  HostConfig hc;
+  hc.app_cores = 0;
+  const auto built = TopologyBuilder().host_config(hc).build(loop);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.code(), Errc::invalid_argument);
+}
+
+TEST(TopologyBuilderTest, RejectsHostShardInFabricMode) {
+  sim::ShardedEngine engine(2, usec(1));
+  const auto built = TopologyBuilder()
+                         .racks(2)
+                         .hosts_per_rack(2)
+                         .spines(1)
+                         .host_shard(0, 1)  // fabric placement is rack-affine
+                         .build(engine);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.code(), Errc::invalid_argument);
+}
+
+TEST(TopologyBuilderTest, RejectsDirectCrossShardBelowLookahead) {
+  sim::ShardedEngine engine(2, usec(2));
+  sim::LinkConfig lc;
+  lc.propagation = usec(1);  // < lookahead: cross-shard hop would deadlock
+  const auto built = TopologyBuilder()
+                         .link(lc)
+                         .host_shard(0, 0)
+                         .host_shard(1, 1)
+                         .build(engine);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.code(), Errc::invalid_argument);
+}
+
+TEST(TopologyBuilderTest, DirectCrossShardAtLookaheadBuilds) {
+  sim::ShardedEngine engine(2, usec(1));
+  sim::LinkConfig lc;
+  lc.propagation = usec(1);
+  auto built = TopologyBuilder()
+                   .link(lc)
+                   .host_shard(0, 0)
+                   .host_shard(1, 1)
+                   .build(engine);
+  ASSERT_TRUE(built.ok());
+  auto topology = std::move(built).take();
+  EXPECT_EQ(topology->shard_of(0), 0u);
+  EXPECT_EQ(topology->shard_of(1), 1u);
+  EXPECT_EQ(&topology->loop_of(0), &engine.loop(0));
+  EXPECT_EQ(&topology->loop_of(1), &engine.loop(1));
+}
+
+TEST(TopologyBuilderTest, FabricShardPlacementIsRackAffine) {
+  sim::ShardedEngine engine(4, usec(1));
+  auto built = TopologyBuilder()
+                   .racks(8)
+                   .hosts_per_rack(4)
+                   .spines(4)
+                   .build(engine);
+  ASSERT_TRUE(built.ok());
+  auto topology = std::move(built).take();
+  ASSERT_NE(topology->fabric(), nullptr);
+  for (std::size_t i = 0; i < topology->host_count(); ++i) {
+    const std::size_t rack = i / 4;
+    EXPECT_EQ(topology->shard_of(i), rack % 4);
+    EXPECT_EQ(&topology->loop_of(i), &engine.loop(rack % 4));
+  }
+}
+
+TEST(TopologyBuilderTest, ViaTorRoutesThroughOneSwitch) {
+  sim::EventLoop loop;
+  auto built = TopologyBuilder().via_tor().build(loop);
+  ASSERT_TRUE(built.ok());
+  auto topology = std::move(built).take();
+  ASSERT_NE(topology->fabric(), nullptr);
+  EXPECT_EQ(topology->direct_link(), nullptr);
+  EXPECT_EQ(topology->fabric()->tor_count(), 1u);
+  ASSERT_NE(topology->uplink(0), nullptr);
+
+  int got = 0;
+  topology->host(1).register_endpoint(sim::Proto::smt, 80,
+                                      [&](sim::Packet) { ++got; });
+  send_raw(topology->host(0), topology->ip_of(1), 80);
+  loop.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(topology->switch_totals().forwarded, 1u);
+}
+
+TEST(TopologyBuilderTest, FabricModeDeliversAcrossRacks) {
+  sim::EventLoop loop;
+  auto built =
+      TopologyBuilder().racks(2).hosts_per_rack(2).spines(2).build(loop);
+  ASSERT_TRUE(built.ok());
+  auto topology = std::move(built).take();
+
+  int got = 0;
+  topology->host(3).register_endpoint(sim::Proto::smt, 80,
+                                      [&](sim::Packet) { ++got; });
+  send_raw(topology->host(0), topology->ip_of(3), 80);
+  loop.run();
+  EXPECT_EQ(got, 1);
+  // ToR0 -> spine -> ToR1: three switch traversals.
+  EXPECT_EQ(topology->switch_totals().forwarded, 3u);
+}
+
+TEST(TopologyBuilderTest, BuilderSeededFromScenarioConfig) {
+  ScenarioConfig scenario;
+  scenario.topology.racks = 2;
+  scenario.topology.hosts_per_rack = 2;
+  scenario.topology.spines = 1;
+  scenario.host.app_cores = 3;
+  sim::EventLoop loop;
+  auto built = TopologyBuilder(scenario).build(loop);
+  ASSERT_TRUE(built.ok());
+  auto topology = std::move(built).take();
+  EXPECT_EQ(topology->host_count(), 4u);
+  EXPECT_EQ(topology->host(0).app_core_count(), 3u);
+  EXPECT_EQ(topology->scenario().topology.spines, 1u);
+}
+
+}  // namespace
+}  // namespace smt::stack

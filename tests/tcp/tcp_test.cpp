@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "netsim/link.hpp"
+#include "../common/topology_helpers.hpp"
 #include "tls/record.hpp"
 
 namespace smt::transport {
@@ -11,12 +11,11 @@ namespace {
 class TcpTest : public ::testing::Test {
  protected:
   TcpTest()
-      : client_host_(loop_, host_config(1)),
-        server_host_(loop_, host_config(2)),
-        link_(loop_, link_config()),
+      : topology_(test::two_host_topology(loop_, host_config(), link_config())),
+        client_host_(topology_->host(0)),
+        server_host_(topology_->host(1)),
         client_(client_host_, 1000),
         server_(server_host_, 80) {
-    stack::connect_hosts(client_host_, server_host_, link_);
     server_.set_on_data([this](TcpEndpoint::ConnId conn, Bytes data) {
       append(server_received_, data);
       last_server_conn_ = conn;
@@ -26,9 +25,8 @@ class TcpTest : public ::testing::Test {
     });
   }
 
-  static stack::HostConfig host_config(std::uint32_t ip) {
+  static stack::HostConfig host_config() {
     stack::HostConfig config;
-    config.ip = ip;
     config.app_cores = 2;
     config.softirq_cores = 2;
     return config;
@@ -40,9 +38,9 @@ class TcpTest : public ::testing::Test {
   }
 
   sim::EventLoop loop_;
-  stack::Host client_host_;
-  stack::Host server_host_;
-  sim::Link link_;
+  std::unique_ptr<stack::Topology> topology_;
+  stack::Host& client_host_;
+  stack::Host& server_host_;
   TcpEndpoint client_;
   TcpEndpoint server_;
   Bytes server_received_;
@@ -102,7 +100,7 @@ TEST_F(TcpTest, BidirectionalEcho) {
 TEST_F(TcpTest, LostPacketRetransmitted) {
   // Drop the first data packet once; fast retransmit / RTO must recover.
   int dropped = 0;
-  link_.a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
+  topology_->direct_link()->a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
     if (pkt.hdr.type == sim::PacketType::data && dropped == 0) {
       ++dropped;
       return true;
@@ -119,7 +117,7 @@ TEST_F(TcpTest, LostPacketRetransmitted) {
 
 TEST_F(TcpTest, BurstLossRecovered) {
   int dropped = 0;
-  link_.a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
+  topology_->direct_link()->a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
     if (pkt.hdr.type == sim::PacketType::data && dropped < 5) {
       ++dropped;
       return true;
@@ -137,7 +135,7 @@ TEST_F(TcpTest, InOrderDeliveryDespiteReordering) {
   // Deliver two sends; the stream must come out in order even though the
   // out-of-order buffer is exercised by a drop + retransmit.
   int dropped = 0;
-  link_.a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
+  topology_->direct_link()->a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
     // Drop the 2nd data packet only.
     if (pkt.hdr.type == sim::PacketType::data && ++dropped == 2) return true;
     return false;
@@ -232,7 +230,7 @@ TEST_F(TcpTest, TlsOffloadRetransmitResyncs) {
   // Drop the first data packet so the record is retransmitted; the driver
   // must resync the NIC context and the receiver still decrypts.
   int dropped = 0;
-  link_.a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
+  topology_->direct_link()->a2b().set_drop_predicate([&dropped](const sim::Packet& pkt) {
     if (pkt.hdr.type == sim::PacketType::data && dropped == 0) {
       ++dropped;
       return true;
