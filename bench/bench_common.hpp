@@ -7,6 +7,8 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +20,17 @@
 #include "apps/rpc.hpp"
 
 namespace smt::bench {
+
+/// Real monotonic nanosecond clock for the TLS engine's injected
+/// tls::OpClockFn (ClientConfig/ServerConfig::op_clock). The engine itself
+/// never reads host time — wall clock is banned inside src/ by
+/// tools/lint/determinism_lint.py — so handshake benches that want real
+/// Table 2 / Figure 12 crypto durations inject this at the boundary.
+inline std::uint64_t wall_clock_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
 
 /// --- smoke mode ----------------------------------------------------------
 ///
@@ -60,6 +73,8 @@ inline void json_metric(const std::string& key, double value) {
 }
 
 inline void write_json_result() {
+  // Single-threaded atexit context; getenv without setenv is race-free.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* dir = std::getenv("BENCH_JSON_DIR");
   if (dir == nullptr || dir[0] == '\0') return;
   const std::string path = std::string(dir) + "/" + bench_name() + ".json";
@@ -78,6 +93,8 @@ inline void init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke_flag() = true;
   }
+  // Single-threaded startup; getenv without setenv is race-free.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("BENCH_SMOKE");
   if (env != nullptr && env[0] != '\0' && env[0] != '0') smoke_flag() = true;
   if (argc > 0 && argv[0] != nullptr) {
@@ -88,6 +105,8 @@ inline void init(int argc, char** argv) {
   }
   // The result line is written even when the bench exits non-zero — a
   // failing smoke run still leaves a record in the artifact.
+  // Registered once from main() before any thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   std::atexit(write_json_result);
   if (smoke()) std::printf("[smoke mode: tiny iteration budget]\n");
 }

@@ -62,11 +62,13 @@ std::pair<double, double> run_handshake(Pki& pki, Method method) {
   cc.server_name = "server";
   cc.trusted_ca = pki.ca.public_key();
   cc.now = 100;
+  cc.op_clock = bench::wall_clock_ns;  // crypto_us needs real durations
   ServerConfig sc;
   sc.chain = pki.chain;
   sc.sig_key = pki.server_key;
   sc.trusted_ca = pki.ca.public_key();
   sc.now = 100;
+  sc.op_clock = bench::wall_clock_ns;
   sc.accept_early_data = true;
   sc.smt_key_lookup =
       [&pki](ByteView id) -> std::optional<crypto::EcdhKeyPair> {

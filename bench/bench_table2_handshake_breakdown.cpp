@@ -37,11 +37,13 @@ int main(int argc, char** argv) {
     cc.server_name = "server";
     cc.trusted_ca = ca.public_key();
     cc.now = 100;
+    cc.op_clock = bench::wall_clock_ns;  // real Table 2 durations
     ServerConfig sc;
     sc.chain = chain;
     sc.sig_key = server_key;
     sc.trusted_ca = ca.public_key();
     sc.now = 100;
+    sc.op_clock = bench::wall_clock_ns;
 
     ClientHandshake client(cc, rng);
     ServerHandshake server(sc, rng);

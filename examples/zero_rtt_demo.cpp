@@ -10,6 +10,8 @@
 //   5. a replayed first flight is refused 0-RTT admission.
 //
 //   $ ./zero_rtt_demo
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 
 #include "crypto/drbg.hpp"
@@ -18,6 +20,19 @@
 
 using namespace smt;
 using namespace smt::tls;
+
+namespace {
+
+// The engine never reads host time (src/ bans wall clocks — see
+// docs/determinism.md); the demo injects a real clock so the printed
+// crypto-work number is a real duration.
+std::uint64_t wall_clock_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+}  // namespace
 
 int main() {
   crypto::HmacDrbg rng(to_bytes(std::string_view("zero-rtt-demo")));
@@ -51,6 +66,7 @@ int main() {
   cc.smt_ticket = *ticket;
   cc.early_data = true;
   cc.request_fs = true;  // Init-FS: upgrade to forward secrecy
+  cc.op_clock = wall_clock_ns;
   ServerConfig sc;
   sc.chain = chain;
   sc.sig_key = sig_key;

@@ -56,6 +56,13 @@ class MiniRedis {
   std::size_t size() const noexcept { return table_.size(); }
 
  private:
+  // Hash map is safe here: every access is a point lookup (find / [] /
+  // erase) keyed by the request, so libstdc++'s hash-iteration order never
+  // reaches sim-visible state. Determinism audit 2026-08: no range-for /
+  // begin() over this container anywhere; the determinism linter
+  // (tools/lint/determinism_lint.py, unordered-iteration rule) rejects any
+  // future iteration — switch to std::map first if an ordered walk is
+  // ever needed.
   std::unordered_map<std::string, Bytes> table_;
 };
 

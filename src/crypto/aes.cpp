@@ -17,9 +17,13 @@ namespace {
 bool cpu_has_aesni() noexcept {
   // SMT_DISABLE_HW_CRYPTO forces the portable T-table engine (see the
   // matching predicate in gcm.cpp; CI covers the fallback through it).
+  // getenv is safe here: resolved once under the static-init guard, and
+  // nothing in this process calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  static const bool disabled = std::getenv("SMT_DISABLE_HW_CRYPTO") != nullptr;
   static const bool supported =
       __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2") &&
-      std::getenv("SMT_DISABLE_HW_CRYPTO") == nullptr;
+      !disabled;
   return supported;
 }
 

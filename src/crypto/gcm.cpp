@@ -22,10 +22,13 @@ bool cpu_has_clmul() noexcept {
   // SMT_DISABLE_HW_CRYPTO forces the portable engines — CI registers a
   // second crypto test run with it set, so the fallback path keeps full
   // NIST-vector coverage on hosts whose CPUs would never take it.
+  // getenv is safe here: resolved once under the static-init guard, and
+  // nothing in this process calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  static const bool disabled = std::getenv("SMT_DISABLE_HW_CRYPTO") != nullptr;
   static const bool supported = __builtin_cpu_supports("pclmul") &&
                                 __builtin_cpu_supports("ssse3") &&
-                                __builtin_cpu_supports("aes") &&
-                                std::getenv("SMT_DISABLE_HW_CRYPTO") == nullptr;
+                                __builtin_cpu_supports("aes") && !disabled;
   return supported;
 }
 

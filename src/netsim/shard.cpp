@@ -92,7 +92,7 @@ void ShardedEngine::post_from(std::size_t src, std::size_t dst, SimTime when,
   assert(when >= horizon_ &&
          "cross-shard post violates the lookahead contract");
   Shard& shard = *shards_[dst];
-  const std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+  const smt::MutexLock lock(shard.inbox_mutex);
   shard.inbox.push_back(
       Mail{when, std::uint32_t(src), shard.inbox_seq++, std::move(fn)});
 }
@@ -102,7 +102,7 @@ void ShardedEngine::drain_inboxes() {
     Shard& shard = *shard_ptr;
     std::vector<Mail> batch;
     {
-      const std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+      const smt::MutexLock lock(shard.inbox_mutex);
       batch.swap(shard.inbox);
     }
     if (batch.empty()) continue;
@@ -158,19 +158,27 @@ std::size_t ShardedEngine::run() {
   // completion step — drains mailboxes, picks the next window (or flags
   // completion) — while every other worker is still parked, then releases
   // them. No coordinator thread exists, and the barrier's release/acquire
-  // ordering is all the synchronization horizon_ and done_ need.
+  // ordering is all the synchronization horizon_ and done_ need. The
+  // parked_ notional capability makes the "everyone else is parked"
+  // invariant visible to clang's thread-safety analysis: only this
+  // completion step may call drain_inboxes / earliest_pending.
   SpinBarrier gate(pool);
   auto between_windows = [this]() noexcept {
+    parked_.acquire();
     drain_inboxes();
     const SimTime floor = earliest_pending();
     if (floor == EventLoop::kNoEvent) {
       done_ = true;
+      parked_.release();
       return;
     }
     horizon_ = floor + lookahead_;
     ++stats_.windows;
+    parked_.release();
   };
 
+  // Read once before the pool starts; single-threaded here.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const bool trace = std::getenv("SMT_SHARD_TRACE") != nullptr;
   std::vector<std::thread> workers;
   workers.reserve(pool);

@@ -46,9 +46,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/time.hpp"
 #include "netsim/event.hpp"
 
@@ -124,28 +124,40 @@ class ShardedEngine {
     // Inbox of cross-shard posts not yet delivered into `loop`. Guarded
     // by `inbox_mutex` (producers post concurrently mid-window); drained
     // only between windows, when every worker is parked at the barrier.
-    std::mutex inbox_mutex;
-    std::vector<Mail> inbox;
-    std::uint64_t inbox_seq = 0;
+    // clang's -Wthread-safety enforces the GUARDED_BY statically.
+    smt::Mutex inbox_mutex;
+    std::vector<Mail> inbox SMT_GUARDED_BY(inbox_mutex);
+    std::uint64_t inbox_seq SMT_GUARDED_BY(inbox_mutex) = 0;
     std::size_t executed = 0;  // events run by this shard's worker
   };
 
   /// Delivers every pending mailbox message into its destination loop in
   /// the deterministic (dst, when, src, seq) order. Called only from the
-  /// barrier's phase-completion step, while all workers are parked.
-  void drain_inboxes();
+  /// barrier's phase-completion step, while all workers are parked
+  /// (`parked_` — see the member comment).
+  void drain_inboxes() SMT_REQUIRES(parked_);
 
   /// Earliest pending timestamp across all loops (inboxes already
   /// drained), or EventLoop::kNoEvent when the simulation is finished.
-  SimTime earliest_pending() const;
+  SimTime earliest_pending() const SMT_REQUIRES(parked_);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   SimDuration lookahead_;
   // Written by the phase-completion step between windows, read by workers
-  // inside a window; barrier phase completion orders every access.
+  // inside a window; barrier phase completion orders every access. NOT
+  // GUARDED_BY(parked_): workers legitimately read both after release
+  // without holding the capability (the barrier's release/acquire on its
+  // epoch provides the ordering the analysis cannot see).
   SimTime horizon_ = 0;
   bool done_ = false;
   Stats stats_;
+  /// Notional capability for "the barrier's phase-completion step": held
+  /// only by the single thread running the completion callback while every
+  /// other worker is parked. Functions that scan or mutate cross-shard
+  /// state without per-shard locks (drain_inboxes, earliest_pending)
+  /// REQUIRE it, so clang statically rejects any new call site that is
+  /// not inside the completion step. Zero runtime state or cost.
+  smt::NotionalCapability parked_;
 };
 
 }  // namespace smt::sim

@@ -1,7 +1,5 @@
 #include "tls/engine.hpp"
 
-#include <chrono>
-
 #include "crypto/hkdf.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
@@ -10,18 +8,22 @@ namespace smt::tls {
 
 namespace {
 
-/// RAII wall-clock timer writing a Table 2-style operation entry.
+/// RAII timer writing a Table 2-style operation entry against the
+/// config's injected clock. With a null clock the label is still recorded
+/// (the breakdown's structure is load-bearing for tests and the fig12
+/// operation set) with a 0 us duration — the engine itself never reads
+/// host time, so handshake results stay deterministic (the determinism
+/// linter bans wall clocks in src/).
 class OpTimer {
  public:
-  OpTimer(HandshakeTimings& timings, std::string label)
+  OpTimer(HandshakeTimings& timings, std::string label, OpClockFn clock)
       : timings_(timings),
         label_(std::move(label)),
-        start_(std::chrono::steady_clock::now()) {}
+        clock_(clock),
+        start_ns_(clock ? clock() : 0) {}
 
   ~OpTimer() {
-    const auto end = std::chrono::steady_clock::now();
-    const double us =
-        std::chrono::duration<double, std::micro>(end - start_).count();
+    const double us = clock_ ? double(clock_() - start_ns_) / 1e3 : 0.0;
     timings_.add(std::move(label_), us);
   }
 
@@ -31,7 +33,8 @@ class OpTimer {
  private:
   HandshakeTimings& timings_;
   std::string label_;
-  std::chrono::steady_clock::time_point start_;
+  OpClockFn clock_;
+  std::uint64_t start_ns_;
 };
 
 /// The PSK binder: HMAC(binder_key, SHA-256(CHLO serialised with an empty
@@ -74,13 +77,13 @@ Result<Bytes> ClientHandshake::start() {
   if (config_.pregen_ephemeral) {
     ephemeral_ = *config_.pregen_ephemeral;
   } else {
-    OpTimer timer(timings_, "C1.1 Key Gen");
+    OpTimer timer(timings_, "C1.1 Key Gen", config_.op_clock);
     ephemeral_ = crypto::ecdh_keypair_from_seed(rng_.generate(32));
   }
 
   ClientHello hello;
   {
-    OpTimer timer(timings_, "C1.2 Others Gen");
+    OpTimer timer(timings_, "C1.2 Others Gen", config_.op_clock);
     hello.random = rng_.generate(32);
     hello.suite = config_.suite;
     hello.key_share = crypto::encode_point(ephemeral_.public_key);
@@ -95,7 +98,7 @@ Result<Bytes> ClientHandshake::start() {
   }
 
   if (config_.smt_ticket) {
-    OpTimer timer(timings_, "C1.3 SMT-Key Derive");
+    OpTimer timer(timings_, "C1.3 SMT-Key Derive", config_.op_clock);
     const auto server_pub =
         crypto::decode_point(config_.smt_ticket->server_longterm_pub);
     if (!server_pub) {
@@ -147,7 +150,7 @@ Result<Bytes> ClientHandshake::on_server_flight(ByteView flight) {
 
   std::optional<ServerHello> shlo;
   {
-    OpTimer timer(timings_, "C2.1 Process SHLO");
+    OpTimer timer(timings_, "C2.1 Process SHLO", config_.op_clock);
     shlo = ServerHello::parse(first.body);
     if (!shlo) {
       return make_error(Errc::protocol_violation, "bad ServerHello");
@@ -164,7 +167,7 @@ Result<Bytes> ClientHandshake::on_server_flight(ByteView flight) {
   // C2.2 ECDH Exchange.
   Bytes ecdhe_secret;
   if (!shlo->key_share.empty()) {
-    OpTimer timer(timings_, "C2.2 ECDH Exchange");
+    OpTimer timer(timings_, "C2.2 ECDH Exchange", config_.op_clock);
     const auto server_share = crypto::decode_point(shlo->key_share);
     if (!server_share) {
       return make_error(Errc::handshake_failed, "bad server key share");
@@ -180,7 +183,7 @@ Result<Bytes> ClientHandshake::on_server_flight(ByteView flight) {
 
   Bytes server_hs_secret, client_hs_secret;
   {
-    OpTimer timer(timings_, "C2.3 Secret Derive");
+    OpTimer timer(timings_, "C2.3 Secret Derive", config_.op_clock);
     schedule_.handshake(ecdhe_secret);
     const Bytes hs_hash = transcript_.current();
     server_hs_secret = schedule_.server_handshake_traffic_secret(hs_hash);
@@ -205,14 +208,14 @@ Result<Bytes> ClientHandshake::on_server_flight(ByteView flight) {
       case HandshakeType::certificate: {
         std::optional<CertificateMsg> cert_msg;
         {
-          OpTimer timer(timings_, "C3.1 Decode Cert");
+          OpTimer timer(timings_, "C3.1 Decode Cert", config_.op_clock);
           cert_msg = CertificateMsg::parse(msg.body);
           if (!cert_msg) {
             return make_error(Errc::cert_invalid, "bad Certificate message");
           }
         }
         {
-          OpTimer timer(timings_, "C3.2 Verify Cert");
+          OpTimer timer(timings_, "C3.2 Verify Cert", config_.op_clock);
           const Status status =
               verify_chain(cert_msg->chain, config_.trusted_ca, config_.now,
                            config_.server_name);
@@ -229,12 +232,12 @@ Result<Bytes> ClientHandshake::on_server_flight(ByteView flight) {
         }
         Bytes content;
         {
-          OpTimer timer(timings_, "C4.1 Build Sign Data");
+          OpTimer timer(timings_, "C4.1 Build Sign Data", config_.op_clock);
           content = certificate_verify_content(/*server=*/true,
                                                transcript_.current());
         }
         {
-          OpTimer timer(timings_, "C4.2 Verify CertVerify");
+          OpTimer timer(timings_, "C4.2 Verify CertVerify", config_.op_clock);
           const auto cv = CertificateVerify::parse(msg.body);
           if (!cv) {
             return make_error(Errc::protocol_violation, "bad CertVerify");
@@ -252,7 +255,7 @@ Result<Bytes> ClientHandshake::on_server_flight(ByteView flight) {
         break;
       }
       case HandshakeType::finished: {
-        OpTimer timer(timings_, "C5 Process Finished");
+        OpTimer timer(timings_, "C5 Process Finished", config_.op_clock);
         const auto fin = Finished::parse(msg.body);
         if (!fin) {
           return make_error(Errc::protocol_violation, "bad Finished");
@@ -351,7 +354,7 @@ Result<Bytes> ServerHandshake::on_client_flight(ByteView flight) {
   Bytes psk_or_smt_key;
 
   {
-    OpTimer timer(timings_, "S1 Process CHLO");
+    OpTimer timer(timings_, "S1 Process CHLO", config_.op_clock);
     chlo = ClientHello::parse((*messages)[0].body);
     if (!chlo) {
       return make_error(Errc::protocol_violation, "bad ClientHello");
@@ -430,14 +433,14 @@ Result<Bytes> ServerHandshake::on_client_flight(ByteView flight) {
     if (config_.pregen_ephemeral) {
       server_eph = *config_.pregen_ephemeral;
     } else {
-      OpTimer timer(timings_, "S2.1 Key Gen");
+      OpTimer timer(timings_, "S2.1 Key Gen", config_.op_clock);
       server_eph = crypto::ecdh_keypair_from_seed(rng_.generate(32));
     }
   }
 
   Bytes ecdhe_secret;
   if (want_ecdhe) {
-    OpTimer timer(timings_, "S2.2 ECDH Exchange");
+    OpTimer timer(timings_, "S2.2 ECDH Exchange", config_.op_clock);
     const auto z =
         crypto::ecdh_shared_secret(server_eph.private_key, *client_share);
     if (!z) {
@@ -449,7 +452,7 @@ Result<Bytes> ServerHandshake::on_client_flight(ByteView flight) {
 
   Bytes out;
   {
-    OpTimer timer(timings_, "S2.3 SHLO Gen");
+    OpTimer timer(timings_, "S2.3 SHLO Gen", config_.op_clock);
     ServerHello shlo;
     shlo.random = rng_.generate(32);
     shlo.suite = config_.suite;
@@ -473,7 +476,7 @@ Result<Bytes> ServerHandshake::on_client_flight(ByteView flight) {
   expect_client_cert_ = full_mode && config_.request_client_cert;
 
   {
-    OpTimer timer(timings_, "S2.4 EE & Cert Encode");
+    OpTimer timer(timings_, "S2.4 EE & Cert Encode", config_.op_clock);
     EncryptedExtensions ee;
     ee.client_cert_requested = expect_client_cert_;
     const Bytes ee_bytes = ee.serialize();
@@ -489,7 +492,7 @@ Result<Bytes> ServerHandshake::on_client_flight(ByteView flight) {
   }
 
   if (full_mode) {
-    OpTimer timer(timings_, "S2.5 CertVerify Gen");
+    OpTimer timer(timings_, "S2.5 CertVerify Gen", config_.op_clock);
     const Bytes content =
         certificate_verify_content(/*server=*/true, transcript_.current());
     CertificateVerify cv;
@@ -501,7 +504,7 @@ Result<Bytes> ServerHandshake::on_client_flight(ByteView flight) {
   }
 
   {
-    OpTimer timer(timings_, "S2.6 Secret Derive");
+    OpTimer timer(timings_, "S2.6 Secret Derive", config_.op_clock);
     Finished fin;
     fin.verify_data = finished_verify_data(derive_finished_key(server_hs_secret),
                                            transcript_.current());
@@ -529,7 +532,7 @@ Status ServerHandshake::on_client_finished(ByteView flight) {
     return make_error(Errc::protocol_violation, "malformed client flight");
   }
 
-  OpTimer timer(timings_, "S3 Process Finished");
+  OpTimer timer(timings_, "S3 Process Finished", config_.op_clock);
   std::optional<CertChain> client_chain;
 
   for (const auto& msg : *messages) {

@@ -12,10 +12,15 @@
 //
 // Flights are opaque byte strings; the caller moves them across whatever
 // medium it likes (directly in tests, through the simulated network in
-// benches). Per-operation wall-clock timings are recorded with the paper's
-// Table 2 operation labels.
+// benches). Per-operation timings are recorded with the paper's Table 2
+// operation labels against a caller-INJECTED clock: the engine itself
+// never reads host time (wall clock inside src/ would leak host timing
+// into sim-visible state — docs/determinism.md), so benches that want the
+// real Table 2 numbers pass a wall clock in their config and everything
+// else gets a deterministic zero-duration breakdown.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -50,7 +55,15 @@ struct SessionSecrets {
   TrafficKeys client_early_keys;
 };
 
-/// Wall-clock breakdown using the paper's Table 2 operation identifiers.
+/// Monotonic nanosecond clock for the Table 2 per-operation breakdown.
+/// A plain function pointer (captureless lambdas convert) so configs stay
+/// trivially copyable. Null — the default — records every operation with
+/// a 0 us duration: the breakdown's STRUCTURE (labels, order) stays
+/// deterministic and testable, only durations need a real clock.
+using OpClockFn = std::uint64_t (*)();
+
+/// Per-operation breakdown using the paper's Table 2 operation
+/// identifiers, measured against the config's injected OpClockFn.
 struct HandshakeTimings {
   std::vector<std::pair<std::string, double>> ops;  // label -> microseconds
 
@@ -97,6 +110,9 @@ struct ClientConfig {
   /// Standby ephemeral key (paper §4.5.1 key pre-generation). When absent
   /// the engine generates one inside the timed section (C1.1).
   std::optional<crypto::EcdhKeyPair> pregen_ephemeral;
+
+  /// Clock for the Table 2 breakdown (see OpClockFn). Null: durations 0.
+  OpClockFn op_clock = nullptr;
 };
 
 struct ServerConfig {
@@ -118,6 +134,9 @@ struct ServerConfig {
   ZeroRttReplayGuard* replay_guard = nullptr;  // borrowed; may be null
 
   std::optional<crypto::EcdhKeyPair> pregen_ephemeral;
+
+  /// Clock for the Table 2 breakdown (see OpClockFn). Null: durations 0.
+  OpClockFn op_clock = nullptr;
 };
 
 class ClientHandshake {

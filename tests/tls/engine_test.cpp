@@ -387,7 +387,32 @@ TEST_F(EngineTest, TimingsCoverTable2Operations) {
   EXPECT_TRUE(has_op(client->timings(), "C3.2 Verify Cert"));
   EXPECT_TRUE(has_op(client->timings(), "C4.2 Verify CertVerify"));
   EXPECT_TRUE(has_op(client->timings(), "C5 Process Finished"));
+  // No injected op_clock: every duration is exactly 0 — the engine never
+  // reads host time, so the default breakdown is fully deterministic.
+  EXPECT_EQ(client->timings().total_us(), 0.0);
+  EXPECT_EQ(server->timings().total_us(), 0.0);
+}
+
+namespace {
+// Deterministic fake clock: advances 1 us per reading, so every timed
+// operation records a strictly positive duration.
+std::uint64_t ticking_clock() {
+  static std::uint64_t now_ns = 0;
+  return now_ns += 1000;
+}
+}  // namespace
+
+TEST_F(EngineTest, InjectedClockProducesDurations) {
+  auto cc = client_config();
+  cc.op_clock = ticking_clock;
+  auto sc = server_config();
+  sc.op_clock = ticking_clock;
+  auto [client, server] = run_handshake(std::move(cc), std::move(sc));
   EXPECT_GT(client->timings().total_us(), 0.0);
+  EXPECT_GT(server->timings().total_us(), 0.0);
+  for (const auto& [label, us] : client->timings().ops) {
+    EXPECT_GT(us, 0.0) << label;
+  }
 }
 
 TEST_F(EngineTest, DistinctHandshakesDistinctKeys) {

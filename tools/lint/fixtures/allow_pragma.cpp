@@ -1,0 +1,34 @@
+// Fixture: the `// determinism-lint: allow(<rule>) <reason>` escape hatch —
+// same-line and previous-line placement suppress; a missing reason and a
+// stale or wrong-rule pragma are themselves findings. Never compiled —
+// scanned by determinism_lint.py --self-test.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+long fine_suppressed_same_line() {
+  const auto t0 = std::chrono::steady_clock::now();  // determinism-lint: allow(wall-clock) trace diagnostics, stderr only
+  return t0.time_since_epoch().count();
+}
+
+long fine_suppressed_previous_line() {
+  // determinism-lint: allow(wall-clock) end-of-window trace stamp
+  const auto t1 = std::chrono::steady_clock::now();
+  return t1.time_since_epoch().count();
+}
+
+long bad_missing_reason() {
+  // determinism-lint: allow(wall-clock) // expect-lint: bad-pragma
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+// determinism-lint: allow(ambient-entropy) nothing random below // expect-lint: unused-pragma
+int bad_stale_pragma() { return 7; }
+
+std::size_t bad_wrong_rule() {
+  return std::thread::hardware_concurrency();  // determinism-lint: allow(wall-clock) wrong rule id // expect-lint: hardware-concurrency, unused-pragma
+}
+
+}  // namespace fixture

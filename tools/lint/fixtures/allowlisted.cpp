@@ -1,0 +1,27 @@
+// lint-as: src/netsim/shard.cpp
+//
+// Fixture: masquerades (via the lint-as header above) as the sharded
+// engine, which is allowlisted for wall-clock (SMT_SHARD_TRACE wall
+// diagnostics) and hardware-concurrency (worker-pool cap). The allowlist
+// is PER RULE: ambient entropy is still flagged even here. Never
+// compiled — scanned by determinism_lint.py --self-test.
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace fixture {
+
+long fine_allowlisted_trace() {
+  const auto t0 = std::chrono::steady_clock::now();  // allowlisted path
+  return t0.time_since_epoch().count();
+}
+
+std::size_t fine_allowlisted_pool_cap() {
+  return std::thread::hardware_concurrency();  // allowlisted path
+}
+
+int bad_entropy_even_here() {
+  return std::rand();  // expect-lint: ambient-entropy
+}
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Fixture: a file full of look-alikes that must produce ZERO findings —
+// banned names in comments and string literals, hash containers used for
+// point lookups only, and ordered iteration over value-keyed maps.
+// Never compiled — scanned by determinism_lint.py --self-test.
+//
+// std::chrono::steady_clock::now(), std::rand(), hardware_concurrency()
+// in a comment are not findings.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Telemetry {
+  // String literals are not code.
+  const char* help = "uses std::chrono::steady_clock and std::random_device";
+  const char* more = "for (x : unordered) time(nullptr) srand(7)";
+};
+
+class Cache {
+ public:
+  int lookup(const std::string& key) const {
+    const auto it = table_.find(key);
+    return it == table_.end() ? 0 : it->second;
+  }
+
+  void store(const std::string& key, int value) { table_[key] = value; }
+
+  int ordered_sum() const {
+    int sum = 0;
+    for (const auto& [key, value] : totals_) {  // std::map: stable order
+      sum += value;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::string, int> table_;
+  std::map<std::string, int> totals_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: iterates a hash container declared in the sibling header
+// (cross_file.hpp) — the common real-world shape: member in the .hpp,
+// order leak in the .cpp. Never compiled — scanned by
+// determinism_lint.py --self-test.
+#include "cross_file.hpp"
+
+namespace fixture {
+
+std::uint64_t Directory::bad_checksum() const {
+  std::uint64_t sum = 0;
+  for (const auto& [name, id] : entries_) {  // expect-lint: unordered-iteration
+    sum = sum * 31 + id;
+  }
+  return sum;
+}
+
+}  // namespace fixture

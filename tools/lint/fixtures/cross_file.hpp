@@ -1,0 +1,21 @@
+// Fixture: the header half of the cross-file case — the member is
+// DECLARED here; the iteration-order leak lives in cross_file.cpp, which
+// the linter must catch by reading this sibling header's declarations.
+// Never compiled — scanned by determinism_lint.py --self-test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class Directory {
+ public:
+  std::uint64_t bad_checksum() const;
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> entries_;
+};
+
+}  // namespace fixture

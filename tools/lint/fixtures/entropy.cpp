@@ -1,0 +1,36 @@
+// Fixture: ambient-entropy constructs (unseeded / hardware randomness).
+// Never compiled — scanned by determinism_lint.py --self-test.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int bad_rand() {
+  std::srand(42);        // expect-lint: ambient-entropy
+  return std::rand();    // expect-lint: ambient-entropy
+}
+
+int bad_rand_r() {
+  unsigned seed = 1;
+  return rand_r(&seed);  // expect-lint: ambient-entropy
+}
+
+double bad_drand() {
+  return drand48();      // expect-lint: ambient-entropy
+}
+
+unsigned bad_device() {
+  std::random_device rd;  // expect-lint: ambient-entropy
+  return rd();
+}
+
+// Look-alikes that must stay clean: seeded engines and identifiers that
+// merely contain "rand".
+struct SeededOk {
+  std::mt19937_64 engine{12345};  // fixed seed: deterministic, allowed
+  int operand = 0;                // "rand" inside an identifier
+};
+
+unsigned fine(SeededOk& s) { return unsigned(s.engine()) + unsigned(s.operand); }
+
+}  // namespace fixture

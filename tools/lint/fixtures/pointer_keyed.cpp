@@ -1,0 +1,23 @@
+// Fixture: ordered containers keyed by pointers — iteration order is
+// address order, which ASLR and allocator state change run to run.
+// Never compiled — scanned by determinism_lint.py --self-test.
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+struct Registry {
+  std::map<const Node*, int> bad_ranks;  // expect-lint: pointer-keyed-ordered
+  std::set<Node*> bad_members;           // expect-lint: pointer-keyed-ordered
+
+  // Pointer VALUES are fine — only pointer KEYS order by address.
+  std::map<int, Node*> fine_by_id;
+  std::map<std::string, int> fine_by_name;
+};
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// Fixture: iteration-order leaks from hash containers. Never compiled —
+// scanned by determinism_lint.py --self-test.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+class Store {
+ public:
+  int bad_sum() const {
+    int sum = 0;
+    for (const auto& [key, value] : table_) {  // expect-lint: unordered-iteration
+      sum += value;
+    }
+    return sum;
+  }
+
+  int bad_set_walk() const {
+    int sum = 0;
+    for (int id : live_ids_) {  // expect-lint: unordered-iteration
+      sum += id;
+    }
+    return sum;
+  }
+
+  // The deterministic alternative: materialise a sorted view, iterate that.
+  int fine_sorted_sum() const {
+    const std::map<std::string, int> sorted(table_.begin(), table_.end());
+    int sum = 0;
+    for (const auto& [key, value] : sorted) {
+      sum += value;
+    }
+    return sum;
+  }
+
+  // Point lookups never expose iteration order.
+  int fine_lookup(const std::string& key) const {
+    const auto it = table_.find(key);
+    return it == table_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, int> table_;
+  std::unordered_set<int> live_ids_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Fixture: every wall-clock construct the linter must catch, plus
+// look-alikes it must NOT catch. Never compiled — scanned by
+// determinism_lint.py --self-test.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long bad_steady() {
+  const auto t0 = std::chrono::steady_clock::now();  // expect-lint: wall-clock
+  return t0.time_since_epoch().count();
+}
+
+long bad_system() {
+  return std::chrono::system_clock::now()  // expect-lint: wall-clock
+      .time_since_epoch()
+      .count();
+}
+
+long bad_high_resolution() {
+  const auto t = std::chrono::high_resolution_clock::now();  // expect-lint: wall-clock
+  return t.time_since_epoch().count();
+}
+
+long bad_syscalls() {
+  timespec ts{};
+  clock_gettime(0, &ts);       // expect-lint: wall-clock
+  const auto t = time(nullptr);  // expect-lint: wall-clock
+  return ts.tv_sec + t;
+}
+
+// Look-alikes: virtual-time identifiers, durations without a clock, and
+// clock mentions in comments must stay clean. std::chrono::steady_clock
+// in this comment is not a finding; neither is the string below.
+struct SimTimeHolder {
+  long run_time_ns = 0;                    // "time" inside an identifier
+  std::chrono::nanoseconds dur{0};         // a duration is not a clock
+  const char* label = "steady_clock::now"; // string literal
+};
+
+long fine(SimTimeHolder& h) { return h.run_time_ns + h.dur.count(); }
+
+}  // namespace fixture
