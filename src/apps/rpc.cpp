@@ -122,6 +122,7 @@ stack::ScenarioConfig to_scenario(const RpcFabricConfig& config) {
   scen.edge_link.bandwidth_gbps = config.bandwidth_gbps;
   scen.edge_link.propagation = config.propagation;
   scen.edge_link.loss_rate = config.loss_rate;
+  scen.edge_link.fault = config.fault;
   scen.workload.transport = transport_key(config.kind);
   return scen;
 }

@@ -107,6 +107,10 @@ struct RpcFabricConfig {
   double bandwidth_gbps = 100.0;
   SimDuration propagation = usec(1);
   double loss_rate = 0.0;
+  /// Deterministic link impairments (burst loss, corruption, reorder,
+  /// flaps) on both directions of the client<->server link — the
+  /// scenario loader's [fault] section (see sim::FaultProfile).
+  sim::FaultProfile fault;
   /// Serialise all server work onto app core 0 (mini-Redis's
   /// single-threaded model, §5.3).
   bool single_threaded_server = false;

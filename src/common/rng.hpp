@@ -11,6 +11,22 @@
 
 namespace smt {
 
+/// Derives a decorrelated per-stream seed from a base seed and a stream
+/// index (one SplitMix64 step over `base + (index+1)*golden`). Used wherever
+/// several RNG streams share one scenario seed — per-switch ECMP hashing,
+/// the two directions of a Link, per-uplink fault streams — so sibling
+/// streams never replay each other's draws.
+inline constexpr std::uint64_t mix_seed(std::uint64_t base,
+                                        std::uint64_t index) noexcept {
+  std::uint64_t h = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
 /// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
 /// Deterministic under a seed; never used for cryptographic material.
 class Rng {

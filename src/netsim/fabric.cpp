@@ -2,21 +2,12 @@
 
 #include <string>
 
+#include "common/rng.hpp"
+
 namespace smt::sim {
 
-namespace {
-
-std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
-  std::uint64_t h = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebULL;
-  h ^= h >> 31;
-  return h;
-}
-
-}  // namespace
+// Per-switch ECMP seeds derive via smt::mix_seed (common/rng.hpp) — the same
+// stream-decorrelation step LinkDirection uses for its loss/fault RNGs.
 
 Status FabricSpec::validate() const {
   if (racks == 0) return make_error(Errc::invalid_argument, "fabric: racks must be >= 1");

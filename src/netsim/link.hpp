@@ -1,6 +1,8 @@
-// Point-to-point simulated link with bandwidth, propagation delay, and
-// fault injection (loss / corruption), modelling the paper's back-to-back
-// 100 Gb/s topology (§5 "HW&OS").
+// Point-to-point simulated link with bandwidth, propagation delay, and a
+// deterministic fault model (uniform loss, Gilbert–Elliott burst loss,
+// corruption, bounded reorder, scheduled flaps), modelling both the paper's
+// back-to-back 100 Gb/s topology (§5 "HW&OS") and the adversity scenario
+// matrix (WAN-grade impairments, bursty outages).
 #pragma once
 
 #include <cstdint>
@@ -13,19 +15,86 @@
 
 namespace smt::sim {
 
+/// Deterministic link impairments beyond the uniform `loss_rate`. All state
+/// evolves from `seed` (mixed with the direction's stream index) and virtual
+/// time only, so every fault pattern replays byte-identically per shard
+/// count. Fields default to "off"; `enabled()` gates the per-packet work.
+struct FaultProfile {
+  // Gilbert–Elliott burst loss: a two-state Markov chain stepped once per
+  // packet. Loss is drawn in the CURRENT state, then the transition — so a
+  // burst begins with the packet AFTER the good→bad flip.
+  double p_good_to_bad = 0.0;  // per-packet transition probability
+  double p_bad_to_good = 1.0;  // per-packet transition probability
+  double good_loss_rate = 0.0;
+  double bad_loss_rate = 0.0;
+
+  // Corruption: deliver-but-flag. The packet arrives with hdr.corrupted set
+  // and is discarded at transport ingress — modelling a frame whose GCM tag
+  // or checksum check fails AFTER spending wire and NIC resources.
+  double corrupt_rate = 0.0;
+
+  // Bounded reorder/jitter: with probability reorder_rate a packet's
+  // arrival is delayed by an extra uniform (0, reorder_jitter], letting
+  // later packets overtake it. Jitter only ever ADDS delay, so the
+  // cross-shard lookahead contract (arrival >= now + propagation) holds.
+  double reorder_rate = 0.0;
+  SimDuration reorder_jitter = 0;
+
+  // Scheduled flaps: the link is DOWN during
+  //   [flap_offset + k*flap_period, flap_offset + k*flap_period + flap_down)
+  // for k = 0, 1, ... — a pure function of virtual time, no RNG. Every
+  // packet sent while down is dropped, and the serialisation cursor resets
+  // at the up transition (queued occupancy does not survive an outage).
+  SimDuration flap_period = 0;  // 0 => no flaps
+  SimDuration flap_down = 0;
+  SimDuration flap_offset = 0;
+
+  std::uint64_t seed = 1;  // fault-RNG stream (decorrelated per direction)
+
+  bool ge_enabled() const noexcept {
+    return good_loss_rate > 0.0 || bad_loss_rate > 0.0;
+  }
+  bool flaps_enabled() const noexcept {
+    return flap_period > 0 && flap_down > 0;
+  }
+  bool enabled() const noexcept {
+    return ge_enabled() || corrupt_rate > 0.0 ||
+           (reorder_rate > 0.0 && reorder_jitter > 0) || flaps_enabled();
+  }
+};
+
 struct LinkConfig {
   double bandwidth_gbps = 100.0;
   SimDuration propagation = usec(1);
-  double loss_rate = 0.0;       // random drop probability
+  double loss_rate = 0.0;       // uniform random drop probability
   std::uint64_t loss_seed = 1;  // deterministic loss pattern
+  FaultProfile fault;           // burst loss / corruption / reorder / flaps
 };
 
 /// One direction of a link. Serialisation delay is modelled with a
 /// next-free-time cursor; propagation is added on top.
+///
+/// RNG streams: the loss RNG and the fault RNG each seed from
+/// mix_seed(seed, stream) where `stream` is the direction index (Link uses
+/// 0 for a2b, 1 for b2a; fabric uplinks use the host index), so the two
+/// directions of a Link — built from one LinkConfig — never draw the same
+/// drop pattern. Both streams live on the SENDING endpoint's shard.
+///
+/// Drop accounting contract: `next_free_` advances for EVERY packet,
+/// including ones killed by the flap window, the drop predicate, uniform
+/// loss, or burst loss — a dropped packet still occupied the wire, so loss
+/// can never inflate measured link capacity. Checks run in a fixed order
+/// (flap, predicate, uniform loss, burst loss, corruption, jitter) and each
+/// drop increments exactly one of the split counters below.
 class LinkDirection {
  public:
-  LinkDirection(EventLoop& loop, const LinkConfig& config)
-      : loop_(loop), config_(config), rng_(config.loss_seed) {}
+  LinkDirection(EventLoop& loop, const LinkConfig& config,
+                std::uint64_t stream = 0)
+      : loop_(loop),
+        config_(config),
+        rng_(mix_seed(config.loss_seed, stream)),
+        fault_rng_(mix_seed(config.fault.seed, stream)),
+        fault_active_(config.fault.enabled()) {}
 
   void set_receiver(PacketHandler handler) { receiver_ = std::move(handler); }
 
@@ -42,32 +111,54 @@ class LinkDirection {
   /// Marks this direction as CROSS-SHARD: delivery becomes a mailbox post
   /// to the receiver's shard (ShardedEngine::remote_scheduler) stamped
   /// with the arrival time, instead of a local schedule_at. The sender's
-  /// serialisation cursor, counters, and loss RNG stay on THIS shard; only
-  /// the receiver callback runs remotely. The lookahead contract requires
-  /// config.propagation >= the engine's lookahead. Wire before run():
-  /// receiver_ and remote_ are read concurrently afterwards.
+  /// serialisation cursor, counters, and loss/fault RNGs stay on THIS
+  /// shard; only the receiver callback runs remotely. The lookahead
+  /// contract requires config.propagation >= the engine's lookahead (fault
+  /// jitter only adds on top). Wire before run(): receiver_ and remote_
+  /// are read concurrently afterwards.
   void set_remote_scheduler(RemoteScheduler remote) {
     remote_ = std::move(remote);
   }
 
   void send(Packet packet) {
+    const SimTime now = loop_.now();
     const double bits = double(packet.wire_size()) * 8.0;
     const auto serialization =
         SimDuration(bits / config_.bandwidth_gbps);  // ns at N Gb/s
-    const SimTime start = std::max(loop_.now(), next_free_);
+
+    if (config_.fault.flaps_enabled()) {
+      const bool down = flap_down_at(now);
+      if (!down && was_down_) next_free_ = now;  // outage voids the queue
+      was_down_ = down;
+      if (down) {
+        // The wire is dead: charge the slot (contract above) and drop.
+        next_free_ = std::max(now, next_free_) + serialization;
+        ++packets_sent_;
+        ++dropped_by_fault_;
+        return;
+      }
+    }
+
+    const SimTime start = std::max(now, next_free_);
     next_free_ = start + serialization;
     ++packets_sent_;
 
     if (drop_predicate_ && drop_predicate_(packet)) {
-      ++packets_dropped_;
+      ++dropped_by_predicate_;
       return;
     }
     if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) {
-      ++packets_dropped_;
+      ++dropped_by_loss_;
       return;
     }
 
-    const SimTime arrival = next_free_ + config_.propagation;
+    SimDuration jitter = 0;
+    if (fault_active_ && !apply_faults(packet, jitter)) {
+      ++dropped_by_fault_;
+      return;
+    }
+
+    const SimTime arrival = next_free_ + config_.propagation + jitter;
     auto deliver = [this, pkt = std::move(packet)]() mutable {
       if (receiver_) receiver_(std::move(pkt));
     };
@@ -79,32 +170,92 @@ class LinkDirection {
   }
 
   std::uint64_t packets_sent() const noexcept { return packets_sent_; }
-  std::uint64_t packets_dropped() const noexcept { return packets_dropped_; }
+  /// Total drops from all causes (source-compatible sum of the split
+  /// counters — Switch per-port stats and older tests read this).
+  std::uint64_t packets_dropped() const noexcept {
+    return dropped_by_predicate_ + dropped_by_loss_ + dropped_by_fault_;
+  }
+  std::uint64_t dropped_by_predicate() const noexcept {
+    return dropped_by_predicate_;
+  }
+  std::uint64_t dropped_by_loss() const noexcept { return dropped_by_loss_; }
+  /// Burst-loss kills + packets sent into a flap window.
+  std::uint64_t dropped_by_fault() const noexcept { return dropped_by_fault_; }
+  /// Packets delivered with hdr.corrupted set (counted here at the point of
+  /// corruption; the transport counts the matching ingress discards).
+  std::uint64_t packets_corrupted() const noexcept {
+    return packets_corrupted_;
+  }
 
  private:
+  bool flap_down_at(SimTime now) const noexcept {
+    const FaultProfile& f = config_.fault;
+    if (now < f.flap_offset) return false;
+    return (now - f.flap_offset) % f.flap_period < f.flap_down;
+  }
+
+  /// Burst loss, corruption, and jitter for packets that survived the
+  /// uniform checks. Returns false if burst loss kills the packet. Draw
+  /// order per packet is fixed: GE loss in the current state, GE
+  /// transition, corruption, jitter.
+  bool apply_faults(Packet& packet, SimDuration& jitter) {
+    const FaultProfile& f = config_.fault;
+    if (f.ge_enabled()) {
+      const double rate = ge_bad_ ? f.bad_loss_rate : f.good_loss_rate;
+      const bool killed = rate > 0.0 && fault_rng_.chance(rate);
+      if (ge_bad_) {
+        if (f.p_bad_to_good > 0.0 && fault_rng_.chance(f.p_bad_to_good)) {
+          ge_bad_ = false;
+        }
+      } else if (f.p_good_to_bad > 0.0 && fault_rng_.chance(f.p_good_to_bad)) {
+        ge_bad_ = true;
+      }
+      if (killed) return false;
+    }
+    if (f.corrupt_rate > 0.0 && fault_rng_.chance(f.corrupt_rate)) {
+      packet.hdr.corrupted = true;
+      ++packets_corrupted_;
+    }
+    if (f.reorder_rate > 0.0 && f.reorder_jitter > 0 &&
+        fault_rng_.chance(f.reorder_rate)) {
+      jitter = SimDuration(1) +
+               SimDuration(fault_rng_.next_below(
+                   std::uint64_t(f.reorder_jitter)));
+    }
+    return true;
+  }
+
   EventLoop& loop_;
   LinkConfig config_;
-  Rng rng_;
+  Rng rng_;        // uniform loss_rate stream
+  Rng fault_rng_;  // burst/corrupt/jitter stream (independent of rng_)
   PacketHandler receiver_;
   RemoteScheduler remote_;  // set => cross-shard delivery
   std::function<bool(const Packet&)> drop_predicate_;
   SimTime next_free_ = 0;
+  bool fault_active_ = false;  // cached config_.fault.enabled()
+  bool ge_bad_ = false;        // Gilbert–Elliott state (false = good)
+  bool was_down_ = false;      // last observed flap state
   std::uint64_t packets_sent_ = 0;
-  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t dropped_by_predicate_ = 0;
+  std::uint64_t dropped_by_loss_ = 0;
+  std::uint64_t dropped_by_fault_ = 0;
+  std::uint64_t packets_corrupted_ = 0;
 };
 
-/// Full-duplex link: direction a2b and b2a.
+/// Full-duplex link: direction a2b and b2a. The directions share one
+/// LinkConfig but draw from decorrelated RNG streams (stream index 0 / 1).
 class Link {
  public:
   Link(EventLoop& loop, const LinkConfig& config)
-      : a2b_(loop, config), b2a_(loop, config) {}
+      : a2b_(loop, config, 0), b2a_(loop, config, 1) {}
 
   /// Cross-shard form: each direction's sender-side state (serialisation
-  /// cursor, counters, loss RNG) lives on the SENDING endpoint's loop, so
-  /// a Link can span two shards. With a_loop == b_loop this is identical
-  /// to the single-loop constructor.
+  /// cursor, counters, loss/fault RNGs) lives on the SENDING endpoint's
+  /// loop, so a Link can span two shards. With a_loop == b_loop this is
+  /// identical to the single-loop constructor.
   Link(EventLoop& a_loop, EventLoop& b_loop, const LinkConfig& config)
-      : a2b_(a_loop, config), b2a_(b_loop, config) {}
+      : a2b_(a_loop, config, 0), b2a_(b_loop, config, 1) {}
 
   LinkDirection& a2b() noexcept { return a2b_; }
   LinkDirection& b2a() noexcept { return b2a_; }

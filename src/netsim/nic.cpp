@@ -148,10 +148,61 @@ void Nic::receive(Packet packet) {
     ++counters_.rx_dropped;
     return;
   }
+  if (packet.hdr.corrupted) ++counters_.rx_corrupt_frames;
   ring.frames.push_back(std::move(packet));
   ++ring.frames_total;
   ++counters_.rx_frames;
   maybe_fire_rx_interrupt(index);
+}
+
+void Nic::reset() {
+  // TX: every queued descriptor dies with the device. Contexts they
+  // referenced are gone too, so no unpin bookkeeping survives either.
+  for (auto& queue : queues_) queue.clear();
+  pending_ = 0;
+  rr_cursor_ = 0;
+  // processing_ stays as-is: an in-flight process_batch event observes
+  // empty queues, clears the flag itself, and exits (the defensive path
+  // kick() already has). Forcing it false here could double-schedule.
+
+  // TLS offload: the context table is the definitional loss of a reset.
+  // next_context_id_ keeps counting so stale IDs cached host-side can
+  // never alias a context created after the reset.
+  contexts_.clear();
+
+  // RSS reverts to the driver-default round-robin spread; deferred flips
+  // are moot (both their old and new rings just lost their frames).
+  for (std::size_t entry = 0; entry < rss_table_.size(); ++entry) {
+    rss_table_[entry] = entry % config_.num_queues;
+  }
+  rss_pending_.clear();
+
+  // RX: queued frames are lost (visible as ring drops), hold-off timers
+  // are voided via the generation counter, and moderation/DIM reseeds
+  // exactly like the constructor. `draining` stays: a scheduled drain
+  // observes an empty ring, delivers nothing, and clears itself.
+  for (RxRing& ring : rx_rings_) {
+    ring.dropped += ring.frames.size();
+    counters_.rx_dropped += ring.frames.size();
+    ring.frames.clear();
+    ring.timer_armed = false;
+    ++ring.timer_gen;
+    if (config_.adaptive_rx_coalesce) {
+      ring.dim_level = dim_seed_level(
+          std::max<std::size_t>(1, config_.rx_coalesce_frames));
+      ring.coalesce_frames = kDimLadder[ring.dim_level].frames;
+      ring.coalesce_usecs = kDimLadder[ring.dim_level].usecs;
+    } else {
+      ring.coalesce_frames =
+          std::max<std::size_t>(1, config_.rx_coalesce_frames);
+      ring.coalesce_usecs = config_.rx_coalesce_usecs;
+    }
+    ring.dim_ewma = 0.0;
+    ring.dim_streak = 0;
+  }
+
+  next_ip_id_ = 1;
+  ++counters_.resets;
 }
 
 void Nic::maybe_fire_rx_interrupt(std::size_t index) {

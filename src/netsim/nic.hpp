@@ -218,6 +218,9 @@ struct NicCounters {
   std::uint64_t rss_reprograms = 0;     // accepted set_rss_indirection calls
   std::uint64_t rss_deferred_entries = 0;  // entry flips held for the old
                                            // ring to drain (order guard)
+  std::uint64_t rx_corrupt_frames = 0;  // frames flagged by the link fault
+                                        // model (delivered; transports drop)
+  std::uint64_t resets = 0;             // Nic::reset() invocations
 
   friend bool operator==(const NicCounters&, const NicCounters&) = default;
 };
@@ -259,6 +262,18 @@ class Nic {
   /// queue) and is delivered by a coalesced interrupt through the event
   /// loop — NEVER inline, so ordering is deterministic under coalescing.
   void receive(Packet packet);
+
+  /// Full device reset — models a firmware/driver-level NIC reset mid-run:
+  /// every TLS offload context is lost, pending TX descriptors and queued
+  /// RX frames are discarded (RX counted as drops), the RSS indirection
+  /// table reverts to the driver default, and coalescing/DIM state reseeds
+  /// exactly as at construction. Cumulative counters survive (they model
+  /// host-side observability, and `resets` records the event itself);
+  /// context IDs keep monotonically increasing so a stale pre-reset ID can
+  /// never alias a post-reset context. Callers (stack::Host::reset_nic)
+  /// must also invalidate host-side caches of device state — leases in the
+  /// FlowContextManager become dangling names after this.
+  void reset();
 
   /// Frames sitting in RX rings, not yet delivered.
   std::size_t rx_pending() const noexcept {

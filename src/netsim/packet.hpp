@@ -92,6 +92,13 @@ struct PacketHeader {
   bool trimmed = false;          // NDP-style trimmed stub (payload cut)
   std::uint32_t trimmed_len = 0; // original payload length of the stub
 
+  // Set by the link fault model (FaultProfile::corrupt_rate): the frame
+  // arrives but its integrity check — GCM tag, TCP checksum — fails.
+  // The NIC counts it (rx_corrupt_frames) and still delivers; transports
+  // discard at ingress and rely on their retransmit machinery, exactly
+  // like real hardware that only detects corruption after DMA.
+  bool corrupted = false;
+
   /// Memoized RSS hash of `flow`. The hash is a pure function of the five
   /// tuple, but it used to be recomputed on EVERY queue/core decision —
   /// per-packet ring selection, TX queue choice, softirq pinning. The TX

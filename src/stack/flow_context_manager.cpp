@@ -77,4 +77,15 @@ void FlowContextManager::invalidate_session(std::uint64_t session_tag) {
                        : ever_held_.lower_bound(FlowKey{session_tag + 1, 0}));
 }
 
+void FlowContextManager::invalidate_all() {
+  // No release_flow_context calls: this runs after Nic::reset() cleared
+  // the device table, so the IDs we hold name nothing (release would be a
+  // harmless no-op, but skipping it keeps the semantics honest — the
+  // driver is reconciling with a device that lost state, not freeing).
+  // ever_held_ survives deliberately: post-reset acquires ARE
+  // re-establishments of sessions the host still considers live.
+  entries_.clear();
+  lru_.clear();
+}
+
 }  // namespace smt::stack

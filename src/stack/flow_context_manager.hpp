@@ -85,6 +85,14 @@ class FlowContextManager {
   /// Safe while descriptors are in flight — the NIC defers the free.
   void invalidate_session(std::uint64_t session_tag);
 
+  /// Drops every lease without touching the NIC — the device already
+  /// forgot them (Nic::reset()). Outstanding Lease pointers dangle; the
+  /// next acquire of each key is a miss that re-establishes through the
+  /// normal path, seeded with that message's first record sequence, so no
+  /// wire resync is needed. Counted per lease in stats().misses /
+  /// reestablished on the later acquires, not here.
+  void invalidate_all();
+
   bool holds(const FlowKey& key) const { return entries_.count(key) != 0; }
   std::size_t size() const noexcept { return entries_.size(); }
   const Stats& stats() const noexcept { return stats_; }

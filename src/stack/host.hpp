@@ -119,6 +119,18 @@ class Host {
   const FlowContextManager& flow_contexts() const noexcept {
     return flow_contexts_;
   }
+
+  /// NIC reset with driver-side reconciliation: the device loses every TLS
+  /// flow context, queued descriptor, and RX frame (Nic::reset()), and the
+  /// host-side lease cache forgets the now-dangling context IDs so the
+  /// next send per flow transparently re-establishes through the normal
+  /// FlowContextManager miss path. Call from a scheduled event, never from
+  /// inside a NIC delivery callback (leases handed out within the current
+  /// synchronous hook would dangle mid-use).
+  void reset_nic() {
+    nic_.reset();
+    flow_contexts_.invalidate_all();
+  }
   const HostConfig& config() const noexcept { return config_; }
   const CostModel& costs() const noexcept { return config_.costs; }
   std::uint32_t ip() const noexcept { return config_.ip; }

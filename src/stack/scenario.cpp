@@ -92,6 +92,39 @@ Status apply_link_key(const Cursor& at, std::string_view value,
   return Status::success();
 }
 
+Status apply_fault_key(const Cursor& at, std::string_view value,
+                       sim::FaultProfile& fault) {
+  auto set_prob = [&](double& out) -> Status {
+    auto v = parse_double(at, value);
+    if (!v.ok()) return v.error();
+    out = v.value();
+    return Status::success();
+  };
+  auto set_usec = [&](SimDuration& out) -> Status {
+    auto v = parse_double(at, value);
+    if (!v.ok()) return v.error();
+    out = usec_to_duration(v.value());
+    return Status::success();
+  };
+  if (at.key == "good_to_bad") return set_prob(fault.p_good_to_bad);
+  if (at.key == "bad_to_good") return set_prob(fault.p_bad_to_good);
+  if (at.key == "good_loss_rate") return set_prob(fault.good_loss_rate);
+  if (at.key == "bad_loss_rate") return set_prob(fault.bad_loss_rate);
+  if (at.key == "corrupt_rate") return set_prob(fault.corrupt_rate);
+  if (at.key == "reorder_rate") return set_prob(fault.reorder_rate);
+  if (at.key == "reorder_jitter_us") return set_usec(fault.reorder_jitter);
+  if (at.key == "flap_period_us") return set_usec(fault.flap_period);
+  if (at.key == "flap_down_us") return set_usec(fault.flap_down);
+  if (at.key == "flap_offset_us") return set_usec(fault.flap_offset);
+  if (at.key == "seed") {
+    auto v = parse_u64(at, value);
+    if (!v.ok()) return v.error();
+    fault.seed = v.value();
+    return Status::success();
+  }
+  return at.fail("unknown key");
+}
+
 }  // namespace
 
 Status validate_topology(const TopologySpec& spec) {
@@ -151,6 +184,28 @@ Status validate_link(const sim::LinkConfig& config) {
   if (config.loss_rate < 0.0 || config.loss_rate > 1.0) {
     return make_error(Errc::invalid_argument,
                       "link: loss_rate must be within [0, 1]");
+  }
+  const sim::FaultProfile& f = config.fault;
+  for (const double p : {f.p_good_to_bad, f.p_bad_to_good, f.good_loss_rate,
+                         f.bad_loss_rate, f.corrupt_rate, f.reorder_rate}) {
+    if (p < 0.0 || p > 1.0) {
+      return make_error(Errc::invalid_argument,
+                        "fault: probabilities must be within [0, 1]");
+    }
+  }
+  if (f.reorder_jitter < 0 || f.flap_period < 0 || f.flap_down < 0 ||
+      f.flap_offset < 0) {
+    return make_error(Errc::invalid_argument,
+                      "fault: durations must be >= 0");
+  }
+  if (f.flap_down > 0 && f.flap_period == 0) {
+    return make_error(Errc::invalid_argument,
+                      "fault: flap_down_us needs flap_period_us > 0");
+  }
+  if (f.flap_period > 0 && f.flap_down >= f.flap_period) {
+    return make_error(Errc::invalid_argument,
+                      "fault: flap_down_us must be < flap_period_us "
+                      "(equal means the link never comes up)");
   }
   return Status::success();
 }
@@ -213,7 +268,8 @@ Result<ScenarioConfig> ScenarioConfig::parse(std::string_view text) {
       at.section = trim(line.substr(1, line.size() - 2));
       if (at.section != "topology" && at.section != "host" &&
           at.section != "edge_link" && at.section != "fabric_link" &&
-          at.section != "switch" && at.section != "workload") {
+          at.section != "fault" && at.section != "switch" &&
+          at.section != "workload") {
         at.key = {};
         return at.fail("unknown section");
       }
@@ -293,6 +349,11 @@ Result<ScenarioConfig> ScenarioConfig::parse(std::string_view text) {
                                                         : config.fabric_link;
       if (at.section == "fabric_link") config.fabric_link_set = true;
       st = apply_link_key(at, value, link);
+    } else if (at.section == "fault") {
+      // Faults impair the EDGE links (host<->host direct, host<->ToR
+      // uplinks) — the adversity matrix's WAN/access shape. Fabric-core
+      // impairments stay clean so results isolate the injected fault.
+      st = apply_fault_key(at, value, config.edge_link.fault);
     } else if (at.section == "switch") {
       sim::SwitchConfig& s = config.switch_config;
       if (at.key == "port_bandwidth_gbps") st = set_double(s.port_bandwidth_gbps);

@@ -131,8 +131,11 @@ Result<std::unique_ptr<Topology>> TopologyBuilder::build_impl(
       // serialisation on the host's shard; the ToR is shard-local by the
       // placement convention). Downlink: a ToR egress port delivering
       // into the host's NIC after serialisation + edge latency.
+      // Stream index = host index: every uplink draws decorrelated
+      // loss/fault patterns from the one shared edge_link seed (same
+      // discipline as the per-switch ECMP seeds).
       auto uplink = std::make_unique<sim::LinkDirection>(
-          host_loop, scenario_.edge_link);
+          host_loop, scenario_.edge_link, /*stream=*/i);
       sim::Switch& tor = topo->fabric_->attach_host(
           i, [host](sim::Packet pkt) { host->nic().receive(std::move(pkt)); });
       sim::Switch* tor_ptr = &tor;

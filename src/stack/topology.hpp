@@ -149,6 +149,13 @@ class TopologyBuilder {
     return *this;
   }
   /// Switch-to-switch links (defaults to the edge link's parameters).
+  /// Link-fault injection on the edge links (the scenario loader's
+  /// [fault] section): burst loss, corruption, reorder/jitter, flaps.
+  TopologyBuilder& fault(const sim::FaultProfile& profile) {
+    scenario_.edge_link.fault = profile;
+    return *this;
+  }
+
   TopologyBuilder& fabric_link(const sim::LinkConfig& config) {
     scenario_.fabric_link = config;
     scenario_.fabric_link_set = true;

@@ -188,6 +188,14 @@ void HomaEndpoint::post_segment_for(TxMessage& tx, std::size_t seg_index,
 }
 
 void HomaEndpoint::on_packet(Packet pkt) {
+  // Link-corrupted frame: the integrity check (GCM tag for offloaded
+  // records, checksum otherwise) fails before any protocol state is
+  // touched. Discard here — a data gap heals via RESEND or the sender
+  // backstop; a lost GRANT/ACK heals via the same timers as real loss.
+  if (pkt.hdr.corrupted) {
+    ++stats_.corrupt_dropped;
+    return;
+  }
   switch (pkt.hdr.type) {
     case PacketType::data:
       handle_data(std::move(pkt));

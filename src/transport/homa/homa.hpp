@@ -140,6 +140,9 @@ class HomaEndpoint {
     std::uint64_t messages_expired = 0;
     std::uint64_t trim_resends = 0;  // RESENDs triggered by trimmed stubs
     std::uint64_t segments_posted = 0;  // TSO segments handed to the NIC
+    std::uint64_t corrupt_dropped = 0;  // ingress discards of link-corrupted
+                                        // packets (fault model); recovered
+                                        // by RESEND / the sender backstop
   };
   const Stats& stats() const noexcept { return stats_; }
 

@@ -242,6 +242,12 @@ void TcpEndpoint::transmit_range(Connection& conn, std::uint64_t from,
 }
 
 void TcpEndpoint::on_packet(Packet pkt) {
+  // Link-corrupted frame: checksum fails at ingress, before the segment
+  // can touch connection state. Fast retransmit / RTO recover the gap.
+  if (pkt.hdr.corrupted) {
+    ++stats_.corrupt_dropped;
+    return;
+  }
   // Local flow view: swap to this host's perspective.
   const sim::FiveTuple local_flow = pkt.hdr.flow.reversed();
   bool created = false;
@@ -366,6 +372,7 @@ void TcpEndpoint::handle_ack(Connection& conn, const Packet& pkt) {
       conn.sent_records.erase(conn.sent_records.begin());
     }
     ++conn.rto_epoch;
+    conn.rto_backoff = 0;  // forward progress: back to the base RTO
     if (conn.snd_nxt > conn.snd_una) arm_rto(conn);
     push(conn);  // ack-clocked transmission
   } else if (ack == conn.snd_una && conn.snd_nxt > conn.snd_una) {
@@ -382,12 +389,26 @@ void TcpEndpoint::handle_ack(Connection& conn, const Packet& pkt) {
 void TcpEndpoint::arm_rto(Connection& conn) {
   const std::uint64_t epoch = conn.rto_epoch;
   const ConnId id = conn_id(conn.flow);
-  host_.loop().schedule(config_.rto, [this, id, epoch] {
+  // Exponential backoff (Karn), capped at 64x base. Without it a fixed
+  // 10 ms RTO phase-locks with any periodic link fault whose period
+  // divides it — e.g. a 2 ms flap cycle: every retransmission lands in
+  // the same down window and the connection livelocks, an unbounded
+  // timer cascade that keeps the event loop from ever draining.
+  const SimDuration delay =
+      config_.rto << std::min<std::uint32_t>(conn.rto_backoff, 6);
+  host_.loop().schedule(delay, [this, id, epoch] {
     auto it = connections_.find(id);
     if (it == connections_.end()) return;
     Connection& c = it->second;
     if (c.rto_epoch != epoch) return;       // progress happened
     if (c.snd_nxt == c.snd_una) return;     // nothing outstanding
+    if (++c.rto_backoff > config_.max_rto_retries) {
+      // ETIMEDOUT analogue (tcp_retries2): the peer is unreachable even
+      // at the widest backoff. Stop retransmitting; the connection stays
+      // wedged (unacked data pinned) but the event loop can drain.
+      ++stats_.rto_abandoned;
+      return;
+    }
     ++stats_.rto_fires;
     ++stats_.retransmits;
     ++c.rto_epoch;

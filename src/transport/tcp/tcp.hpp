@@ -27,6 +27,11 @@ struct TcpConfig {
   std::size_t max_tso_bytes = 65536;
   std::size_t window_bytes = 1 << 20;  // static datacenter window
   SimDuration rto = msec(10);  // datacenter min-RTO (Linux clamps far higher)
+  /// Consecutive RTO fires (exponential backoff, capped at 64x rto)
+  /// before the sender stops retransmitting — the tcp_retries2 /
+  /// ETIMEDOUT analogue. Keeps a connection facing a dead or
+  /// phase-locked-flapping link from retransmitting forever.
+  std::uint32_t max_rto_retries = 10;
   std::size_t tx_queue = 0;  // NIC queue used by this connection's sends
 };
 
@@ -89,7 +94,11 @@ class TcpEndpoint {
     std::uint64_t retransmits = 0;
     std::uint64_t fast_retransmits = 0;
     std::uint64_t rto_fires = 0;
+    std::uint64_t rto_abandoned = 0;  // connections that hit max_rto_retries
     std::uint64_t dup_acks = 0;
+    std::uint64_t corrupt_dropped = 0;  // ingress discards of link-corrupted
+                                        // packets (fault model); recovered
+                                        // by fast retransmit / RTO
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -115,6 +124,7 @@ class TcpEndpoint {
     std::uint32_t dup_acks = 0;
     bool rto_armed = false;
     std::uint64_t rto_epoch = 0;
+    std::uint32_t rto_backoff = 0;  // consecutive fires since last progress
     std::deque<RecordBoundary> record_queue;  // records not yet fully sent
     std::map<std::uint64_t, RecordBoundary> sent_records;  // by stream_off
     std::optional<TcpTlsTxContext> tls_tx;

@@ -19,11 +19,13 @@ struct Testbed {
   std::unique_ptr<SmtEndpoint> server;
 
   explicit Testbed(bool hw_offload, double loss_rate = 0.0,
-                   std::uint64_t loss_seed = 1) {
+                   std::uint64_t loss_seed = 1,
+                   const sim::FaultProfile& fault = {}) {
     sim::LinkConfig lc;
     lc.loss_rate = loss_rate;
     lc.loss_seed = loss_seed;
     lc.propagation = usec(1);
+    lc.fault = fault;
     topology = test::two_host_topology(loop, {}, lc);
     client_host = &topology->host(0);
     server_host = &topology->host(1);
@@ -147,6 +149,171 @@ TEST(FaultInjection, BidirectionalLossStress) {
   EXPECT_EQ(client_got, 20);
   EXPECT_EQ(bed.server->stats().decrypt_failures, 0u);
   EXPECT_EQ(bed.client->stats().decrypt_failures, 0u);
+}
+
+TEST(FaultInjection, CorruptedPacketsRecoveredLikeLoss) {
+  // Corruption is deliver-but-flag: frames arrive, the transport discards
+  // them at ingress (the GCM-tag/checksum failure point), and RESEND /
+  // backstop timers fill the gaps — end-to-end payloads stay intact.
+  sim::FaultProfile fault;
+  fault.corrupt_rate = 0.05;
+  Testbed bed(/*hw=*/true, 0.0, 1, fault);
+  std::map<std::uint64_t, std::size_t> delivered;
+  bed.server->set_on_message([&](SmtEndpoint::MessageMeta meta, Bytes data) {
+    delivered[meta.msg_id] = data.size();
+  });
+  constexpr int kMessages = 20;
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(
+        bed.client->send_message({2, 80}, Bytes(4000, std::uint8_t(i))).ok());
+  }
+  bed.loop.run();
+  EXPECT_EQ(delivered.size(), std::size_t(kMessages));
+  EXPECT_EQ(bed.server->stats().decrypt_failures, 0u)
+      << "corrupted frames must die at transport ingress, never reach "
+         "reassembly/decrypt";
+  // The accounting chain agrees end to end: link flagged -> NIC saw ->
+  // transport dropped (client-to-server direction).
+  const std::uint64_t flagged = bed.link->a2b().packets_corrupted();
+  EXPECT_GT(flagged, 0u);
+  EXPECT_GE(bed.server_host->nic().counters().rx_corrupt_frames, flagged);
+}
+
+TEST(FaultInjection, NicResetMidRunRecoversTransparently) {
+  // A full NIC reset mid-run wipes the TLS flow-context table, queued
+  // descriptors, and RX rings on the server. The FlowContextManager lease
+  // path must transparently re-establish contexts (no wire resync), and
+  // Homa's RESEND/backstop machinery must refill what the reset dropped —
+  // every message still decrypts.
+  Testbed bed(/*hw=*/true);
+  std::map<std::uint64_t, std::size_t> delivered;
+  bed.server->set_on_message([&](SmtEndpoint::MessageMeta meta, Bytes data) {
+    delivered[meta.msg_id] = data.size();
+  });
+  constexpr int kBefore = 12, kAfter = 12;
+  for (int i = 0; i < kBefore; ++i) {
+    ASSERT_TRUE(
+        bed.client->send_message({2, 80}, Bytes(6000, std::uint8_t(i))).ok());
+  }
+  // Resets land while traffic is in flight; the server loses RX frames
+  // and every offload context, the client loses queued TX descriptors.
+  bed.loop.schedule_at(usec(30), [&] { bed.server_host->reset_nic(); });
+  bed.loop.schedule_at(usec(60), [&] { bed.client_host->reset_nic(); });
+  bed.loop.schedule_at(usec(100), [&] {
+    for (int i = 0; i < kAfter; ++i) {
+      ASSERT_TRUE(bed.client
+                      ->send_message({2, 80},
+                                     Bytes(6000, std::uint8_t(kBefore + i)))
+                      .ok());
+    }
+  });
+  bed.loop.run();
+  EXPECT_EQ(delivered.size(), std::size_t(kBefore + kAfter));
+  EXPECT_EQ(bed.server->stats().decrypt_failures, 0u)
+      << "post-reset re-establishment must seed fresh contexts correctly";
+  EXPECT_EQ(bed.server_host->nic().counters().resets, 1u);
+  EXPECT_EQ(bed.client_host->nic().counters().resets, 1u);
+  // The recovery ran through the lease-miss path, not a hidden resync.
+  EXPECT_GT(bed.client_host->flow_contexts().stats().reestablished, 0u);
+}
+
+// --- faults under the sharded engine (satellite: determinism) --------------
+
+struct FaultRunSnapshot {
+  std::size_t delivered = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t order_hash = 0;  // delivery order, msg_id-sensitive
+  std::uint64_t a2b_sent = 0, a2b_fault = 0, a2b_corrupt = 0;
+  std::uint64_t b2a_sent = 0, b2a_fault = 0, b2a_corrupt = 0;
+  std::uint64_t server_decrypt_failures = 0;
+  sim::NicCounters client_nic, server_nic;
+
+  friend bool operator==(const FaultRunSnapshot&,
+                         const FaultRunSnapshot&) = default;
+};
+
+// Burst loss + flaps + corruption on a cross-shard link: the fault RNG and
+// flap phase live on the SENDING shard, so the pattern must replay
+// byte-identically run-to-run at any fixed shard count.
+FaultRunSnapshot run_sharded_fault_workload(std::size_t shards) {
+  sim::FaultProfile fault;
+  fault.p_good_to_bad = 0.02;
+  fault.p_bad_to_good = 0.2;
+  fault.bad_loss_rate = 0.6;
+  fault.corrupt_rate = 0.01;
+  fault.flap_period = usec(400);
+  fault.flap_down = usec(40);
+  fault.flap_offset = usec(100);
+  fault.seed = 1234;
+
+  sim::ShardedEngine engine(shards, usec(1));
+  sim::LinkConfig lc;
+  lc.propagation = usec(1);
+  lc.fault = fault;
+  auto built = stack::TopologyBuilder()
+                   .link(lc)
+                   .host_shard(0, 0)
+                   .host_shard(1, shards - 1)
+                   .build(engine);
+  EXPECT_TRUE(built.ok());
+  auto topology = std::move(built).take();
+
+  SmtConfig config;
+  config.hw_offload = true;
+  SmtEndpoint client(topology->host(0), 1000, config);
+  SmtEndpoint server(topology->host(1), 80, config);
+  tls::TrafficKeys tx{Bytes(16, 0x21), Bytes(12, 0x22)};
+  tls::TrafficKeys rx{Bytes(16, 0x23), Bytes(12, 0x24)};
+  EXPECT_TRUE(
+      client.register_session({2, 80}, tls::CipherSuite::aes_128_gcm_sha256,
+                              tx, rx)
+          .ok());
+  EXPECT_TRUE(
+      server.register_session({1, 1000}, tls::CipherSuite::aes_128_gcm_sha256,
+                              rx, tx)
+          .ok());
+
+  FaultRunSnapshot snap;
+  server.set_on_message([&](SmtEndpoint::MessageMeta meta, Bytes data) {
+    ++snap.delivered;
+    snap.payload_bytes += data.size();
+    snap.order_hash = snap.order_hash * 1099511628211ULL ^ meta.msg_id;
+  });
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_TRUE(
+        client.send_message({2, 80}, Bytes(3000, std::uint8_t(i))).ok());
+  }
+  engine.run();
+
+  sim::Link* link = topology->direct_link();
+  snap.a2b_sent = link ? link->a2b().packets_sent() : 0;
+  snap.a2b_fault = link ? link->a2b().dropped_by_fault() : 0;
+  snap.a2b_corrupt = link ? link->a2b().packets_corrupted() : 0;
+  snap.b2a_sent = link ? link->b2a().packets_sent() : 0;
+  snap.b2a_fault = link ? link->b2a().dropped_by_fault() : 0;
+  snap.b2a_corrupt = link ? link->b2a().packets_corrupted() : 0;
+  snap.server_decrypt_failures = server.stats().decrypt_failures;
+  snap.client_nic = topology->host(0).nic().counters();
+  snap.server_nic = topology->host(1).nic().counters();
+  return snap;
+}
+
+TEST(FaultInjection, ShardedBurstFlapByteIdenticalRunToRun) {
+  const FaultRunSnapshot one_a = run_sharded_fault_workload(1);
+  const FaultRunSnapshot one_b = run_sharded_fault_workload(1);
+  const FaultRunSnapshot two_a = run_sharded_fault_workload(2);
+  const FaultRunSnapshot two_b = run_sharded_fault_workload(2);
+
+  // The fault model actually bit (bursts + flaps dropped traffic) and the
+  // stack recovered everything anyway.
+  EXPECT_GT(two_a.a2b_fault + two_a.b2a_fault, 0u);
+  EXPECT_EQ(two_a.delivered, 25u);
+  EXPECT_EQ(two_a.server_decrypt_failures, 0u);
+  EXPECT_EQ(one_a.delivered, 25u);
+
+  // Byte-identical run-to-run, per shard count.
+  EXPECT_TRUE(one_a == one_b) << "1-shard fault run diverged run-to-run";
+  EXPECT_TRUE(two_a == two_b) << "2-shard fault run diverged run-to-run";
 }
 
 }  // namespace

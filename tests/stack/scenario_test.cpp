@@ -141,6 +141,54 @@ TEST(ScenarioValidateTest, SingleValidationPathCatchesEachLayer) {
   EXPECT_TRUE(config.validate().ok());
 }
 
+TEST(ScenarioParseTest, FaultSectionParsesIntoEdgeLink) {
+  const auto parsed = ScenarioConfig::parse(R"(
+[fault]
+good_to_bad = 0.02
+bad_to_good = 0.2
+bad_loss_rate = 0.6
+corrupt_rate = 0.001
+reorder_rate = 0.1
+reorder_jitter_us = 50
+flap_period_us = 2000
+flap_down_us = 200
+flap_offset_us = 100
+seed = 99
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const sim::FaultProfile& f = parsed.value().edge_link.fault;
+  EXPECT_DOUBLE_EQ(f.p_good_to_bad, 0.02);
+  EXPECT_DOUBLE_EQ(f.p_bad_to_good, 0.2);
+  EXPECT_DOUBLE_EQ(f.bad_loss_rate, 0.6);
+  EXPECT_DOUBLE_EQ(f.corrupt_rate, 0.001);
+  EXPECT_DOUBLE_EQ(f.reorder_rate, 0.1);
+  EXPECT_EQ(f.reorder_jitter, usec(50));
+  EXPECT_EQ(f.flap_period, msec(2));
+  EXPECT_EQ(f.flap_down, usec(200));
+  EXPECT_EQ(f.flap_offset, usec(100));
+  EXPECT_EQ(f.seed, 99u);
+  EXPECT_TRUE(f.enabled());
+}
+
+TEST(ScenarioParseTest, FaultSectionRejectsBadValues) {
+  // Out-of-range probability, with the line-numbered error discipline.
+  auto bad_prob = ScenarioConfig::parse("[fault]\ncorrupt_rate = 1.5\n");
+  ASSERT_FALSE(bad_prob.ok());
+  EXPECT_NE(bad_prob.error().message.find("probabilities"),
+            std::string::npos);
+  // A down interval with no period is meaningless.
+  auto no_period = ScenarioConfig::parse("[fault]\nflap_down_us = 10\n");
+  ASSERT_FALSE(no_period.ok());
+  // down >= period would mean the link never comes up.
+  auto always_down = ScenarioConfig::parse(
+      "[fault]\nflap_period_us = 10\nflap_down_us = 10\n");
+  ASSERT_FALSE(always_down.ok());
+  // Unknown fault key reports its line.
+  auto unknown = ScenarioConfig::parse("[fault]\nnope = 1\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().message.find("line 2"), std::string::npos);
+}
+
 TEST(ScenarioValidateTest, ViaTorRequiresSingleRack) {
   TopologySpec spec;
   spec.via_tor = true;

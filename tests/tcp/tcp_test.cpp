@@ -180,6 +180,44 @@ TEST_F(TcpTest, TwoConnectionsIndependent) {
   EXPECT_EQ(server_received_.size(), 300u);
 }
 
+TEST_F(TcpTest, RtoBackoffAbandonsUnreachablePeer) {
+  // Kill the forward direction entirely: no data ever arrives, no ACK ever
+  // comes back. The RTO must back off exponentially and give up after
+  // max_rto_retries instead of retransmitting every 10 ms forever — with
+  // an unbounded RTO the loop below would never drain.
+  topology_->direct_link()->a2b().set_drop_predicate(
+      [](const sim::Packet&) { return true; });
+  const auto conn = client_.connect(2, 80);
+  client_.send(conn, Bytes(2000, 0x7e));
+  loop_.run();  // terminates only because retransmission is bounded
+  EXPECT_TRUE(server_received_.empty());
+  EXPECT_EQ(client_.stats().rto_abandoned, 1u);
+  EXPECT_LE(client_.stats().rto_fires, 10u);  // TcpConfig::max_rto_retries
+  EXPECT_GT(client_.unacked_bytes(conn), 0u);  // wedged, not silently acked
+}
+
+TEST_F(TcpTest, PeriodicFlapDividingRtoStillTerminates) {
+  // Regression: a link flap whose period divides the fixed 10 ms RTO
+  // phase-locks every retransmission into the same down window (the sim
+  // has no timer jitter to drift out of it). Before RTO backoff + the
+  // retry cap this was a livelock — loop_.run() never returned.
+  sim::EventLoop loop;
+  sim::LinkConfig lc = link_config();
+  lc.fault.flap_period = msec(2);
+  lc.fault.flap_down = usec(200);
+  auto topology = test::two_host_topology(loop, host_config(), lc);
+  TcpEndpoint client(topology->host(0), 1000);
+  TcpEndpoint server(topology->host(1), 80);
+  Bytes received;
+  server.set_on_data(
+      [&](TcpEndpoint::ConnId, Bytes data) { append(received, data); });
+  const auto conn = client.connect(2, 80);
+  client.send(conn, Bytes(120000, 0x3c));
+  loop.run();  // must terminate: delivery or bounded abandonment
+  EXPECT_TRUE(received.size() == 120000u ||
+              client.stats().rto_abandoned > 0u);
+}
+
 TEST_F(TcpTest, TlsOffloadRecordsEncryptedOnWire) {
   // kTLS-hw path: the endpoint posts a record descriptor; the NIC encrypts
   // in line; wire bytes differ from the plaintext and carry a valid tag.
