@@ -27,6 +27,18 @@
 // is virtual-time deterministic: byte-identical run-to-run per shard count
 // (the smoke run re-checks one fault row to keep that honest).
 //
+// A second matrix exercises FABRIC-CORE faults on a 4-rack leaf-spine
+// Clos: every switch-to-switch wire carries a [fabric_fault]-style
+// profile (periodic flaps with per-wire decorrelated phase plus a
+// Gilbert–Elliott component), the switches run the per-port link-health
+// state machine (dark after 2 consecutive fault kills, probe/restore on
+// a 500 us schedule), and ECMP re-steers flows around dark paths by
+// rank-preserving group shrink. The core_flood rows add an OPEN-LOOP
+// arrival-process flood into the server — inter-arrival gaps are a pure
+// counter function (mix_seed of the packet index), never paced by
+// completion, so sweeping the mean gap walks the load right through the
+// RSS/DIM saturation knee while the core is flapping.
+//
 // Flags:
 //   --smoke     tiny iteration budget (CI); also runs the determinism
 //               self-check
@@ -37,6 +49,9 @@
 #include <algorithm>
 #include <functional>
 #include <optional>
+
+#include "common/rng.hpp"
+#include "stack/topology.hpp"
 
 namespace smt::bench {
 namespace {
@@ -181,6 +196,213 @@ RowResult run_row(const Adversity& row, TransportKind kind,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Fabric-core fault matrix.
+
+/// OPEN-LOOP arrival-process flood: unlike schedule_flood's fixed 500 ns
+/// slots, inter-arrival gaps are drawn per packet from a deterministic
+/// counter-based process — gap_k = mean/2 + mix_seed(seed, k) % mean,
+/// uniform in [mean/2, 3*mean/2) with no RNG state — and arrivals are
+/// never paced by completion: the injector keeps pushing at the
+/// configured mean rate however far behind the receiver falls, which is
+/// what exposes the RSS/DIM saturation knee. All arrival times are
+/// precomputed on the server's shard before run().
+void schedule_open_loop_flood(RpcFabric& fabric, std::size_t count,
+                              SimTime t0, SimDuration mean_gap,
+                              std::uint64_t seed) {
+  stack::Host& server = fabric.server_host();
+  SimTime when = t0;
+  for (std::size_t k = 0; k < count; ++k) {
+    when += mean_gap / 2 +
+            SimDuration(mix_seed(seed, k) % std::uint64_t(mean_gap));
+    server.loop().schedule_at(when, [&server, k] {
+      sim::Packet pkt;
+      pkt.hdr.set_flow(sim::FiveTuple{
+          2000u + std::uint32_t(k % 64), server.ip(),
+          std::uint16_t(30000 + k % 113), std::uint16_t(80),
+          sim::Proto::smt});
+      pkt.hdr.type = sim::PacketType::data;
+      pkt.hdr.msg_id = 1 + k;
+      pkt.hdr.msg_len = 64;
+      pkt.hdr.ip_id = std::uint16_t(k);
+      pkt.hdr.ipid_base = std::uint16_t(k);
+      pkt.payload.assign(64, 0xee);
+      server.nic().receive(std::move(pkt));
+    });
+  }
+}
+
+struct CoreRow {
+  std::string name;
+  SimDuration flood_gap = 0;  // 0 = no flood; else mean inter-arrival
+};
+
+/// The flapping-core scenario: 4 racks x 2 hosts over 2 spines, health
+/// state machine on, every fabric wire flapping (decorrelated phases)
+/// with a Gilbert–Elliott component so both dark triggers fire.
+stack::ScenarioConfig core_scenario() {
+  stack::ScenarioConfig scenario;
+  scenario.topology.racks = 4;
+  scenario.topology.hosts_per_rack = 2;
+  scenario.topology.spines = 2;
+  scenario.host.app_cores = 2;
+  scenario.host.softirq_cores = 2;
+  scenario.switch_config.health_dark_threshold = 2;
+  scenario.switch_config.health_probe_interval = usec(500);
+  scenario.fabric_fault.flap_period = msec(2);
+  scenario.fabric_fault.flap_down = usec(300);
+  scenario.fabric_fault.p_good_to_bad = 0.005;
+  scenario.fabric_fault.p_bad_to_good = 0.05;
+  scenario.fabric_fault.bad_loss_rate = 0.5;
+  scenario.fabric_fault.seed = 21;
+  scenario.fabric_fault_set = true;
+  scenario.workload.request_bytes = 2048;
+  scenario.workload.response_bytes = 512;
+  scenario.workload.concurrency = 2;
+  scenario.workload.clients = 4;
+  scenario.workload.ops_per_client = smoke() ? 15 : 250;
+  return scenario;
+}
+
+struct CoreResult {
+  RowResult row;
+  std::uint64_t dark_transitions = 0;
+  std::uint64_t resteered_flows = 0;
+  std::uint64_t dropped_dark = 0;
+  std::uint64_t fault_dropped = 0;
+
+  bool operator==(const CoreResult& o) const {
+    return row.completed == o.row.completed && row.issued == o.row.issued &&
+           row.goodput_gbps == o.row.goodput_gbps &&
+           row.p99_us == o.row.p99_us &&
+           row.cpu_us_per_rpc == o.row.cpu_us_per_rpc &&
+           dark_transitions == o.dark_transitions &&
+           resteered_flows == o.resteered_flows &&
+           dropped_dark == o.dropped_dark &&
+           fault_dropped == o.fault_dropped;
+  }
+};
+
+CoreResult run_core_row(const CoreRow& core, TransportKind kind,
+                        std::size_t shards) {
+  const stack::ScenarioConfig scenario = core_scenario();
+  sim::ShardedEngine engine(shards, usec(1));
+  auto built = stack::TopologyBuilder(scenario).build(engine);
+  if (!built.ok()) {
+    std::fprintf(stderr, "corefault topology: %s\n",
+                 built.error().message.c_str());
+    std::abort();
+  }
+  auto topology = std::move(built).take();
+
+  // Server on rack 0; clients offset-major across the OTHER racks so
+  // every RPC crosses the flapping core.
+  const std::size_t server_index = 0;
+  std::vector<std::size_t> clients;
+  const stack::TopologySpec& t = scenario.topology;
+  for (std::size_t offset = 0;
+       offset < t.hosts_per_rack && clients.size() < scenario.workload.clients;
+       ++offset) {
+    for (std::size_t rack = 1;
+         rack < t.racks && clients.size() < scenario.workload.clients;
+         ++rack) {
+      clients.push_back(rack * t.hosts_per_rack + offset);
+    }
+  }
+
+  RpcFabricConfig config;
+  config.kind = kind;
+  RpcFabric fabric(config, *topology, server_index, clients);
+
+  const std::size_t concurrency = scenario.workload.concurrency;
+  const std::size_t ops_per_client = scenario.workload.ops_per_client;
+  const std::size_t request_bytes = scenario.workload.request_bytes;
+  const std::size_t response_bytes = scenario.workload.response_bytes;
+
+  std::vector<std::unique_ptr<RpcChannel>> channels;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    for (std::size_t c = 0; c < concurrency; ++c) {
+      channels.push_back(fabric.make_channel(i, c));
+    }
+  }
+
+  if (core.flood_gap > 0) {
+    schedule_open_loop_flood(fabric, smoke() ? 200 : 5000, usec(20),
+                             core.flood_gap, /*seed=*/31);
+  }
+
+  // Completion callbacks run on each client's SHARD THREAD: accumulate
+  // strictly per client and merge after engine.run() joins the shards.
+  struct PerClient {
+    std::size_t issued = 0;
+    std::vector<double> rtts_us;
+    SimTime last_completion = 0;
+  };
+  std::vector<PerClient> per_client(clients.size());
+  std::function<void(std::size_t)> issue = [&](std::size_t slot) {
+    const std::size_t client = slot / concurrency;
+    PerClient& mine = per_client[client];
+    if (mine.issued >= ops_per_client) return;
+    ++mine.issued;
+    channels[slot]->call(
+        Bytes(request_bytes, 0x5a), std::uint32_t(response_bytes),
+        [&, slot, client](SimDuration rtt, Bytes) {
+          PerClient& me = per_client[client];
+          me.rtts_us.push_back(to_usec(rtt));
+          me.last_completion = fabric.client_host(client).loop().now();
+          issue(slot);
+        });
+  };
+  for (std::size_t slot = 0; slot < channels.size(); ++slot) issue(slot);
+  engine.run();
+
+  CoreResult result;
+  std::vector<double> rtts_us;
+  SimTime last_completion = 0;
+  for (const PerClient& c : per_client) {
+    result.row.issued += c.issued;
+    result.row.completed += c.rtts_us.size();
+    rtts_us.insert(rtts_us.end(), c.rtts_us.begin(), c.rtts_us.end());
+    last_completion = std::max(last_completion, c.last_completion);
+  }
+  std::sort(rtts_us.begin(), rtts_us.end());
+  if (!rtts_us.empty()) {
+    result.row.p50_us = rtts_us[rtts_us.size() / 2];
+    result.row.p99_us = rtts_us[std::size_t(double(rtts_us.size() - 1) * 0.99)];
+  }
+  const double bits = double(result.row.completed) *
+                      double(request_bytes + response_bytes) * 8.0;
+  result.row.goodput_gbps =
+      last_completion > 0 ? bits / double(last_completion) : 0;
+  const double cpu_ns = double(fabric.client_busy_ns()) +
+                        double(fabric.server_busy_ns()) +
+                        double(fabric.client_irq_ns()) +
+                        double(fabric.server_irq_ns());
+  result.row.cpu_us_per_rpc = result.row.completed > 0
+                                  ? cpu_ns / 1e3 / double(result.row.completed)
+                                  : 0;
+  const sim::Switch::Stats totals = topology->switch_totals();
+  result.dark_transitions = totals.dark_transitions;
+  result.resteered_flows = totals.resteered_flows;
+  result.dropped_dark = totals.dropped_dark;
+  result.fault_dropped = totals.fault_dropped;
+  return result;
+}
+
+std::vector<CoreRow> core_matrix() {
+  std::vector<CoreRow> rows;
+  rows.push_back({"core_flap", 0});
+  if (smoke()) {
+    rows.push_back({"core_flood_g500", nsec(500)});
+  } else {
+    // Sweep the open-loop arrival rate through the RSS/DIM knee.
+    rows.push_back({"core_flood_g1000", nsec(1000)});
+    rows.push_back({"core_flood_g500", nsec(500)});
+    rows.push_back({"core_flood_g250", nsec(250)});
+  }
+  return rows;
+}
+
 }  // namespace
 }  // namespace smt::bench
 
@@ -236,6 +458,53 @@ int main(int argc, char** argv) {
     json_metric("adversity_goodput_gbps_clean", clean.goodput_gbps);
   }
 
+  // ---- Fabric-core fault matrix --------------------------------------
+  const std::vector<CoreRow> core_rows = core_matrix();
+  std::printf("\nCore-fault matrix: 4-rack leaf-spine Clos, flapping core "
+              "wires, dark-path re-steering, %zu shard(s)\n", shards);
+  std::printf("%-16s %-8s %13s %9s %11s %6s %8s %9s\n", "scenario",
+              "transport", "goodput_gbps", "p99_us", "completed", "dark",
+              "resteer", "darkdrop");
+  std::size_t corefault_completed_total = 0;
+  std::uint64_t corefault_resteered_total = 0;
+  std::uint64_t corefault_dark_total = 0;
+  for (const CoreRow& row : core_rows) {
+    for (const TransportKind kind : kinds) {
+      const CoreResult r = run_core_row(row, kind, shards);
+      corefault_completed_total += r.row.completed;
+      corefault_resteered_total += r.resteered_flows;
+      corefault_dark_total += r.dark_transitions;
+      std::printf("%-16s %-8s %13.3f %9.1f %8zu/%zu %6llu %8llu %9llu\n",
+                  row.name.c_str(), apps::transport_key(kind),
+                  r.row.goodput_gbps, r.row.p99_us, r.row.completed,
+                  r.row.issued,
+                  static_cast<unsigned long long>(r.dark_transitions),
+                  static_cast<unsigned long long>(r.resteered_flows),
+                  static_cast<unsigned long long>(r.dropped_dark));
+      const std::string key = row.name + "_" + apps::transport_key(kind);
+      json_metric("corefault_goodput_gbps_" + key, r.row.goodput_gbps);
+      json_metric("corefault_p99_us_" + key, r.row.p99_us);
+      json_metric("corefault_completed_" + key, double(r.row.completed));
+      json_metric("corefault_dark_transitions_" + key,
+                  double(r.dark_transitions));
+      json_metric("corefault_resteered_" + key, double(r.resteered_flows));
+      json_metric("corefault_dropped_dark_" + key, double(r.dropped_dark));
+    }
+  }
+  json_metric("corefault_completed_total", double(corefault_completed_total));
+  json_metric("corefault_resteered_flows",
+              double(corefault_resteered_total));
+  json_metric("corefault_dark_transitions", double(corefault_dark_total));
+  if (corefault_resteered_total == 0) {
+    // The whole point of the matrix is the re-steering path; a core-fault
+    // run that never re-steers means the health machine or the group
+    // shrink regressed. Hard-fail so CI catches it.
+    std::fprintf(stderr,
+                 "CORE-FAULT FAILURE: no flows were re-steered around dark "
+                 "paths across the whole matrix\n");
+    return 1;
+  }
+
   if (smoke()) {
     // Determinism self-check: the nastiest fault row must replay
     // byte-identically run-to-run at this shard count.
@@ -249,6 +518,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("determinism self-check: burst_flap x smt_hw byte-identical "
+                "run-to-run at %zu shard(s)\n", shards);
+    // Same contract for the core-fault matrix, health counters included.
+    const CoreResult ca = run_core_row(core_rows[0], TransportKind::smt_hw,
+                                       shards);
+    const CoreResult cb = run_core_row(core_rows[0], TransportKind::smt_hw,
+                                       shards);
+    if (!(ca == cb)) {
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: core_flap smt_hw diverged "
+                   "run-to-run at %zu shard(s)\n", shards);
+      return 1;
+    }
+    std::printf("determinism self-check: core_flap x smt_hw byte-identical "
                 "run-to-run at %zu shard(s)\n", shards);
   }
   return 0;

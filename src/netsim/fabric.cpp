@@ -51,6 +51,33 @@ Status FabricSpec::validate() const {
                       "fabric: switch port bandwidth and queue capacity "
                       "must be positive");
   }
+  if (switch_config.health_dark_threshold > 0 &&
+      switch_config.health_probe_interval <= 0) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: health_probe_interval must be positive when "
+                      "health_dark_threshold is set");
+  }
+  const FaultProfile& f = fabric_fault;
+  for (const double p : {f.p_good_to_bad, f.p_bad_to_good, f.good_loss_rate,
+                         f.bad_loss_rate, f.corrupt_rate, f.reorder_rate}) {
+    if (p < 0.0 || p > 1.0) {
+      return make_error(Errc::invalid_argument,
+                        "fabric: fabric_fault probabilities must be in [0, 1]");
+    }
+  }
+  if (f.reorder_jitter < 0 || f.flap_period < 0 || f.flap_down < 0 ||
+      f.flap_offset < 0) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: fabric_fault durations must be >= 0");
+  }
+  if (f.flap_down > 0 && f.flap_period == 0) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: fabric_fault flap_down requires flap_period");
+  }
+  if (f.flap_period > 0 && f.flap_down >= f.flap_period) {
+    return make_error(Errc::invalid_argument,
+                      "fabric: fabric_fault flap_down must be < flap_period");
+  }
   return Status::success();
 }
 
@@ -65,11 +92,15 @@ Result<std::unique_ptr<Fabric>> Fabric::create(ShardedEngine& engine,
                                                FabricSpec spec) {
   const Status valid = spec.validate();
   if (!valid.ok()) return valid.error();
-  if (engine.shard_count() > 1 && spec.spines > 0 &&
-      spec.fabric_latency < engine.lookahead()) {
-    return make_error(Errc::invalid_argument,
-                      "fabric: fabric_latency must be >= the engine's "
-                      "lookahead (cross-shard hops are fabric hops)");
+  if (spec.spines > 0) {
+    // The fabric_fault profile rides on these wires: jitter only ever
+    // ADDS to the egress delay and flap/loss kills never deliver, so
+    // fabric_latency alone bounds cross-shard arrivals from below and
+    // this single check covers the faulted fabric too.
+    const Status contract = engine.validate_lookahead(
+        spec.fabric_latency, "fabric: fabric_latency (cross-shard hops are "
+                             "fabric hops; fault jitter only adds on top)");
+    if (!contract.ok()) return contract.error();
   }
   return std::unique_ptr<Fabric>(new Fabric(nullptr, &engine, spec));
 }
@@ -170,6 +201,19 @@ std::size_t Fabric::wire(Switch& src, std::size_t src_shard, Switch& dst,
   } else {
     src.set_port_latency(port, spec_.fabric_latency);
   }
+  if (spec_.fabric_fault.enabled()) {
+    FaultProfile fault = spec_.fabric_fault;
+    if (fault.flaps_enabled()) {
+      // Decorrelate flap phase per wire: independent per-link outages,
+      // not a fabric-wide synchronized blackout. Pure arithmetic on the
+      // wire index, so the schedule is identical across shard counts.
+      fault.flap_offset += SimDuration(std::int64_t(
+          mix_seed(fault.seed, fault_streams_) %
+          std::uint64_t(fault.flap_period)));
+    }
+    src.set_port_fault(port, fault, fault_streams_);
+  }
+  ++fault_streams_;
   return port;
 }
 
@@ -213,6 +257,10 @@ Switch::Stats Fabric::totals() const {
       total.forwarded += sw->stats().forwarded;
       total.trimmed += sw->stats().trimmed;
       total.dropped += sw->stats().dropped;
+      total.fault_dropped += sw->stats().fault_dropped;
+      total.dark_transitions += sw->stats().dark_transitions;
+      total.resteered_flows += sw->stats().resteered_flows;
+      total.dropped_dark += sw->stats().dropped_dark;
     }
   };
   add(tors_);

@@ -29,6 +29,7 @@
 
 #include "common/result.hpp"
 #include "common/time.hpp"
+#include "netsim/link.hpp"
 #include "netsim/shard.hpp"
 #include "netsim/switch.hpp"
 
@@ -52,6 +53,14 @@ struct FabricSpec {
   double oversubscription = 0.0;
   /// Base for the per-switch ECMP hash perturbation seeds.
   std::uint64_t ecmp_seed = 0x9e3779b97f4a7c15ull;
+  /// Fault profile applied to every switch-to-switch (fabric-core) wire.
+  /// Each wire gets a decorrelated RNG stream from a fabric-wide wire
+  /// index, and flap phases are ALSO decorrelated per wire (offset
+  /// perturbed by mix_seed(seed, wire) % flap_period) — one profile
+  /// models independent per-link outages, not a fabric-wide synchronized
+  /// blackout. Defaults to "off"; host<->ToR edge faults stay on the
+  /// stack layer's LinkDirections.
+  FaultProfile fabric_fault;
 
   std::size_t host_count() const noexcept { return racks * hosts_per_rack; }
   std::size_t resolved_racks_per_pod() const noexcept {
@@ -135,6 +144,10 @@ class Fabric {
   std::vector<std::unique_ptr<Switch>> aggs_;
   std::vector<std::unique_ptr<Switch>> spines_;
   double tor_uplink_gbps_ = 0.0;
+  // Fabric-wide wire counter: every switch-to-switch port gets the next
+  // index as its fault-RNG stream. Construction order is fixed by the
+  // spec alone, so stream assignment is identical across shard counts.
+  std::uint64_t fault_streams_ = 0;
   // Port maps filled at construction, consumed by attach_host's route
   // programming.
   std::vector<std::vector<std::size_t>> tor_uplink_ports_;  // [rack][i]

@@ -63,6 +63,15 @@ struct FaultProfile {
   }
 };
 
+/// Whether the profile's flap schedule has the wire DOWN at `now` — pure
+/// phase arithmetic over virtual time, no RNG. Shared by LinkDirection
+/// (edge links) and Switch egress ports (fabric-core links), and by the
+/// switch health probe, which re-checks this instead of drawing randomness.
+inline bool fault_flap_down_at(const FaultProfile& f, SimTime now) noexcept {
+  if (!f.flaps_enabled() || now < f.flap_offset) return false;
+  return (now - f.flap_offset) % f.flap_period < f.flap_down;
+}
+
 struct LinkConfig {
   double bandwidth_gbps = 100.0;
   SimDuration propagation = usec(1);
@@ -189,9 +198,7 @@ class LinkDirection {
 
  private:
   bool flap_down_at(SimTime now) const noexcept {
-    const FaultProfile& f = config_.fault;
-    if (now < f.flap_offset) return false;
-    return (now - f.flap_offset) % f.flap_period < f.flap_down;
+    return fault_flap_down_at(config_.fault, now);
   }
 
   /// Burst loss, corruption, and jitter for packets that survived the

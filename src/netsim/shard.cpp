@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 #if defined(__x86_64__)
@@ -78,6 +79,19 @@ ShardedEngine::ShardedEngine(std::size_t shards, SimDuration lookahead)
 }
 
 ShardedEngine::~ShardedEngine() = default;
+
+Status ShardedEngine::validate_lookahead(SimDuration min_cross_latency,
+                                         const char* what) const {
+  if (shards_.size() <= 1 || min_cross_latency >= lookahead_) {
+    return Status::success();
+  }
+  return make_error(
+      Errc::invalid_argument,
+      std::string(what) + " must be >= the engine's lookahead (" +
+          std::to_string(std::int64_t(lookahead_)) + " ns): a cross-shard "
+          "post below the lookahead could land before the destination "
+          "shard's horizon");
+}
 
 void ShardedEngine::post_from(std::size_t src, std::size_t dst, SimTime when,
                               EventCallback fn) {

@@ -48,6 +48,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/result.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/time.hpp"
 #include "netsim/event.hpp"
@@ -67,6 +68,16 @@ class ShardedEngine {
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
   SimDuration lookahead() const noexcept { return lookahead_; }
+
+  /// Checks a proposed minimum cross-shard hop latency against the
+  /// conservative contract (lookahead <= min cross-shard latency).
+  /// Topology builders call this for every wire class that can cross a
+  /// shard — impairments that only ADD delay (fault jitter) need no
+  /// extra margin, since the minimum is what the contract bounds.
+  /// Always ok for a single-shard engine. `what` names the offending
+  /// latency in the error message.
+  Status validate_lookahead(SimDuration min_cross_latency,
+                            const char* what) const;
 
   /// The shard's event loop. Intra-shard code (hosts, NICs, transports
   /// affined to the shard) schedules here exactly as it would on a

@@ -3,10 +3,29 @@
 namespace smt::sim {
 
 void Switch::receive(Packet pkt) {
-  const std::size_t port_index = route_port(pkt.hdr);
-  if (port_index == kNoRoute) {
+  const std::vector<std::size_t>* group = lookup_group(pkt.hdr);
+  if (group == nullptr) {
     ++stats_.dropped;
     return;
+  }
+  std::size_t port_index = select_nominal(*group, pkt.hdr);
+  if (ports_[port_index].dark) {
+    // Health-aware ECMP: the nominal port is dark, re-steer the flow to
+    // the rank-preserving healthy subset. The re-steer is charged to the
+    // NOMINAL port (it is the one that lost the flow).
+    Port& nominal = ports_[port_index];
+    const std::size_t steered = select_healthy(*group, pkt.hdr);
+    if (steered == kNoRoute) {
+      // Every port in the group is dark: nothing can carry the packet.
+      ++stats_.dropped_dark;
+      ++nominal.stats.dropped_dark;
+      return;
+    }
+    if (nominal.resteered.insert(pkt.hdr.flow_hash()).second) {
+      ++stats_.resteered_flows;
+      ++nominal.stats.resteered_flows;
+    }
+    port_index = steered;
   }
   Port& port = ports_[port_index];
 
@@ -65,25 +84,78 @@ void Switch::drain(std::size_t port_index) {
   queue.pop_front();
   port.queued_bytes -= pkt.wire_size();
 
+  // Port fault model (set_port_fault), applied at serialisation time in
+  // the same fixed order as LinkDirection::send: flap, burst loss,
+  // corruption, jitter. A killed packet still charges the wire slot.
+  bool killed = false;
+  SimDuration jitter = 0;
+  if (port.fault_rng) {
+    const FaultProfile& f = port.fault;
+    if (f.flaps_enabled()) {
+      const bool down = fault_flap_down_at(f, loop_.now());
+      if (!down && port.was_down) {
+        port.next_free = loop_.now();  // outage voids the queue occupancy
+      }
+      port.was_down = down;
+      killed = down;
+    }
+    if (!killed && f.ge_enabled()) {
+      const double rate = port.ge_bad ? f.bad_loss_rate : f.good_loss_rate;
+      killed = rate > 0.0 && port.fault_rng->chance(rate);
+      if (port.ge_bad) {
+        if (f.p_bad_to_good > 0.0 && port.fault_rng->chance(f.p_bad_to_good)) {
+          port.ge_bad = false;
+        }
+      } else if (f.p_good_to_bad > 0.0 &&
+                 port.fault_rng->chance(f.p_good_to_bad)) {
+        port.ge_bad = true;
+      }
+    }
+    if (!killed) {
+      if (f.corrupt_rate > 0.0 && port.fault_rng->chance(f.corrupt_rate)) {
+        pkt.hdr.corrupted = true;
+      }
+      if (f.reorder_rate > 0.0 && f.reorder_jitter > 0 &&
+          port.fault_rng->chance(f.reorder_rate)) {
+        jitter = SimDuration(1) + SimDuration(port.fault_rng->next_below(
+                                      std::uint64_t(f.reorder_jitter)));
+      }
+    }
+  }
+
   const double gbps = port.bandwidth_gbps > 0.0 ? port.bandwidth_gbps
                                                 : config_.port_bandwidth_gbps;
   const double bits = double(pkt.wire_size()) * 8.0;
   const SimDuration serialization = SimDuration(bits / gbps);
   const SimTime start = std::max(loop_.now(), port.next_free);
   port.next_free = start + serialization;
-  loop_.schedule_at(port.next_free, [this, port_index, pkt = std::move(pkt)]() mutable {
+
+  if (killed) {
+    ++stats_.fault_dropped;
+    ++port.stats.fault_dropped;
+    observe_fault_drop(port_index);
+    loop_.schedule_at(port.next_free,
+                      [this, port_index] { drain(port_index); });
+    return;
+  }
+  port.consecutive_fault_drops = 0;  // a success resets the health count
+
+  loop_.schedule_at(port.next_free, [this, port_index, jitter,
+                                     pkt = std::move(pkt)]() mutable {
     Port& out = ports_[port_index];
+    // Fault jitter only ADDS to the egress delay, preserving the
+    // cross-shard lookahead contract (arrival >= now + egress_latency).
     if (out.remote) {
       // Cross-shard egress: the deliver handler runs on the attached
       // host's shard at now + egress_latency; drain continues here.
-      out.remote(loop_.now() + out.egress_latency,
+      out.remote(loop_.now() + out.egress_latency + jitter,
                  [this, port_index, pkt = std::move(pkt)]() mutable {
                    ports_[port_index].deliver(std::move(pkt));
                  });
-    } else if (out.egress_latency > 0) {
+    } else if (out.egress_latency + jitter > 0) {
       // Local port with a cable run: propagation is pipelined — the
       // packet is in flight while the port serialises the next one.
-      loop_.schedule(out.egress_latency,
+      loop_.schedule(out.egress_latency + jitter,
                      [this, port_index, pkt = std::move(pkt)]() mutable {
                        ports_[port_index].deliver(std::move(pkt));
                      });
@@ -91,6 +163,37 @@ void Switch::drain(std::size_t port_index) {
       out.deliver(std::move(pkt));
     }
     drain(port_index);
+  });
+}
+
+void Switch::observe_fault_drop(std::size_t port_index) {
+  Port& port = ports_[port_index];
+  if (config_.health_dark_threshold == 0 || port.dark) return;
+  if (++port.consecutive_fault_drops < config_.health_dark_threshold) return;
+  port.dark = true;
+  ++stats_.dark_transitions;
+  ++port.stats.dark_transitions;
+  schedule_probe(port_index, ++port.probe_epoch);
+}
+
+void Switch::schedule_probe(std::size_t port_index, std::uint64_t epoch) {
+  loop_.schedule(config_.health_probe_interval, [this, port_index, epoch] {
+    Port& port = ports_[port_index];
+    if (!port.dark || port.probe_epoch != epoch) return;
+    if (fault_flap_down_at(port.fault, loop_.now())) {
+      // Probe lost into the flap window: stay dark, re-arm. Pure phase
+      // arithmetic — probes never draw from the fault RNG, so packet
+      // draws replay identically whatever the health state does.
+      schedule_probe(port_index, epoch);
+      return;
+    }
+    // Restore: the port rejoins every ECMP group it is ranked in (the
+    // group re-expands with no table rewrite), and the flows steered
+    // away snap back to their nominal rank. GE-driven darkness restores
+    // optimistically here — if loss persists, the threshold re-trips.
+    port.dark = false;
+    port.consecutive_fault_drops = 0;
+    port.resteered.clear();
   });
 }
 

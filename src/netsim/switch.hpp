@@ -19,15 +19,30 @@
 // decorrelated choices (real fabrics perturb the hash per hop for the
 // same reason). Selection is a pure function of (flow, seed): a flow
 // takes one path for its lifetime, across runs and shard counts.
+//
+// Fabric-core faults + link health: an egress port may carry a
+// FaultProfile (set_port_fault) — the fabric-core analogue of
+// LinkDirection's fault model, applied at serialisation time. On top of
+// it sits a deterministic per-port health state machine: consecutive
+// fault-killed egress attempts past `health_dark_threshold` mark the
+// port DARK; ECMP then excludes it by rank-preserving group shrink (the
+// selection over the surviving ports keeps today's exact pure-function
+// shape, so the healthy path stays byte-identical), and a probe on a
+// fixed `health_probe_interval` schedule re-checks the RNG-free flap
+// phase and restores the port, re-expanding the group.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
+#include <set>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/time.hpp"
 #include "netsim/event.hpp"
+#include "netsim/link.hpp"
 #include "netsim/packet.hpp"
 
 namespace smt::sim {
@@ -38,6 +53,17 @@ struct SwitchConfig {
   std::size_t queue_capacity_bytes = 64 * 1024;  // shallow DC buffers
   bool trimming_enabled = true;  // NDP-style trim-on-overflow
   std::uint64_t ecmp_seed = 0;   // per-switch flow-hash perturbation
+  /// Link-health state machine, 0 = disabled: a port marks itself dark
+  /// after this many CONSECUTIVE fault-killed egress attempts (flap-down
+  /// drops or sustained Gilbert–Elliott loss); any successful egress
+  /// resets the count.
+  std::size_t health_dark_threshold = 0;
+  /// Probe/restore cadence for dark ports. Each probe re-checks the
+  /// RNG-free flap phase: still down => stay dark and re-arm; up (or no
+  /// flaps configured, i.e. GE-driven darkness) => restore optimistically.
+  /// Probes never draw from the fault RNG, so the per-packet draw
+  /// sequence is unperturbed by health state.
+  SimDuration health_probe_interval = usec(100);
 };
 
 class Switch {
@@ -101,22 +127,42 @@ class Switch {
 
   void set_ecmp_seed(std::uint64_t seed) { config_.ecmp_seed = seed; }
 
-  /// The port this header would egress on — a pure function of
-  /// (destination route, flow hash, ecmp_seed), exposed so tests can
-  /// assert path determinism without running traffic. kNoRoute if
-  /// unroutable.
-  std::size_t route_port(const PacketHeader& hdr) const {
-    const std::vector<std::size_t>* group = nullptr;
-    const auto route = routes_.find(hdr.flow.dst_ip);
-    if (route != routes_.end()) {
-      group = &route->second;
-    } else if (!default_route_.empty()) {
-      group = &default_route_;
+  /// Applies a FaultProfile to an egress port — the fabric-core analogue
+  /// of LinkDirection's fault model. Flaps and Gilbert–Elliott loss kill
+  /// the packet at serialisation time (the slot is still charged: a
+  /// killed packet occupied the wire, same drop-accounting contract as
+  /// LinkDirection); corruption delivers with hdr.corrupted set; reorder
+  /// jitter only ever ADDS to the egress delay, so the cross-shard
+  /// lookahead contract (arrival >= serialisation end + egress_latency)
+  /// holds. `stream` picks the decorrelated fault-RNG stream via
+  /// mix_seed — Fabric uses a fabric-wide wire index. Wire before run().
+  void set_port_fault(std::size_t port, const FaultProfile& fault,
+                      std::uint64_t stream) {
+    Port& p = ports_.at(port);
+    p.fault = fault;
+    if (fault.enabled()) {
+      p.fault_rng.emplace(mix_seed(fault.seed, stream));
+    } else {
+      p.fault_rng.reset();
     }
-    if (group == nullptr || group->empty()) return kNoRoute;
-    if (group->size() == 1) return group->front();
-    return (*group)[mix64(hdr.flow_hash() ^ config_.ecmp_seed) %
-                    group->size()];
+  }
+
+  /// Whether the health state machine currently has this port dark.
+  bool port_dark(std::size_t port) const { return ports_.at(port).dark; }
+
+  /// The port this header would egress on — a pure function of
+  /// (destination route, flow hash, ecmp_seed) and the ports' current
+  /// health state, exposed so tests can assert path determinism without
+  /// running traffic. With every port healthy this is EXACTLY the
+  /// historical selection; a dark nominal port re-steers to the
+  /// rank-preserving healthy subset (select_healthy below). kNoRoute if
+  /// unroutable or every port in the group is dark.
+  std::size_t route_port(const PacketHeader& hdr) const {
+    const std::vector<std::size_t>* group = lookup_group(hdr);
+    if (group == nullptr) return kNoRoute;
+    const std::size_t nominal = select_nominal(*group, hdr);
+    if (!ports_[nominal].dark) return nominal;
+    return select_healthy(*group, hdr);
   }
 
   /// Ingress: forwards to the routed port's queue; trims or drops on
@@ -127,16 +173,25 @@ class Switch {
     std::uint64_t forwarded = 0;
     std::uint64_t trimmed = 0;
     std::uint64_t dropped = 0;
+    std::uint64_t fault_dropped = 0;     // killed by a port's FaultProfile
+    std::uint64_t dark_transitions = 0;  // healthy->dark flips
+    std::uint64_t resteered_flows = 0;   // distinct flows steered off dark
+    std::uint64_t dropped_dark = 0;      // every port in the group dark
   };
   const Stats& stats() const noexcept { return stats_; }
 
   /// Per-egress-port counters (overflow drops/trims are charged to the
-  /// port whose queue overflowed).
+  /// port whose queue overflowed; dark-path counters to the port the
+  /// flow NOMINALLY hashed onto).
   struct PortStats {
     std::uint64_t forwarded = 0;
     std::uint64_t trimmed = 0;
     std::uint64_t dropped = 0;
     std::size_t max_queued_bytes = 0;
+    std::uint64_t fault_dropped = 0;
+    std::uint64_t dark_transitions = 0;
+    std::uint64_t resteered_flows = 0;
+    std::uint64_t dropped_dark = 0;
   };
   const PortStats& port_stats(std::size_t port) const {
     return ports_.at(port).stats;
@@ -155,6 +210,19 @@ class Switch {
     SimTime next_free = 0;
     bool draining = false;
     PortStats stats;
+    // Fabric-link fault state (set_port_fault) — mirrors LinkDirection's
+    // sender-side fault machinery, one decorrelated RNG stream per port.
+    FaultProfile fault;
+    std::optional<Rng> fault_rng;  // nullopt = no faults on this port
+    bool ge_bad = false;           // Gilbert–Elliott state (false = good)
+    bool was_down = false;         // last observed flap state
+    // Health state machine (config_.health_dark_threshold > 0).
+    bool dark = false;
+    std::size_t consecutive_fault_drops = 0;
+    std::uint64_t probe_epoch = 0;  // stale-probe guard
+    // Flow hashes steered off this port while dark — an ordered set so
+    // the distinct-flow count is deterministic and re-insertion is free.
+    std::set<std::uint64_t> resteered;
   };
 
   // SplitMix64/Murmur finalizer: decorrelates the shared flow hash across
@@ -168,8 +236,57 @@ class Switch {
     return h;
   }
 
+  /// The route group for a header, nullptr if unroutable (no entry and
+  /// no default, or an empty group).
+  const std::vector<std::size_t>* lookup_group(const PacketHeader& hdr) const {
+    const std::vector<std::size_t>* group = nullptr;
+    const auto route = routes_.find(hdr.flow.dst_ip);
+    if (route != routes_.end()) {
+      group = &route->second;
+    } else if (!default_route_.empty()) {
+      group = &default_route_;
+    }
+    if (group == nullptr || group->empty()) return nullptr;
+    return group;
+  }
+
+  /// Historical ECMP selection, health-blind — byte-identical to every
+  /// prior release when nothing is dark.
+  std::size_t select_nominal(const std::vector<std::size_t>& group,
+                             const PacketHeader& hdr) const {
+    if (group.size() == 1) return group.front();
+    return group[mix64(hdr.flow_hash() ^ config_.ecmp_seed) % group.size()];
+  }
+
+  /// Rank-preserving group shrink: selection over the healthy subset in
+  /// group order, with the same pure-function shape as select_nominal —
+  /// group[i] dark just deletes rank i, it never permutes the survivors.
+  /// Depends only on (flow hash, seed, which ports are dark), so
+  /// re-steered paths replay byte-identically too. kNoRoute if every
+  /// port in the group is dark.
+  std::size_t select_healthy(const std::vector<std::size_t>& group,
+                             const PacketHeader& hdr) const {
+    std::size_t healthy = 0;
+    for (const std::size_t p : group) {
+      if (!ports_[p].dark) ++healthy;
+    }
+    if (healthy == 0) return kNoRoute;
+    std::size_t rank =
+        mix64(hdr.flow_hash() ^ config_.ecmp_seed) % healthy;
+    for (const std::size_t p : group) {
+      if (ports_[p].dark) continue;
+      if (rank == 0) return p;
+      --rank;
+    }
+    return kNoRoute;  // unreachable
+  }
+
   void enqueue(std::size_t port_index, Packet pkt, bool high_priority);
   void drain(std::size_t port_index);
+  /// A fault kill is a health observation: count it, and past the
+  /// threshold go dark and arm the probe/restore schedule.
+  void observe_fault_drop(std::size_t port_index);
+  void schedule_probe(std::size_t port_index, std::uint64_t epoch);
 
   EventLoop& loop_;
   SwitchConfig config_;

@@ -125,6 +125,16 @@ Status apply_fault_key(const Cursor& at, std::string_view value,
   return at.fail("unknown key");
 }
 
+/// Keys apply_fault_key understands — used to emit a pointed error when
+/// one shows up in a link section instead of its fault section.
+bool is_fault_key(std::string_view key) {
+  return key == "good_to_bad" || key == "bad_to_good" ||
+         key == "good_loss_rate" || key == "bad_loss_rate" ||
+         key == "corrupt_rate" || key == "reorder_rate" ||
+         key == "reorder_jitter_us" || key == "flap_period_us" ||
+         key == "flap_down_us" || key == "flap_offset_us";
+}
+
 }  // namespace
 
 Status validate_topology(const TopologySpec& spec) {
@@ -185,26 +195,29 @@ Status validate_link(const sim::LinkConfig& config) {
     return make_error(Errc::invalid_argument,
                       "link: loss_rate must be within [0, 1]");
   }
-  const sim::FaultProfile& f = config.fault;
+  return validate_fault(config.fault, "fault");
+}
+
+Status validate_fault(const sim::FaultProfile& f, const char* where) {
+  const std::string at(where);
   for (const double p : {f.p_good_to_bad, f.p_bad_to_good, f.good_loss_rate,
                          f.bad_loss_rate, f.corrupt_rate, f.reorder_rate}) {
     if (p < 0.0 || p > 1.0) {
       return make_error(Errc::invalid_argument,
-                        "fault: probabilities must be within [0, 1]");
+                        at + ": probabilities must be within [0, 1]");
     }
   }
   if (f.reorder_jitter < 0 || f.flap_period < 0 || f.flap_down < 0 ||
       f.flap_offset < 0) {
-    return make_error(Errc::invalid_argument,
-                      "fault: durations must be >= 0");
+    return make_error(Errc::invalid_argument, at + ": durations must be >= 0");
   }
   if (f.flap_down > 0 && f.flap_period == 0) {
     return make_error(Errc::invalid_argument,
-                      "fault: flap_down_us needs flap_period_us > 0");
+                      at + ": flap_down_us needs flap_period_us > 0");
   }
   if (f.flap_period > 0 && f.flap_down >= f.flap_period) {
     return make_error(Errc::invalid_argument,
-                      "fault: flap_down_us must be < flap_period_us "
+                      at + ": flap_down_us must be < flap_period_us "
                       "(equal means the link never comes up)");
   }
   return Status::success();
@@ -218,6 +231,12 @@ Status validate_switch(const sim::SwitchConfig& config) {
   if (config.queue_capacity_bytes == 0) {
     return make_error(Errc::invalid_argument,
                       "switch: queue capacity must be positive");
+  }
+  if (config.health_dark_threshold > 0 &&
+      config.health_probe_interval <= 0) {
+    return make_error(Errc::invalid_argument,
+                      "switch: probe_interval_us must be positive when "
+                      "dark_threshold is set");
   }
   return Status::success();
 }
@@ -240,6 +259,17 @@ Status ScenarioConfig::validate() const {
   if (Status st = validate_link(edge_link); !st.ok()) return st;
   if (fabric_link_set) {
     if (Status st = validate_link(fabric_link); !st.ok()) return st;
+  }
+  if (fabric_fault_set) {
+    if (Status st = validate_fault(fabric_fault, "fabric_fault"); !st.ok()) {
+      return st;
+    }
+    if (topology.spines == 0) {
+      return make_error(Errc::invalid_argument,
+                        "fabric_fault: needs a fabric tier (spines >= 1) — "
+                        "this topology has no switch-to-switch links; "
+                        "[fault] covers the edge links");
+    }
   }
   if (Status st = validate_switch(switch_config); !st.ok()) return st;
   return validate_workload(workload);
@@ -268,8 +298,8 @@ Result<ScenarioConfig> ScenarioConfig::parse(std::string_view text) {
       at.section = trim(line.substr(1, line.size() - 2));
       if (at.section != "topology" && at.section != "host" &&
           at.section != "edge_link" && at.section != "fabric_link" &&
-          at.section != "fault" && at.section != "switch" &&
-          at.section != "workload") {
+          at.section != "fault" && at.section != "fabric_fault" &&
+          at.section != "switch" && at.section != "workload") {
         at.key = {};
         return at.fail("unknown section");
       }
@@ -348,12 +378,30 @@ Result<ScenarioConfig> ScenarioConfig::parse(std::string_view text) {
       sim::LinkConfig& link = at.section == "edge_link" ? config.edge_link
                                                         : config.fabric_link;
       if (at.section == "fabric_link") config.fabric_link_set = true;
+      if (is_fault_key(at.key)) {
+        return at.fail(at.section == "fabric_link"
+                           ? "fault keys live in [fabric_fault], not the "
+                             "link section"
+                           : "fault keys live in [fault], not the link "
+                             "section");
+      }
       st = apply_link_key(at, value, link);
     } else if (at.section == "fault") {
-      // Faults impair the EDGE links (host<->host direct, host<->ToR
-      // uplinks) — the adversity matrix's WAN/access shape. Fabric-core
-      // impairments stay clean so results isolate the injected fault.
+      // [fault] impairs the EDGE links only (host<->host direct,
+      // host<->ToR uplinks) — the adversity matrix's WAN/access shape.
+      // Fabric-core (switch-to-switch) impairments go in [fabric_fault].
+      if (at.key == "link" || at.key == "target" || at.key == "scope") {
+        return at.fail("[fault] is edge-only and cannot name a link; use "
+                       "[fabric_fault] for fabric-core (switch-to-switch) "
+                       "links");
+      }
       st = apply_fault_key(at, value, config.edge_link.fault);
+    } else if (at.section == "fabric_fault") {
+      // Fabric-core impairments: same keys as [fault], applied by
+      // netsim/fabric.hpp to every switch-to-switch wire with per-wire
+      // decorrelated RNG streams and flap phases.
+      config.fabric_fault_set = true;
+      st = apply_fault_key(at, value, config.fabric_fault);
     } else if (at.section == "switch") {
       sim::SwitchConfig& s = config.switch_config;
       if (at.key == "port_bandwidth_gbps") st = set_double(s.port_bandwidth_gbps);
@@ -364,6 +412,12 @@ Result<ScenarioConfig> ScenarioConfig::parse(std::string_view text) {
       }
       else if (at.key == "queue_capacity_bytes") st = set_size(s.queue_capacity_bytes);
       else if (at.key == "trimming") st = set_bool(s.trimming_enabled);
+      else if (at.key == "dark_threshold") st = set_size(s.health_dark_threshold);
+      else if (at.key == "probe_interval_us") {
+        auto v = parse_double(at, value);
+        if (!v.ok()) return v.error();
+        s.health_probe_interval = usec_to_duration(v.value());
+      }
       else return at.fail("unknown key");
     } else if (at.section == "workload") {
       WorkloadSpec& w = config.workload;

@@ -63,6 +63,10 @@ struct WorkloadSpec {
 Status validate_topology(const TopologySpec& spec);
 Status validate_host(const HostConfig& config);
 Status validate_link(const sim::LinkConfig& config);
+/// Range/shape checks for a FaultProfile, shared by the edge `[fault]`
+/// section (inside validate_link) and the fabric-core `[fabric_fault]`
+/// section. `where` prefixes the error ("fault" / "fabric_fault").
+Status validate_fault(const sim::FaultProfile& fault, const char* where);
 Status validate_switch(const sim::SwitchConfig& config);
 Status validate_workload(const WorkloadSpec& spec);
 
@@ -72,6 +76,12 @@ struct ScenarioConfig {
   sim::LinkConfig edge_link;
   sim::LinkConfig fabric_link;  // used only when fabric_link_set
   bool fabric_link_set = false;
+  /// `[fabric_fault]`: impairments on the switch-to-switch core wires
+  /// (netsim/fabric.hpp applies it to every fabric port). Kept separate
+  /// from fabric_link so the edge-link fallback for unset fabric links
+  /// can never drag edge faults into the core.
+  sim::FaultProfile fabric_fault;
+  bool fabric_fault_set = false;
   sim::SwitchConfig switch_config;
   WorkloadSpec workload;
 

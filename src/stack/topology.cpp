@@ -30,6 +30,18 @@ Result<std::unique_ptr<Topology>> TopologyBuilder::build_impl(
       return st.error();
     }
   }
+  if (scenario_.fabric_fault_set) {
+    if (Status st = validate_fault(scenario_.fabric_fault, "fabric_fault");
+        !st.ok()) {
+      return st.error();
+    }
+    if (t.spines == 0) {
+      return make_error(Errc::invalid_argument,
+                        "fabric_fault: needs a fabric tier (spines >= 1) — "
+                        "this topology has no switch-to-switch links; "
+                        "[fault] covers the edge links");
+    }
+  }
   if (Status st = validate_switch(scenario_.switch_config); !st.ok()) {
     return st.error();
   }
@@ -115,6 +127,7 @@ Result<std::unique_ptr<Topology>> TopologyBuilder::build_impl(
     fs.fabric_latency = fl.propagation;
     fs.oversubscription = t.oversubscription;
     fs.ecmp_seed = t.ecmp_seed;
+    if (scenario_.fabric_fault_set) fs.fabric_fault = scenario_.fabric_fault;
     auto fabric = engine ? sim::Fabric::create(*engine, fs)
                          : sim::Fabric::create(*loop, fs);
     if (!fabric.ok()) return fabric.error();

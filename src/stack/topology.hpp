@@ -161,6 +161,15 @@ class TopologyBuilder {
     scenario_.fabric_link_set = true;
     return *this;
   }
+  /// Fault injection on the fabric-core (switch-to-switch) wires — the
+  /// scenario loader's [fabric_fault] section. Requires a fabric tier
+  /// (spines > 0); netsim/fabric.hpp decorrelates RNG streams and flap
+  /// phases per wire.
+  TopologyBuilder& fabric_fault(const sim::FaultProfile& profile) {
+    scenario_.fabric_fault = profile;
+    scenario_.fabric_fault_set = true;
+    return *this;
+  }
   TopologyBuilder& switch_config(const sim::SwitchConfig& config) {
     scenario_.switch_config = config;
     return *this;

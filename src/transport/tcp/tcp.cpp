@@ -153,6 +153,20 @@ void TcpEndpoint::transmit_range(Connection& conn, std::uint64_t from,
                                  std::uint64_t to, bool is_retransmit) {
   assert(from >= conn.snd_una && to <= conn.snd_una + conn.send_buffer.size());
 
+  // RTT probe discipline (adaptive RTO): one timed range at a time. A
+  // fresh transmission arms the probe; a retransmission overlapping the
+  // probed range voids it — Karn's rule, the ACK can no longer be
+  // attributed to one transmission.
+  if (!is_retransmit) {
+    if (!conn.rtt_probe_armed) {
+      conn.rtt_probe_armed = true;
+      conn.rtt_probe_end = to;
+      conn.rtt_probe_sent_at = host_.loop().now();
+    }
+  } else if (conn.rtt_probe_armed && from < conn.rtt_probe_end) {
+    conn.rtt_probe_armed = false;
+  }
+
   sim::SegmentDescriptor d;
   d.segment.hdr.flow = conn.flow;
   d.segment.hdr.type = PacketType::data;
@@ -364,6 +378,10 @@ void TcpEndpoint::handle_ack(Connection& conn, const Packet& pkt) {
                            conn.send_buffer.begin() + std::ptrdiff_t(advance));
     conn.snd_una = ack;
     conn.dup_acks = 0;
+    if (conn.rtt_probe_armed && ack >= conn.rtt_probe_end) {
+      conn.rtt_probe_armed = false;
+      update_rtt(conn, host_.loop().now() - conn.rtt_probe_sent_at);
+    }
     // Drop acked record bookkeeping.
     while (!conn.sent_records.empty() &&
            conn.sent_records.begin()->first +
@@ -386,6 +404,28 @@ void TcpEndpoint::handle_ack(Connection& conn, const Packet& pkt) {
   }
 }
 
+void TcpEndpoint::update_rtt(Connection& conn, SimDuration sample) {
+  if (sample < 0) return;
+  if (!conn.srtt_valid) {
+    // RFC 6298 initial sample: SRTT = R, RTTVAR = R/2.
+    conn.srtt_valid = true;
+    conn.srtt = sample;
+    conn.rttvar = sample / 2;
+    return;
+  }
+  // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|; SRTT = 7/8 SRTT + 1/8 R.
+  const SimDuration err =
+      sample > conn.srtt ? sample - conn.srtt : conn.srtt - sample;
+  conn.rttvar = (3 * conn.rttvar + err) / 4;
+  conn.srtt = (7 * conn.srtt + sample) / 8;
+}
+
+SimDuration TcpEndpoint::rto_base(const Connection& conn) const {
+  if (!config_.adaptive_rto || !conn.srtt_valid) return config_.rto;
+  const SimDuration rto = conn.srtt + 4 * conn.rttvar;
+  return std::max(config_.min_rto, std::min(config_.max_rto, rto));
+}
+
 void TcpEndpoint::arm_rto(Connection& conn) {
   const std::uint64_t epoch = conn.rto_epoch;
   const ConnId id = conn_id(conn.flow);
@@ -393,9 +433,12 @@ void TcpEndpoint::arm_rto(Connection& conn) {
   // 10 ms RTO phase-locks with any periodic link fault whose period
   // divides it — e.g. a 2 ms flap cycle: every retransmission lands in
   // the same down window and the connection livelocks, an unbounded
-  // timer cascade that keeps the event loop from ever draining.
+  // timer cascade that keeps the event loop from ever draining. The
+  // adaptive base (rto_base) slots under the same backoff: a measured
+  // ~20 us fabric RTT gives a 1 ms floor-clamped base, so loss recovery
+  // starts 10x sooner than the fixed pre-sample RTO.
   const SimDuration delay =
-      config_.rto << std::min<std::uint32_t>(conn.rto_backoff, 6);
+      rto_base(conn) << std::min<std::uint32_t>(conn.rto_backoff, 6);
   host_.loop().schedule(delay, [this, id, epoch] {
     auto it = connections_.find(id);
     if (it == connections_.end()) return;
@@ -427,6 +470,12 @@ std::size_t TcpEndpoint::unacked_bytes(ConnId conn) const {
   const auto it = connections_.find(conn);
   if (it == connections_.end()) return 0;
   return std::size_t(it->second.snd_nxt - it->second.snd_una);
+}
+
+std::optional<SimDuration> TcpEndpoint::smoothed_rtt(ConnId conn) const {
+  const auto it = connections_.find(conn);
+  if (it == connections_.end() || !it->second.srtt_valid) return std::nullopt;
+  return it->second.srtt;
 }
 
 void TcpEndpoint::retransmit_head(Connection& conn) {

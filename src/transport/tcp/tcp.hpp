@@ -26,8 +26,24 @@ namespace smt::transport {
 struct TcpConfig {
   std::size_t max_tso_bytes = 65536;
   std::size_t window_bytes = 1 << 20;  // static datacenter window
-  SimDuration rto = msec(10);  // datacenter min-RTO (Linux clamps far higher)
-  /// Consecutive RTO fires (exponential backoff, capped at 64x rto)
+  /// INITIAL retransmission timeout, used until the first RTT sample
+  /// lands (RFC 6298's 1 s analogue, scaled to the datacenter). With
+  /// adaptive_rto off this is also the fixed base for every backoff.
+  SimDuration rto = msec(10);
+  /// Jacobson/Karels adaptive RTO: per-connection SRTT/RTTVAR from
+  /// one-at-a-time RTT probes (Karn's rule: a retransmission voids the
+  /// in-flight sample), base RTO = srtt + 4*rttvar clamped to
+  /// [min_rto, max_rto]. The exponential backoff and max_rto_retries
+  /// below ride ON TOP of the adaptive base exactly as they did on the
+  /// fixed one.
+  bool adaptive_rto = true;
+  /// Clamp floor for the adaptive base. Must comfortably exceed the
+  /// receiver's delayed-ACK timer (40 us) or a quiet full window would
+  /// fire spurious retransmits; 1 ms is the Linux-ish datacenter floor
+  /// and still 10x sharper than the pre-sample initial RTO.
+  SimDuration min_rto = msec(1);
+  SimDuration max_rto = msec(100);  // clamp ceiling (before backoff)
+  /// Consecutive RTO fires (exponential backoff, capped at 64x the base)
   /// before the sender stops retransmitting — the tcp_retries2 /
   /// ETIMEDOUT analogue. Keeps a connection facing a dead or
   /// phase-locked-flapping link from retransmitting forever.
@@ -81,6 +97,11 @@ class TcpEndpoint {
   /// Bytes not yet acknowledged (for drain checks in tests).
   std::size_t unacked_bytes(ConnId conn) const;
 
+  /// The connection's smoothed RTT estimate, nullopt before the first
+  /// sample (or for an unknown connection). Test/diagnostic surface for
+  /// the adaptive RTO.
+  std::optional<SimDuration> smoothed_rtt(ConnId conn) const;
+
   /// The connection's flow 5-tuple (local perspective). Used by layers
   /// above (kTLS) to charge work on the flow's softirq core.
   std::optional<sim::FiveTuple> flow_of(ConnId conn) const;
@@ -125,6 +146,16 @@ class TcpEndpoint {
     bool rto_armed = false;
     std::uint64_t rto_epoch = 0;
     std::uint32_t rto_backoff = 0;  // consecutive fires since last progress
+    // Jacobson/Karels RTT estimation (adaptive RTO). One probe at a
+    // time: a fresh transmission arms it, the cumulative ACK covering
+    // its end samples it, any retransmission voids it (Karn's rule —
+    // an ACK after a retransmission is ambiguous).
+    bool srtt_valid = false;
+    SimDuration srtt = 0;
+    SimDuration rttvar = 0;
+    bool rtt_probe_armed = false;
+    std::uint64_t rtt_probe_end = 0;  // stream offset the sample waits on
+    SimTime rtt_probe_sent_at = 0;
     std::deque<RecordBoundary> record_queue;  // records not yet fully sent
     std::map<std::uint64_t, RecordBoundary> sent_records;  // by stream_off
     std::optional<TcpTlsTxContext> tls_tx;
@@ -153,6 +184,10 @@ class TcpEndpoint {
                       bool is_retransmit);
   void send_ack(Connection& conn);
   void arm_rto(Connection& conn);
+  void update_rtt(Connection& conn, SimDuration sample);
+  /// The pre-backoff RTO: srtt + 4*rttvar clamped to [min_rto, max_rto]
+  /// once a sample exists, config.rto before (or with adaptive_rto off).
+  SimDuration rto_base(const Connection& conn) const;
   void deliver_in_order(Connection& conn);
   void retransmit_head(Connection& conn);
 

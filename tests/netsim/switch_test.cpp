@@ -271,5 +271,186 @@ TEST(SwitchEcmp, PortLatencyPipelinesDelivery) {
   EXPECT_EQ(arrivals[1] - arrivals[0], 120);
 }
 
+// ---------------------------------------------------------------------------
+// Link-health state machine + rank-preserving ECMP group shrink.
+
+/// A flap that is DOWN for the first 500 us of the run and up afterwards
+/// — long enough to observe dark-path behaviour mid-run, short enough
+/// that the probe schedule restores the port and the loop drains.
+FaultProfile down_early_fault() {
+  FaultProfile f;
+  f.flap_period = sec(1);
+  f.flap_down = usec(500);
+  f.flap_offset = 0;
+  f.seed = 5;
+  return f;
+}
+
+TEST(SwitchHealth, GroupShrinkPreservesRanksAndHealthyPaths) {
+  // Darken one port of a 4-way group, then compare route_port against
+  // two references: a clean switch (flows whose nominal port is healthy
+  // must be untouched — byte-identical selection) and a switch whose
+  // group simply omits the dark port (re-steered flows must land exactly
+  // on the rank-preserving shrunken selection).
+  EventLoop loop;
+  SwitchConfig c;
+  c.ecmp_seed = 0x1234;
+  c.health_dark_threshold = 1;
+  Switch sw(loop, c);
+  for (int i = 0; i < 4; ++i) sw.add_port([](Packet) {});
+  sw.set_ecmp_route(7, {0, 1, 2, 3});
+  sw.set_route(5, 2);  // kill traffic pinned to port 2
+  sw.set_port_fault(2, down_early_fault(), /*stream=*/0);
+
+  SwitchConfig clean_config = c;
+  clean_config.health_dark_threshold = 0;
+  Switch clean(loop, clean_config);
+  for (int i = 0; i < 4; ++i) clean.add_port([](Packet) {});
+  clean.set_ecmp_route(7, {0, 1, 2, 3});
+  Switch shrunk(loop, clean_config);
+  for (int i = 0; i < 4; ++i) shrunk.add_port([](Packet) {});
+  shrunk.set_ecmp_route(7, {0, 1, 3});  // group order, rank 2 deleted
+
+  Packet kill;
+  kill.hdr = flow_header(1, 999, 5);
+  kill.payload.assign(64, 0x5a);
+  sw.receive(std::move(kill));  // fault-killed at drain => port 2 dark
+
+  std::size_t checked = 0, resteered = 0;
+  loop.schedule_at(usec(50), [&] {
+    ASSERT_TRUE(sw.port_dark(2));
+    for (std::uint16_t port = 1000; port < 1128; ++port) {
+      const PacketHeader hdr = flow_header(1, port, 7);
+      const std::size_t nominal = clean.route_port(hdr);
+      if (nominal != 2) {
+        // Healthy-path selection stays byte-identical.
+        EXPECT_EQ(sw.route_port(hdr), nominal);
+      } else {
+        // Re-steered selection == nominal selection over the shrunken
+        // group (rank preservation).
+        EXPECT_EQ(sw.route_port(hdr), shrunk.route_port(hdr));
+        EXPECT_NE(sw.route_port(hdr), 2u);
+        ++resteered;
+      }
+      ++checked;
+    }
+  });
+  loop.run();
+  EXPECT_EQ(checked, 128u);
+  EXPECT_GT(resteered, 0u);  // some flows really did hash onto port 2
+}
+
+TEST(SwitchHealth, DarkProbeRestoreCycle) {
+  EventLoop loop;
+  SwitchConfig c;
+  c.health_dark_threshold = 1;
+  c.health_probe_interval = usec(100);
+  Switch sw(loop, c);
+  std::vector<Packet> out;
+  const auto port = sw.add_port([&](Packet p) { out.push_back(std::move(p)); });
+  sw.set_route(1, port);
+  sw.set_port_fault(port, down_early_fault(), /*stream=*/0);
+
+  Packet pkt;
+  pkt.hdr = flow_header(2, 1000, 1);
+  pkt.payload.assign(64, 0x5a);
+  sw.receive(std::move(pkt));
+
+  bool dark_mid_run = false;
+  loop.schedule_at(usec(50), [&] { dark_mid_run = sw.port_dark(port); });
+  loop.run();
+  EXPECT_TRUE(dark_mid_run);
+  // The flap window ends at 500 us; the next probe after that restores
+  // the port, and the route is the nominal one again.
+  EXPECT_FALSE(sw.port_dark(port));
+  EXPECT_EQ(sw.route_port(flow_header(2, 1000, 1)), port);
+  EXPECT_EQ(sw.stats().dark_transitions, 1u);
+  EXPECT_EQ(sw.port_stats(port).dark_transitions, 1u);
+  EXPECT_EQ(sw.stats().fault_dropped, 1u);
+  EXPECT_TRUE(out.empty());  // the triggering packet was killed
+}
+
+TEST(SwitchHealth, AllPortsDarkDropsAndCounts) {
+  // Single-port group: once the port is dark there is no healthy
+  // alternative — packets die as dropped_dark (split from queue drops)
+  // and route_port reports kNoRoute while dark.
+  EventLoop loop;
+  SwitchConfig c;
+  c.health_dark_threshold = 1;
+  Switch sw(loop, c);
+  std::vector<Packet> out;
+  const auto port = sw.add_port([&](Packet p) { out.push_back(std::move(p)); });
+  sw.set_route(1, port);
+  sw.set_port_fault(port, down_early_fault(), /*stream=*/0);
+
+  Packet first;
+  first.hdr = flow_header(2, 1000, 1);
+  first.payload.assign(64, 0x5a);
+  sw.receive(std::move(first));
+
+  loop.schedule_at(usec(50), [&] {
+    EXPECT_EQ(sw.route_port(flow_header(2, 1000, 1)), Switch::kNoRoute);
+    Packet second;
+    second.hdr = flow_header(2, 1001, 1);
+    second.payload.assign(64, 0x5a);
+    sw.receive(std::move(second));
+  });
+  loop.run();
+  EXPECT_EQ(sw.stats().dropped_dark, 1u);
+  EXPECT_EQ(sw.port_stats(port).dropped_dark, 1u);
+  EXPECT_EQ(sw.stats().dropped, 0u);  // dark drops are their own cause
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SwitchHealth, ResteeredFlowsCountsDistinctFlows) {
+  EventLoop loop;
+  SwitchConfig c;
+  c.ecmp_seed = 0x1234;
+  c.health_dark_threshold = 1;
+  Switch sw(loop, c);
+  std::vector<Packet> delivered;
+  sw.add_port([&](Packet p) { delivered.push_back(std::move(p)); });
+  sw.add_port([&](Packet p) { delivered.push_back(std::move(p)); });
+  sw.set_ecmp_route(7, {0, 1});
+  sw.set_route(5, 0);  // kill traffic pinned to port 0
+  sw.set_port_fault(0, down_early_fault(), /*stream=*/0);
+
+  SwitchConfig clean_config = c;
+  clean_config.health_dark_threshold = 0;
+  Switch clean(loop, clean_config);
+  clean.add_port([](Packet) {});
+  clean.add_port([](Packet) {});
+  clean.set_ecmp_route(7, {0, 1});
+
+  Packet kill;
+  kill.hdr = flow_header(1, 999, 5);
+  kill.payload.assign(64, 0x5a);
+  sw.receive(std::move(kill));
+
+  std::size_t expect_resteered = 0;
+  loop.schedule_at(usec(50), [&] {
+    ASSERT_TRUE(sw.port_dark(0));
+    for (std::uint16_t port = 1000; port < 1032; ++port) {
+      const PacketHeader hdr = flow_header(1, port, 7);
+      if (clean.route_port(hdr) != 0) continue;
+      ++expect_resteered;
+      // Two packets of the SAME flow: the distinct-flow counter must
+      // move once, not twice.
+      for (int rep = 0; rep < 2; ++rep) {
+        Packet pkt;
+        pkt.hdr = hdr;
+        pkt.payload.assign(64, 0x5a);
+        sw.receive(std::move(pkt));
+      }
+    }
+  });
+  loop.run();
+  EXPECT_GT(expect_resteered, 0u);
+  EXPECT_EQ(sw.stats().resteered_flows, expect_resteered);
+  EXPECT_EQ(sw.port_stats(0).resteered_flows, expect_resteered);
+  // Everything re-steered onto healthy port 1 was actually delivered.
+  EXPECT_EQ(delivered.size(), 2 * expect_resteered);
+}
+
 }  // namespace
 }  // namespace smt::sim

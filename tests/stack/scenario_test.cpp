@@ -189,6 +189,106 @@ TEST(ScenarioParseTest, FaultSectionRejectsBadValues) {
   EXPECT_NE(unknown.error().message.find("line 2"), std::string::npos);
 }
 
+TEST(ScenarioParseTest, FabricFaultSectionParsesAndRequiresFabric) {
+  const auto parsed = ScenarioConfig::parse(R"(
+[topology]
+racks = 4
+hosts_per_rack = 2
+spines = 2
+
+[fabric_fault]
+flap_period_us = 2000
+flap_down_us = 300
+good_to_bad = 0.005
+bad_to_good = 0.05
+bad_loss_rate = 0.5
+seed = 21
+
+[switch]
+dark_threshold = 2
+probe_interval_us = 500
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const ScenarioConfig& config = parsed.value();
+  EXPECT_TRUE(config.fabric_fault_set);
+  EXPECT_EQ(config.fabric_fault.flap_period, msec(2));
+  EXPECT_EQ(config.fabric_fault.flap_down, usec(300));
+  EXPECT_DOUBLE_EQ(config.fabric_fault.p_good_to_bad, 0.005);
+  EXPECT_DOUBLE_EQ(config.fabric_fault.bad_loss_rate, 0.5);
+  EXPECT_EQ(config.fabric_fault.seed, 21u);
+  // The edge fault stays untouched — [fabric_fault] is core-only.
+  EXPECT_FALSE(config.edge_link.fault.enabled());
+  EXPECT_EQ(config.switch_config.health_dark_threshold, 2u);
+  EXPECT_EQ(config.switch_config.health_probe_interval, usec(500));
+}
+
+TEST(ScenarioParseTest, FabricFaultWithoutFabricTierRejected) {
+  // The default 2-host shape has no switch-to-switch links to impair.
+  const auto parsed = ScenarioConfig::parse(
+      "[fabric_fault]\nflap_period_us = 2000\nflap_down_us = 300\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("needs a fabric tier"),
+            std::string::npos)
+      << parsed.error().message;
+  EXPECT_NE(parsed.error().message.find("[fault] covers the edge links"),
+            std::string::npos);
+}
+
+TEST(ScenarioParseTest, FabricFaultBadValuesReportLineNumbers) {
+  // Every [fabric_fault] key error carries its line number.
+  auto bad = ScenarioConfig::parse(
+      "[fabric_fault]\nflap_period_us = 2000\nbad_loss_rate = nope\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("line 3"), std::string::npos)
+      << bad.error().message;
+  auto unknown = ScenarioConfig::parse("[fabric_fault]\nnope = 1\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().message.find("line 2"), std::string::npos);
+  // Range/shape validation applies identically to the fabric profile,
+  // named by its own section.
+  auto range = ScenarioConfig::parse(
+      "[topology]\nracks = 4\nhosts_per_rack = 2\nspines = 2\n"
+      "[fabric_fault]\ncorrupt_rate = 1.5\n");
+  ASSERT_FALSE(range.ok());
+  EXPECT_NE(range.error().message.find("fabric_fault"), std::string::npos)
+      << range.error().message;
+}
+
+TEST(ScenarioParseTest, EdgeFaultSectionCannotNameALink) {
+  // [fault] is edge-only: naming a link target must point at
+  // [fabric_fault] instead of silently impairing the wrong tier.
+  for (const char* key : {"link", "target", "scope"}) {
+    const auto parsed = ScenarioConfig::parse(
+        std::string("[fault]\n") + key + " = spine0\n");
+    ASSERT_FALSE(parsed.ok()) << key;
+    EXPECT_NE(parsed.error().message.find("edge-only"), std::string::npos)
+        << parsed.error().message;
+    EXPECT_NE(parsed.error().message.find("[fabric_fault]"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioParseTest, FaultKeysInLinkSectionsPointAtFaultSections) {
+  const auto edge = ScenarioConfig::parse("[edge_link]\nflap_period_us = 10\n");
+  ASSERT_FALSE(edge.ok());
+  EXPECT_NE(edge.error().message.find("[fault]"), std::string::npos)
+      << edge.error().message;
+  const auto fabric = ScenarioConfig::parse(
+      "[fabric_link]\nbad_loss_rate = 0.5\n");
+  ASSERT_FALSE(fabric.ok());
+  EXPECT_NE(fabric.error().message.find("[fabric_fault]"), std::string::npos)
+      << fabric.error().message;
+}
+
+TEST(ScenarioValidateTest, HealthKnobsValidated) {
+  ScenarioConfig config;
+  config.switch_config.health_dark_threshold = 2;
+  config.switch_config.health_probe_interval = 0;
+  EXPECT_EQ(config.validate().code(), Errc::invalid_argument);
+  config.switch_config.health_probe_interval = usec(100);
+  EXPECT_TRUE(config.validate().ok());
+}
+
 TEST(ScenarioValidateTest, ViaTorRequiresSingleRack) {
   TopologySpec spec;
   spec.via_tor = true;

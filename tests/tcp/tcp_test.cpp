@@ -218,6 +218,111 @@ TEST_F(TcpTest, PeriodicFlapDividingRtoStillTerminates) {
               client.stats().rto_abandoned > 0u);
 }
 
+TEST_F(TcpTest, SmoothedRttPopulatedAfterCleanTransfer) {
+  // The adaptive RTO estimator (on by default) must converge on a clean
+  // transfer: a smoothed RTT exists, is at least the 2 us round-trip
+  // propagation floor, and is far below the 10 ms initial RTO.
+  EXPECT_FALSE(client_.smoothed_rtt(12345).has_value());  // unknown conn
+  const auto conn = client_.connect(2, 80);
+  EXPECT_FALSE(client_.smoothed_rtt(conn).has_value());  // no sample yet
+  client_.send(conn, Bytes(50000, 0x42));
+  loop_.run();
+  const auto srtt = client_.smoothed_rtt(conn);
+  ASSERT_TRUE(srtt.has_value());
+  EXPECT_GE(*srtt, usec(2));
+  EXPECT_LT(*srtt, msec(1));
+  EXPECT_EQ(client_.stats().rto_fires, 0u);  // estimator never misfired
+}
+
+/// One RTO-only loss (the LAST packet of a quiet window, so no dup-ACK
+/// fast retransmit can save it) after a warmed-up estimator. Returns the
+/// virtual time the last byte arrived: dominated by the RTO that
+/// recovers the drop. (Not loop.now() — the loop drains stale
+/// epoch-guarded RTO timers as no-ops, so its end time reflects the
+/// longest ever-armed timer, not delivery.)
+SimTime run_tail_drop_recovery(bool adaptive) {
+  sim::EventLoop loop;
+  stack::HostConfig hc;
+  hc.app_cores = 2;
+  hc.softirq_cores = 2;
+  sim::LinkConfig lc;
+  lc.propagation = usec(1);
+  auto topology = test::two_host_topology(loop, hc, lc);
+  TcpConfig config;
+  config.adaptive_rto = adaptive;
+  TcpEndpoint client(topology->host(0), 1000, config);
+  TcpEndpoint server(topology->host(1), 80);
+  Bytes received;
+  SimTime last_byte_at = 0;
+  server.set_on_data([&](TcpEndpoint::ConnId, Bytes data) {
+    append(received, data);
+    if (received.size() == 22000u) last_byte_at = loop.now();
+  });
+  const auto conn = client.connect(2, 80);
+  client.send(conn, Bytes(20000, 0x11));  // warmup: collects RTT samples
+  int dropped = 0;
+  loop.schedule_at(usec(500), [&] {
+    // Warmup has drained; the next (single) data packet dies once. With
+    // nothing behind it there are no dup ACKs — only the RTO recovers.
+    topology->direct_link()->a2b().set_drop_predicate(
+        [&dropped](const sim::Packet& pkt) {
+          if (pkt.hdr.type == sim::PacketType::data && dropped == 0) {
+            ++dropped;
+            return true;
+          }
+          return false;
+        });
+    client.send(conn, Bytes(2000, 0x22));
+  });
+  loop.run();
+  EXPECT_EQ(received.size(), 22000u);
+  EXPECT_EQ(dropped, 1);
+  if (adaptive) {
+    // Karn's rule: the retransmission must not have polluted the
+    // estimate with a bogus RTO-length sample.
+    const auto srtt = client.smoothed_rtt(conn);
+    EXPECT_TRUE(srtt.has_value() && *srtt < usec(500));
+  }
+  return last_byte_at;
+}
+
+TEST_F(TcpTest, AdaptiveRtoRecoversTailLossFasterThanFixed) {
+  // With a warmed-up estimator the adaptive base is the 1 ms min_rto
+  // floor (datacenter srtt + 4*rttvar is far below it); the fixed base
+  // is the 10 ms initial RTO. Same drop, ~9 ms less dead air.
+  const SimTime adaptive = run_tail_drop_recovery(true);
+  const SimTime fixed = run_tail_drop_recovery(false);
+  EXPECT_LT(adaptive, fixed);
+  EXPECT_GT(fixed - adaptive, msec(5));
+  EXPECT_LT(adaptive, msec(4));  // 500 us + ~1 ms RTO + recovery
+}
+
+TEST_F(TcpTest, AdaptiveRtoKeepsAbandonmentBounded) {
+  // The retry cap rides on the adaptive base exactly as it did on the
+  // fixed one: a black-holed connection still abandons after
+  // max_rto_retries fires, it just gets there sooner.
+  sim::EventLoop loop;
+  stack::HostConfig hc;
+  hc.app_cores = 2;
+  hc.softirq_cores = 2;
+  sim::LinkConfig lc;
+  lc.propagation = usec(1);
+  auto topology = test::two_host_topology(loop, hc, lc);
+  TcpEndpoint client(topology->host(0), 1000);  // adaptive on by default
+  TcpEndpoint server(topology->host(1), 80);
+  const auto conn = client.connect(2, 80);
+  client.send(conn, Bytes(20000, 0x11));  // warmup with a live link
+  loop.schedule_at(usec(500), [&] {
+    topology->direct_link()->a2b().set_drop_predicate(
+        [](const sim::Packet&) { return true; });  // then the link dies
+    client.send(conn, Bytes(2000, 0x22));
+  });
+  loop.run();  // terminates: backoff + retry cap bound retransmission
+  EXPECT_EQ(client.stats().rto_abandoned, 1u);
+  EXPECT_LE(client.stats().rto_fires, 10u);
+  EXPECT_GT(client.unacked_bytes(conn), 0u);
+}
+
 TEST_F(TcpTest, TlsOffloadRecordsEncryptedOnWire) {
   // kTLS-hw path: the endpoint posts a record descriptor; the NIC encrypts
   // in line; wire bytes differ from the plaintext and carry a valid tag.

@@ -1,0 +1,90 @@
+// lint-as: src/netsim/switch_health.cpp
+
+// Fixture: the per-port link-health state machine (dark marking, probe /
+// restore scheduling, re-steered-flow tracking) rewritten with the exact
+// nondeterminism bugs the real sim::Switch must never grow. Health state
+// is sim-visible twice over — it changes which ECMP port every packet
+// takes AND when ports restore — so ambient time, ambient entropy, and
+// address-ordered iteration here would desynchronise shards silently.
+// Never compiled — scanned by determinism_lint.py --self-test.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Port {
+  bool dark = false;
+  std::size_t consecutive_fault_drops = 0;
+  std::uint64_t probe_epoch = 0;
+  std::unordered_set<std::uint64_t> resteered;
+};
+
+long bad_probe_deadline() {
+  // Scheduling the restore probe off the wall clock instead of the
+  // event loop's virtual time.
+  const auto now = std::chrono::steady_clock::now();  // expect-lint: wall-clock
+  return now.time_since_epoch().count() + 500000;
+}
+
+bool bad_probe_verdict(const Port& port) {
+  // Deciding dark->healthy from ambient entropy instead of the RNG-free
+  // flap-phase check.
+  return port.dark && (std::rand() % 4) == 0;  // expect-lint: ambient-entropy
+}
+
+std::size_t bad_resteer_report(const Port& port, std::vector<std::uint64_t>& out) {
+  // Hash-order iteration: the emitted flow list would differ run-to-run.
+  for (const auto flow : port.resteered) {  // expect-lint: unordered-iteration
+    out.push_back(flow);
+  }
+  return out.size();
+}
+
+struct DarkRegistry {
+  // Address-ordered dark-port bookkeeping: restore order would follow
+  // the allocator, not the topology.
+  std::map<Port*, long> restore_at;  // expect-lint: pointer-keyed-ordered
+};
+
+// The legitimate shapes must stay clean: epoch-guarded probes keyed by
+// index, pure phase arithmetic on virtual time, and ordered (std::set)
+// per-flow tracking.
+struct FlapPhase {
+  long period_ns = 2000000;
+  long down_ns = 300000;
+  long offset_ns = 0;
+  bool down_at(long virtual_now) const {
+    return period_ns > 0 && virtual_now >= offset_ns &&
+           (virtual_now - offset_ns) % period_ns < down_ns;
+  }
+};
+
+struct CleanPort {
+  bool dark = false;
+  std::uint64_t probe_epoch = 0;
+  std::set<std::uint64_t> episode_flows;  // ordered: iteration is stable
+};
+
+bool fine_probe(CleanPort& port, std::uint64_t epoch, const FlapPhase& flap,
+                long virtual_now) {
+  // Stale probes are dropped by epoch, the verdict is the RNG-free flap
+  // phase, and restore clears the ordered per-episode flow set.
+  if (!port.dark || port.probe_epoch != epoch) return false;
+  if (flap.down_at(virtual_now)) return false;
+  port.dark = false;
+  port.episode_flows.clear();
+  return true;
+}
+
+std::size_t fine_resteer_report(const CleanPort& port,
+                                std::vector<std::uint64_t>& out) {
+  for (const auto flow : port.episode_flows) out.push_back(flow);
+  return out.size();
+}
+
+}  // namespace fixture
